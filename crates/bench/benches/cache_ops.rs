@@ -1,0 +1,60 @@
+//! Image-cache insert/evict throughput under each maintenance policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modm_cache::{CacheConfig, ImageCache, MaintenancePolicy};
+use modm_diffusion::{ModelId, QualityModel, Sampler};
+use modm_embedding::{SemanticSpace, TextEncoder};
+use modm_simkit::{SimRng, SimTime};
+
+fn bench_insert_evict(c: &mut Criterion) {
+    let space = SemanticSpace::default();
+    let text = TextEncoder::new(space.clone());
+    let sampler = Sampler::new(QualityModel::new(space, 1, 6.29));
+    let mut rng = SimRng::seed_from(2);
+    // Pre-generate images so the bench isolates cache work.
+    let images: Vec<_> = (0..512)
+        .map(|i| {
+            let e = text.encode(&format!("bench prompt {i}"));
+            sampler.generate(ModelId::Sd35Large, &e, &mut rng)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("cache_insert_full");
+    for policy in [
+        MaintenancePolicy::Fifo,
+        MaintenancePolicy::Lru,
+        MaintenancePolicy::Utility,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || {
+                        let mut cache =
+                            ImageCache::new(CacheConfig::with_policy(256, policy));
+                        for (i, img) in images.iter().take(256).enumerate() {
+                            cache.insert(SimTime::from_micros(i as u64), img.clone());
+                        }
+                        cache
+                    },
+                    |mut cache| {
+                        // Insert into a full cache: every insert evicts.
+                        for (i, img) in images.iter().skip(256).enumerate() {
+                            cache.insert(
+                                SimTime::from_micros(1_000 + i as u64),
+                                img.clone(),
+                            );
+                        }
+                        cache
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_evict);
+criterion_main!(benches);

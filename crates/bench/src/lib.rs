@@ -1,0 +1,12 @@
+//! Criterion micro-benchmarks for MoDM components.
+//!
+//! The experiment harness (`modm-experiments`) regenerates the paper's
+//! tables and figures; these benches measure the *costs of the system's own
+//! mechanisms*, backing the paper's §5.2 claim that retrieval is negligible
+//! next to denoising:
+//!
+//! * `retrieval` — flat vs IVF cache lookup across cache sizes.
+//! * `cache_ops` — insert/evict throughput of the image cache.
+//! * `scheduler` — prompt encoding, k-decision, Algorithm 1 planning.
+//! * `metrics` — FID (eigendecomposition) and Inception Score kernels.
+//! * `serving` — end-to-end simulated requests per wall-clock second.

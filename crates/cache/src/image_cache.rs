@@ -1,0 +1,478 @@
+//! MoDM's final-image cache: capacity-bounded, similarity-retrievable,
+//! maintained by FIFO (the paper's choice), LRU or utility policies.
+
+use std::collections::{HashMap, VecDeque};
+
+use modm_diffusion::GeneratedImage;
+use modm_embedding::{Embedding, EmbeddingIndex, IvfIndex, Neighbor};
+use modm_simkit::SimTime;
+
+use crate::stats::CacheStats;
+
+/// Capacity at which caches switch from the exact flat index to the
+/// IVF approximate index (lookup cost stops growing with cache size, as the
+/// paper's GPU-batched similarity search also does).
+pub(crate) const IVF_THRESHOLD: usize = 20_000;
+
+/// Index backend shared by the cache variants: exact for small caches,
+/// IVF for large ones.
+#[derive(Debug, Clone)]
+pub(crate) enum CacheIndex {
+    Flat(EmbeddingIndex<u64>),
+    Ivf(IvfIndex<u64>),
+}
+
+impl CacheIndex {
+    pub(crate) fn for_capacity(capacity: usize, dim: usize) -> Self {
+        if capacity >= IVF_THRESHOLD {
+            CacheIndex::Ivf(IvfIndex::new(dim, 256, 12))
+        } else {
+            CacheIndex::Flat(EmbeddingIndex::new())
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: u64, e: Embedding) {
+        match self {
+            CacheIndex::Flat(i) => i.insert(key, e),
+            CacheIndex::Ivf(i) => i.insert(key, e),
+        }
+    }
+
+    pub(crate) fn remove(&mut self, key: &u64) -> bool {
+        match self {
+            CacheIndex::Flat(i) => i.remove(key),
+            CacheIndex::Ivf(i) => i.remove(key),
+        }
+    }
+
+    pub(crate) fn nearest(&self, q: &Embedding) -> Option<Neighbor<u64>> {
+        match self {
+            CacheIndex::Flat(i) => i.nearest(q),
+            CacheIndex::Ivf(i) => i.nearest(q),
+        }
+    }
+
+    pub(crate) fn top_k(&self, q: &Embedding, k: usize) -> Vec<Neighbor<u64>> {
+        match self {
+            CacheIndex::Flat(i) => i.top_k(q, k),
+            CacheIndex::Ivf(i) => i.top_k(q, k),
+        }
+    }
+
+    pub(crate) fn storage_bytes(&self) -> usize {
+        match self {
+            CacheIndex::Flat(i) => i.storage_bytes(),
+            CacheIndex::Ivf(i) => i.storage_bytes(),
+        }
+    }
+}
+
+/// Cache maintenance policy (paper §5.4).
+///
+/// The paper adopts FIFO: with DiffusionDB's temporal locality, a sliding
+/// window of recent images captures >90% of hits and avoids the
+/// over-representation bias of utility caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MaintenancePolicy {
+    /// Evict the oldest inserted entry (sliding window). The paper default.
+    #[default]
+    Fifo,
+    /// Evict the least recently *retrieved* entry.
+    Lru,
+    /// Evict the entry with the fewest hits (utility-based, Nirvana-style).
+    Utility,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum number of images retained.
+    pub capacity: usize,
+    /// Eviction policy.
+    pub policy: MaintenancePolicy,
+}
+
+impl CacheConfig {
+    /// FIFO cache with the given capacity (the paper's configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn fifo(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CacheConfig {
+            capacity,
+            policy: MaintenancePolicy::Fifo,
+        }
+    }
+
+    /// Same, with an explicit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_policy(capacity: usize, policy: MaintenancePolicy) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CacheConfig { capacity, policy }
+    }
+}
+
+/// A cache-resident image with its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct CachedImage {
+    /// The stored image.
+    pub image: GeneratedImage,
+    /// When it entered the cache.
+    pub cached_at: SimTime,
+    /// Last retrieval time (LRU bookkeeping).
+    pub last_used: SimTime,
+    /// Number of times it has been retrieved (utility bookkeeping).
+    pub hit_count: u64,
+}
+
+/// A successful retrieval.
+#[derive(Debug, Clone)]
+pub struct RetrievedImage {
+    /// A copy of the cached image.
+    pub image: GeneratedImage,
+    /// Text-to-image similarity between the query and the image, on the
+    /// paper's reporting scale.
+    pub similarity: f64,
+    /// When the image was originally cached.
+    pub cached_at: SimTime,
+}
+
+/// The final-image cache.
+#[derive(Debug, Clone)]
+pub struct ImageCache {
+    config: CacheConfig,
+    entries: HashMap<u64, CachedImage>,
+    index: CacheIndex,
+    fifo: VecDeque<u64>,
+    stats: CacheStats,
+}
+
+impl ImageCache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let index = CacheIndex::for_capacity(config.capacity, modm_embedding::space::DEFAULT_DIM);
+        ImageCache {
+            config,
+            entries: HashMap::new(),
+            index,
+            fifo: VecDeque::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Current number of cached images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Observability counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Total bytes of cached images (1.4 MB each) plus their embeddings.
+    pub fn storage_bytes(&self) -> usize {
+        let images: usize = self.entries.values().map(|e| e.image.storage_bytes()).sum();
+        images + self.index.storage_bytes()
+    }
+
+    fn evict_victim(&mut self) -> Option<u64> {
+        match self.config.policy {
+            MaintenancePolicy::Fifo => self.fifo.pop_front(),
+            MaintenancePolicy::Lru => self
+                .entries
+                .values()
+                .min_by_key(|e| (e.last_used, e.image.id.0))
+                .map(|e| e.image.id.0),
+            MaintenancePolicy::Utility => self
+                .entries
+                .values()
+                .min_by_key(|e| (e.hit_count, e.cached_at, e.image.id.0))
+                .map(|e| e.image.id.0),
+        }
+    }
+
+    /// Inserts an image at time `now`, evicting per policy when full.
+    pub fn insert(&mut self, now: SimTime, image: GeneratedImage) {
+        while self.entries.len() >= self.config.capacity {
+            let Some(victim) = self.evict_victim() else {
+                break;
+            };
+            // Under LRU/Utility the FIFO deque may contain stale ids; keep
+            // it consistent by removing the victim wherever it sits.
+            if self.config.policy != MaintenancePolicy::Fifo {
+                if let Some(pos) = self.fifo.iter().position(|&id| id == victim) {
+                    self.fifo.remove(pos);
+                }
+            }
+            self.entries.remove(&victim);
+            self.index.remove(&victim);
+            self.stats.record_eviction();
+        }
+        let key = image.id.0;
+        self.index.insert(key, image.embedding.clone());
+        self.fifo.push_back(key);
+        self.entries.insert(
+            key,
+            CachedImage {
+                image,
+                cached_at: now,
+                last_used: now,
+                hit_count: 0,
+            },
+        );
+        self.stats.record_insertion();
+    }
+
+    /// Looks up the most similar cached image for a query text embedding,
+    /// returning it only if the text-to-image similarity (paper scale)
+    /// reaches `threshold`. Records hit/miss statistics either way.
+    pub fn retrieve(
+        &mut self,
+        now: SimTime,
+        query: &Embedding,
+        threshold: f64,
+    ) -> Option<RetrievedImage> {
+        let best = self.index.nearest(query);
+        let hit = best.and_then(|n| {
+            let sim = modm_embedding::CLIP_COS_SCALE * n.similarity;
+            (sim >= threshold).then_some((n.key, sim))
+        });
+        match hit {
+            Some((key, sim)) => {
+                let entry = self.entries.get_mut(&key).expect("index/entries in sync");
+                entry.last_used = now;
+                entry.hit_count += 1;
+                let age = now.saturating_since(entry.cached_at);
+                self.stats.record_lookup(Some((age, sim)));
+                Some(RetrievedImage {
+                    image: entry.image.clone(),
+                    similarity: sim,
+                    cached_at: entry.cached_at,
+                })
+            }
+            None => {
+                self.stats.record_lookup(None);
+                None
+            }
+        }
+    }
+
+    /// Like [`ImageCache::retrieve`] but without mutating statistics or
+    /// recency bookkeeping; used by analysis experiments.
+    pub fn peek(&self, query: &Embedding, threshold: f64) -> Option<RetrievedImage> {
+        let n = self.index.nearest(query)?;
+        let sim = modm_embedding::CLIP_COS_SCALE * n.similarity;
+        if sim < threshold {
+            return None;
+        }
+        let entry = self.entries.get(&n.key).expect("index/entries in sync");
+        Some(RetrievedImage {
+            image: entry.image.clone(),
+            similarity: sim,
+            cached_at: entry.cached_at,
+        })
+    }
+
+    /// Iterates over the cached entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &CachedImage> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_diffusion::{ModelId, QualityModel, Sampler};
+    use modm_embedding::{SemanticSpace, TextEncoder};
+    use modm_simkit::SimRng;
+
+    struct Fixture {
+        sampler: Sampler,
+        text: TextEncoder,
+        rng: SimRng,
+    }
+
+    fn fixture() -> Fixture {
+        let space = SemanticSpace::default();
+        Fixture {
+            sampler: Sampler::new(QualityModel::new(space.clone(), 1, 6.29)),
+            text: TextEncoder::new(space),
+            rng: SimRng::seed_from(5),
+        }
+    }
+
+    fn image_for(f: &mut Fixture, prompt: &str) -> GeneratedImage {
+        let e = f.text.encode(prompt);
+        f.sampler.generate(ModelId::Sd35Large, &e, &mut f.rng)
+    }
+
+    #[test]
+    fn same_prompt_hits_unrelated_misses() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::fifo(10));
+        let p = "ancient castle soaring mountains dawn watercolor painting misty golden";
+        cache.insert(SimTime::ZERO, image_for(&mut f, p));
+        let q_same = f.text.encode(p);
+        let q_far = f.text.encode("neon robot dueling metropolis midnight pixel art");
+        let now = SimTime::from_secs_f64(10.0);
+        assert!(cache.retrieve(now, &q_same, 0.25).is_some());
+        assert!(cache.retrieve(now, &q_far, 0.25).is_none());
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_hits_do_not_happen_at_scale() {
+        // The geometry guarantee: thousands of unrelated cached images never
+        // reach the 0.25 threshold for a fresh query.
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::fifo(3_000));
+        for i in 0..2_000 {
+            let p = format!(
+                "{} {} exploring {} dusk pixel art layered",
+                modm_workload_stub::MODS[i % modm_workload_stub::MODS.len()],
+                modm_workload_stub::SUBJ[(i / 7) % modm_workload_stub::SUBJ.len()],
+                modm_workload_stub::PLACES[(i / 3) % modm_workload_stub::PLACES.len()],
+            );
+            cache.insert(SimTime::ZERO, image_for(&mut f, &p));
+        }
+        let q = f.text.encode("crystal leviathan awakening reef noon baroque fresco velvet");
+        let hit = cache.retrieve(SimTime::ZERO, &q, 0.25);
+        assert!(hit.is_none(), "unrelated query must miss");
+    }
+
+    // A tiny local vocabulary so the test doesn't depend on modm-workload
+    // (which would create a dependency cycle).
+    mod modm_workload_stub {
+        pub const MODS: [&str; 4] = ["gilded", "rusted", "frozen", "verdant"];
+        pub const SUBJ: [&str; 5] = ["harbor", "citadel", "falcon", "oracle", "gondola"];
+        pub const PLACES: [&str; 3] = ["steppe", "fjord", "dunes"];
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::fifo(2));
+        let p1 = "emerald wolf wandering tundra dusk charcoal sketch";
+        let p2 = "obsidian temple collapsing desert noon oil painting";
+        let p3 = "radiant mermaid drifting lagoon dawn pastel drawing";
+        cache.insert(SimTime::from_secs_f64(0.0), image_for(&mut f, p1));
+        cache.insert(SimTime::from_secs_f64(1.0), image_for(&mut f, p2));
+        cache.insert(SimTime::from_secs_f64(2.0), image_for(&mut f, p3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions(), 1);
+        // p1 was evicted; p2 and p3 remain.
+        let now = SimTime::from_secs_f64(3.0);
+        assert!(cache.retrieve(now, &f.text.encode(p1), 0.25).is_none());
+        assert!(cache.retrieve(now, &f.text.encode(p2), 0.25).is_some());
+        assert!(cache.retrieve(now, &f.text.encode(p3), 0.25).is_some());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut f = fixture();
+        for policy in [
+            MaintenancePolicy::Fifo,
+            MaintenancePolicy::Lru,
+            MaintenancePolicy::Utility,
+        ] {
+            let mut cache = ImageCache::new(CacheConfig::with_policy(5, policy));
+            for i in 0..20 {
+                let p = format!("prompt variant {i} crystal garden blooming");
+                cache.insert(SimTime::from_secs_f64(i as f64), image_for(&mut f, &p));
+                assert!(cache.len() <= 5, "{policy:?} overflowed");
+            }
+        }
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::with_policy(2, MaintenancePolicy::Lru));
+        let p1 = "spectral archer ascending cliffside twilight noir film";
+        let p2 = "ornate violinist resonating cathedral midnight baroque fresco";
+        cache.insert(SimTime::from_secs_f64(0.0), image_for(&mut f, p1));
+        cache.insert(SimTime::from_secs_f64(1.0), image_for(&mut f, p2));
+        // Touch p1 so p2 becomes the LRU victim.
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(2.0), &f.text.encode(p1), 0.25)
+            .is_some());
+        let p3 = "ivory phoenix erupting volcano sunrise anime keyframe";
+        cache.insert(SimTime::from_secs_f64(3.0), image_for(&mut f, p3));
+        let now = SimTime::from_secs_f64(4.0);
+        assert!(cache.retrieve(now, &f.text.encode(p1), 0.25).is_some());
+        assert!(cache.retrieve(now, &f.text.encode(p2), 0.25).is_none());
+    }
+
+    #[test]
+    fn utility_keeps_popular() {
+        let mut f = fixture();
+        let mut cache =
+            ImageCache::new(CacheConfig::with_policy(2, MaintenancePolicy::Utility));
+        let p1 = "weathered shepherd meditating highlands dawn impressionist canvas";
+        let p2 = "luminous jellyfish orbiting moon eclipse vaporwave aesthetic";
+        cache.insert(SimTime::from_secs_f64(0.0), image_for(&mut f, p1));
+        cache.insert(SimTime::from_secs_f64(1.0), image_for(&mut f, p2));
+        // p1 accumulates hits; p2 has none and should be the victim.
+        for i in 0..3 {
+            let t = SimTime::from_secs_f64(2.0 + i as f64);
+            assert!(cache.retrieve(t, &f.text.encode(p1), 0.25).is_some());
+        }
+        let p3 = "mechanical falcon soaring canyon dusk lowpoly model";
+        cache.insert(SimTime::from_secs_f64(9.0), image_for(&mut f, p3));
+        let now = SimTime::from_secs_f64(10.0);
+        assert!(cache.retrieve(now, &f.text.encode(p1), 0.25).is_some());
+        assert!(cache.retrieve(now, &f.text.encode(p2), 0.25).is_none());
+    }
+
+    #[test]
+    fn hit_age_recorded() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::fifo(4));
+        let p = "delicate orchid blooming garden spring botanical lithograph";
+        cache.insert(SimTime::from_secs_f64(100.0), image_for(&mut f, p));
+        cache.retrieve(SimTime::from_secs_f64(400.0), &f.text.encode(p), 0.2);
+        assert_eq!(cache.stats().hit_ages_secs(), &[300.0]);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::fifo(10));
+        cache.insert(SimTime::ZERO, image_for(&mut f, "amber reef glowing lagoon dusk"));
+        // One image (1.4 MB) plus one 64-d f32 embedding.
+        assert!(cache.storage_bytes() >= 1_400_000);
+        assert!(cache.storage_bytes() < 1_500_000);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::fifo(4));
+        let p = "colossal golem forging citadel solstice cinematic photograph";
+        cache.insert(SimTime::ZERO, image_for(&mut f, p));
+        let q = f.text.encode(p);
+        assert!(cache.peek(&q, 0.2).is_some());
+        assert_eq!(cache.stats().lookups(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Cache observability: hit rates, hit ages and storage accounting.
+
+use modm_simkit::{SimDuration, StreamingStats};
+
+/// Counters every cache variant maintains.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    lookups: u64,
+    hits: u64,
+    insertions: u64,
+    evictions: u64,
+    hit_ages_secs: Vec<f64>,
+    similarity: StreamingStats,
+}
+
+impl CacheStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a lookup outcome; `hit` carries the entry age and similarity.
+    pub fn record_lookup(&mut self, hit: Option<(SimDuration, f64)>) {
+        self.lookups += 1;
+        if let Some((age, sim)) = hit {
+            self.hits += 1;
+            self.hit_ages_secs.push(age.as_secs_f64());
+            self.similarity.record(sim);
+        }
+    }
+
+    /// Records an insertion.
+    pub fn record_insertion(&mut self) {
+        self.insertions += 1;
+    }
+
+    /// Records an eviction.
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Total lookups so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total insertions.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Total evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate in `[0, 1]` (zero before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Ages (seconds between caching and retrieval) of every hit — the
+    /// paper's Fig 15 distribution.
+    pub fn hit_ages_secs(&self) -> &[f64] {
+        &self.hit_ages_secs
+    }
+
+    /// Fraction of hits younger than `secs` (Fig 15's ">90% under 4h").
+    pub fn fraction_of_hits_younger_than(&self, secs: f64) -> f64 {
+        if self.hit_ages_secs.is_empty() {
+            return 0.0;
+        }
+        let young = self.hit_ages_secs.iter().filter(|&&a| a <= secs).count();
+        young as f64 / self.hit_ages_secs.len() as f64
+    }
+
+    /// Similarity statistics over hits.
+    pub fn similarity(&self) -> &StreamingStats {
+        &self.similarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut s = CacheStats::new();
+        s.record_lookup(None);
+        s.record_lookup(Some((SimDuration::from_secs_f64(10.0), 0.28)));
+        s.record_lookup(Some((SimDuration::from_secs_f64(100.0), 0.26)));
+        assert_eq!(s.lookups(), 3);
+        assert_eq!(s.hits(), 2);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_fractions() {
+        let mut s = CacheStats::new();
+        for age in [10.0, 20.0, 1_000.0, 100_000.0] {
+            s.record_lookup(Some((SimDuration::from_secs_f64(age), 0.27)));
+        }
+        assert_eq!(s.fraction_of_hits_younger_than(50.0), 0.5);
+        assert_eq!(s.fraction_of_hits_younger_than(1e6), 1.0);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = CacheStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.fraction_of_hits_younger_than(1.0), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! GPU device kinds and their speed/power characteristics.
+
+use std::fmt;
+
+/// The GPU models used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuKind {
+    /// NVIDIA A40, 48 GB — the 4-GPU server configuration.
+    A40,
+    /// AMD MI210, 64 GB — the 16-node cluster configuration.
+    Mi210,
+}
+
+impl GpuKind {
+    /// Relative denoising speed (A40 = 1.0). The paper's vanilla maximum
+    /// loads (~5 req/min on 4 A40s vs ~10 req/min on 16 MI210s) imply an
+    /// MI210 runs these models at about half the A40 rate.
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            GpuKind::A40 => 1.0,
+            GpuKind::Mi210 => 0.5,
+        }
+    }
+
+    /// Idle board power in watts.
+    pub fn idle_watts(self) -> f64 {
+        match self {
+            GpuKind::A40 => 60.0,
+            GpuKind::Mi210 => 65.0,
+        }
+    }
+
+    /// Device memory in GB.
+    pub fn vram_gb(self) -> f64 {
+        match self {
+            GpuKind::A40 => 48.0,
+            GpuKind::Mi210 => 64.0,
+        }
+    }
+
+    /// Seconds one denoising step of `model` takes on this GPU.
+    pub fn step_secs(self, model: modm_diffusion::ModelId) -> f64 {
+        model.spec().step_secs_a40 / self.speed_factor()
+    }
+
+    /// Profiled steady-state throughput of full generations, in requests
+    /// per minute per GPU — the `P_large` / `P_small` of the paper's
+    /// Algorithm 1.
+    pub fn profiled_throughput_per_min(self, model: modm_diffusion::ModelId) -> f64 {
+        let spec = model.spec();
+        60.0 / (self.step_secs(model) * spec.default_steps as f64)
+    }
+}
+
+impl fmt::Display for GpuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuKind::A40 => write!(f, "NVIDIA A40"),
+            GpuKind::Mi210 => write!(f, "AMD MI210"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_diffusion::ModelId;
+
+    #[test]
+    fn throughput_anchors_match_paper() {
+        // Vanilla SD3.5L: ~1.25 req/min per A40, ~0.625 per MI210.
+        let a40 = GpuKind::A40.profiled_throughput_per_min(ModelId::Sd35Large);
+        let mi = GpuKind::Mi210.profiled_throughput_per_min(ModelId::Sd35Large);
+        assert!((a40 - 1.25).abs() < 0.05, "a40 = {a40}");
+        assert!((mi - 0.625).abs() < 0.03, "mi210 = {mi}");
+        // 16 MI210s saturate at ~10 req/min (Fig 10's vanilla plateau).
+        assert!((16.0 * mi - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn models_fit_in_vram() {
+        for id in ModelId::ALL {
+            assert!(id.spec().vram_gb < GpuKind::A40.vram_gb());
+            assert!(id.spec().vram_gb < GpuKind::Mi210.vram_gb());
+        }
+    }
+
+    #[test]
+    fn step_seconds_scale_with_speed() {
+        let a = GpuKind::A40.step_secs(ModelId::Sdxl);
+        let m = GpuKind::Mi210.step_secs(ModelId::Sdxl);
+        assert!((m / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GpuKind::A40.to_string(), "NVIDIA A40");
+        assert_eq!(GpuKind::Mi210.to_string(), "AMD MI210");
+    }
+}

@@ -1,0 +1,29 @@
+//! GPU cluster model: device kinds, worker state machines, model switching
+//! and energy accounting.
+//!
+//! The paper deploys on two clusters — a server with 4x NVIDIA A40 and a
+//! 16-node cluster of AMD MI210s — and measures energy with Zeus. Here a
+//! [`GpuKind`] carries a relative speed and power model calibrated so the
+//! vanilla SD3.5-Large throughputs match the paper (~1.25 req/min per A40,
+//! ~0.625 req/min per MI210), and a [`Worker`] turns (model, steps) jobs
+//! into busy time, switch latency and joules.
+//!
+//! # Example
+//!
+//! ```
+//! use modm_cluster::{GpuKind, Worker};
+//! use modm_diffusion::ModelId;
+//! use modm_simkit::SimTime;
+//!
+//! let mut w = Worker::new(0, GpuKind::A40, ModelId::Sd35Large);
+//! let done = w.assign(SimTime::ZERO, ModelId::Sd35Large, 50);
+//! assert!((done.as_secs_f64() - 48.0).abs() < 1e-6); // 50 steps x 0.96 s
+//! ```
+
+pub mod energy;
+pub mod gpu;
+pub mod worker;
+
+pub use energy::{ClusterEnergy, EnergyMeter};
+pub use gpu::GpuKind;
+pub use worker::{Worker, WorkerId};

@@ -1,0 +1,200 @@
+//! Worker state machines: one GPU hosting one model at a time.
+//!
+//! "Each GPU (a worker) can only host one model at a time" (paper Eq. 6
+//! context). Workers execute jobs serially; switching the hosted model
+//! costs the incoming model's load time. The global monitor re-plans the
+//! model assignment between jobs — never preempting a running one, as in
+//! the paper's implementation.
+
+use modm_diffusion::ModelId;
+use modm_simkit::{SimDuration, SimTime};
+
+use crate::energy::EnergyMeter;
+use crate::gpu::GpuKind;
+
+/// Identifier of a worker within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub usize);
+
+/// A single-GPU worker.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    id: WorkerId,
+    gpu: GpuKind,
+    model: ModelId,
+    busy_until: SimTime,
+    energy: EnergyMeter,
+    jobs_done: u64,
+    switches: u64,
+}
+
+impl Worker {
+    /// Creates an idle worker hosting `model` (pre-loaded at no cost).
+    pub fn new(id: usize, gpu: GpuKind, model: ModelId) -> Self {
+        Worker {
+            id: WorkerId(id),
+            gpu,
+            model,
+            busy_until: SimTime::ZERO,
+            energy: EnergyMeter::new(),
+            jobs_done: 0,
+            switches: 0,
+        }
+    }
+
+    /// The worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// The GPU kind.
+    pub fn gpu(&self) -> GpuKind {
+        self.gpu
+    }
+
+    /// The currently hosted model.
+    pub fn model(&self) -> ModelId {
+        self.model
+    }
+
+    /// When the current job (if any) completes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// True when the worker can accept a job at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done
+    }
+
+    /// Model switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Energy meter.
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// Duration of `steps` denoising steps of `model` on this GPU.
+    pub fn duration_for(&self, model: ModelId, steps: u32) -> SimDuration {
+        SimDuration::from_secs_f64(self.gpu.step_secs(model) * steps as f64)
+    }
+
+    /// Assigns a job of `steps` denoising steps with `model`, starting at
+    /// `now` (must be idle). Returns the completion time, including the
+    /// model-switch latency when `model` differs from the hosted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is still busy at `now`.
+    pub fn assign(&mut self, now: SimTime, model: ModelId, steps: u32) -> SimTime {
+        assert!(self.is_idle(now), "worker {:?} busy until {}", self.id, self.busy_until);
+        let mut start = now;
+        if model != self.model {
+            let load = SimDuration::from_secs_f64(model.spec().load_secs);
+            // Loading draws roughly idle+ power; fold it into busy energy at
+            // half the model's draw.
+            self.energy.record_busy(load, model.spec().power_watts * 0.5);
+            start += load;
+            self.model = model;
+            self.switches += 1;
+        }
+        let dur = self.duration_for(model, steps);
+        self.energy.record_busy(dur, model.spec().power_watts);
+        self.busy_until = start + dur;
+        self.jobs_done += 1;
+        self.busy_until
+    }
+
+    /// Re-hosts `model` without running a job (monitor-driven pre-switch).
+    /// No-op when already hosting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is busy at `now`.
+    pub fn switch_model(&mut self, now: SimTime, model: ModelId) {
+        assert!(self.is_idle(now), "cannot switch a busy worker");
+        if model == self.model {
+            return;
+        }
+        let load = SimDuration::from_secs_f64(model.spec().load_secs);
+        self.energy.record_busy(load, model.spec().power_watts * 0.5);
+        self.busy_until = now + load;
+        self.model = model;
+        self.switches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_generation_latency_matches_calibration() {
+        let mut w = Worker::new(0, GpuKind::Mi210, ModelId::Sd35Large);
+        let done = w.assign(SimTime::ZERO, ModelId::Sd35Large, 50);
+        assert!((done.as_secs_f64() - 96.0).abs() < 1e-6, "{done}");
+        assert_eq!(w.jobs_done(), 1);
+        assert_eq!(w.switches(), 0);
+    }
+
+    #[test]
+    fn switching_adds_load_latency() {
+        let mut w = Worker::new(0, GpuKind::A40, ModelId::Sd35Large);
+        let done = w.assign(SimTime::ZERO, ModelId::Sdxl, 30);
+        // 15 s load + 30 steps x 0.30 s = 24 s.
+        assert!((done.as_secs_f64() - 24.0).abs() < 1e-6, "{done}");
+        assert_eq!(w.switches(), 1);
+        assert_eq!(w.model(), ModelId::Sdxl);
+        // Second job with the same model: no switch.
+        let done2 = w.assign(done, ModelId::Sdxl, 30);
+        assert!((done2.as_secs_f64() - 33.0).abs() < 1e-6);
+        assert_eq!(w.switches(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn cannot_double_assign() {
+        let mut w = Worker::new(0, GpuKind::A40, ModelId::Sana);
+        w.assign(SimTime::ZERO, ModelId::Sana, 50);
+        w.assign(SimTime::from_secs_f64(1.0), ModelId::Sana, 50);
+    }
+
+    #[test]
+    fn idle_transitions() {
+        let mut w = Worker::new(0, GpuKind::A40, ModelId::Sana);
+        assert!(w.is_idle(SimTime::ZERO));
+        let done = w.assign(SimTime::ZERO, ModelId::Sana, 50);
+        assert!(!w.is_idle(SimTime::from_secs_f64(1.0)));
+        assert!(w.is_idle(done));
+    }
+
+    #[test]
+    fn energy_accumulates_with_jobs() {
+        let mut w = Worker::new(0, GpuKind::A40, ModelId::Sd35Large);
+        let done = w.assign(SimTime::ZERO, ModelId::Sd35Large, 50);
+        // 48 s at 300 W.
+        assert!((w.energy().busy_joules() - 14_400.0).abs() < 1.0);
+        w.assign(done, ModelId::Sd35Large, 50);
+        assert!((w.energy().busy_joules() - 28_800.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn explicit_switch() {
+        let mut w = Worker::new(0, GpuKind::A40, ModelId::Sd35Large);
+        w.switch_model(SimTime::ZERO, ModelId::Sana);
+        assert_eq!(w.model(), ModelId::Sana);
+        assert!(!w.is_idle(SimTime::from_secs_f64(1.0)));
+        // Switching to the same model is free.
+        let t = w.busy_until();
+        w.switch_model(t, ModelId::Sana);
+        assert_eq!(w.busy_until(), t);
+    }
+}

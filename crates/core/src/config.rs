@@ -1,0 +1,240 @@
+//! MoDM system configuration.
+
+use modm_cache::MaintenancePolicy;
+use modm_cluster::GpuKind;
+use modm_diffusion::ModelId;
+use modm_simkit::SimDuration;
+
+/// Which images enter the cache (paper §5.4 / Fig 9's two configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdmissionPolicy {
+    /// Cache every generated image, from both small and large models — the
+    /// paper's final choice ("MoDM cache-all").
+    #[default]
+    CacheAll,
+    /// Cache only full generations by the large model ("MoDM cache-large").
+    CacheLarge,
+}
+
+/// The global monitor's operating mode (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServingMode {
+    /// Maximize throughput: all hits go to the small model.
+    #[default]
+    ThroughputOptimized,
+    /// Meet the request rate while keeping as many large workers as
+    /// possible (hits may be refined by large workers).
+    QualityOptimized,
+}
+
+/// Full configuration of a [`crate::ServingSystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoDMConfig {
+    /// GPU kind of every worker (the paper's clusters are homogeneous).
+    pub gpu: GpuKind,
+    /// Number of GPU workers.
+    pub num_gpus: usize,
+    /// The large (full-quality) model.
+    pub large_model: ModelId,
+    /// Small-model escalation ladder, cheapest-last (Fig 10 switches from
+    /// SDXL to SANA under extreme load).
+    pub small_models: Vec<ModelId>,
+    /// Image-cache capacity.
+    pub cache_capacity: usize,
+    /// Cache eviction policy.
+    pub cache_policy: MaintenancePolicy,
+    /// Cache admission policy.
+    pub admission: AdmissionPolicy,
+    /// Monitor operating mode.
+    pub mode: ServingMode,
+    /// Extra tightening of the hit-threshold ladder (Fig 14's
+    /// "threshold + 0.01" ablation); usually 0.
+    pub threshold_shift: f64,
+    /// Global monitor period.
+    pub monitor_period: SimDuration,
+    /// RNG seed for generation noise.
+    pub seed: u64,
+}
+
+impl MoDMConfig {
+    /// Starts a builder with the paper's defaults: 16x MI210, SD3.5-Large,
+    /// SDXL -> SANA escalation, 10k FIFO cache-all, throughput-optimized.
+    pub fn builder() -> MoDMConfigBuilder {
+        MoDMConfigBuilder::default()
+    }
+
+    /// The cheapest configured small model.
+    pub fn smallest_model(&self) -> ModelId {
+        *self.small_models.last().expect("validated non-empty")
+    }
+}
+
+/// Builder for [`MoDMConfig`].
+#[derive(Debug, Clone)]
+pub struct MoDMConfigBuilder {
+    config: MoDMConfig,
+}
+
+impl Default for MoDMConfigBuilder {
+    fn default() -> Self {
+        MoDMConfigBuilder {
+            config: MoDMConfig {
+                gpu: GpuKind::Mi210,
+                num_gpus: 16,
+                large_model: ModelId::Sd35Large,
+                small_models: vec![ModelId::Sdxl, ModelId::Sana],
+                cache_capacity: 10_000,
+                cache_policy: MaintenancePolicy::Fifo,
+                admission: AdmissionPolicy::CacheAll,
+                mode: ServingMode::ThroughputOptimized,
+                threshold_shift: 0.0,
+                monitor_period: SimDuration::from_secs_f64(60.0),
+                seed: 0xD1FF,
+            },
+        }
+    }
+}
+
+impl MoDMConfigBuilder {
+    /// Sets the GPU kind and count.
+    pub fn gpus(mut self, gpu: GpuKind, n: usize) -> Self {
+        self.config.gpu = gpu;
+        self.config.num_gpus = n;
+        self
+    }
+
+    /// Sets the large model.
+    pub fn large_model(mut self, model: ModelId) -> Self {
+        self.config.large_model = model;
+        self
+    }
+
+    /// Sets the small-model escalation ladder (first entry preferred).
+    pub fn small_models(mut self, models: Vec<ModelId>) -> Self {
+        self.config.small_models = models;
+        self
+    }
+
+    /// Sets a single small model (no escalation).
+    pub fn small_model(self, model: ModelId) -> Self {
+        self.small_models(vec![model])
+    }
+
+    /// Sets the cache capacity.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the cache eviction policy.
+    pub fn cache_policy(mut self, policy: MaintenancePolicy) -> Self {
+        self.config.cache_policy = policy;
+        self
+    }
+
+    /// Sets the cache admission policy.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Sets the serving mode.
+    pub fn mode(mut self, mode: ServingMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Shifts the hit-threshold ladder upward by `delta` (tightening).
+    pub fn threshold_shift(mut self, delta: f64) -> Self {
+        self.config.threshold_shift = delta;
+        self
+    }
+
+    /// Sets the monitor period.
+    pub fn monitor_period(mut self, period: SimDuration) -> Self {
+        self.config.monitor_period = period;
+        self
+    }
+
+    /// Sets the generation-noise seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no GPUs, no small models, a zero cache, a large
+    /// model in the small ladder, or a non-large "large model".
+    pub fn build(self) -> MoDMConfig {
+        let c = &self.config;
+        assert!(c.num_gpus > 0, "need at least one GPU");
+        assert!(!c.small_models.is_empty(), "need at least one small model");
+        assert!(c.cache_capacity > 0, "cache capacity must be positive");
+        assert!(
+            c.large_model.spec().is_large(),
+            "{} is not a large model",
+            c.large_model
+        );
+        assert!(
+            c.small_models.iter().all(|m| *m != c.large_model),
+            "large model cannot also be a small model"
+        );
+        assert!(c.threshold_shift >= 0.0, "threshold shift must be >= 0");
+        assert!(
+            !c.monitor_period.is_zero(),
+            "monitor period must be positive"
+        );
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = MoDMConfig::builder().build();
+        assert_eq!(c.gpu, GpuKind::Mi210);
+        assert_eq!(c.num_gpus, 16);
+        assert_eq!(c.large_model, ModelId::Sd35Large);
+        assert_eq!(c.small_models, vec![ModelId::Sdxl, ModelId::Sana]);
+        assert_eq!(c.cache_capacity, 10_000);
+        assert_eq!(c.mode, ServingMode::ThroughputOptimized);
+        assert_eq!(c.smallest_model(), ModelId::Sana);
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let c = MoDMConfig::builder()
+            .gpus(GpuKind::A40, 4)
+            .large_model(ModelId::Flux)
+            .small_model(ModelId::Sd35Turbo)
+            .cache_capacity(5_000)
+            .admission(AdmissionPolicy::CacheLarge)
+            .mode(ServingMode::QualityOptimized)
+            .threshold_shift(0.01)
+            .seed(7)
+            .build();
+        assert_eq!(c.num_gpus, 4);
+        assert_eq!(c.large_model, ModelId::Flux);
+        assert_eq!(c.small_models, vec![ModelId::Sd35Turbo]);
+        assert_eq!(c.admission, AdmissionPolicy::CacheLarge);
+        assert_eq!(c.mode, ServingMode::QualityOptimized);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a large model")]
+    fn small_model_as_large_rejected() {
+        let _ = MoDMConfig::builder().large_model(ModelId::Sana).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = MoDMConfig::builder().gpus(GpuKind::A40, 0).build();
+    }
+}

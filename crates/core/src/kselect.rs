@@ -1,0 +1,119 @@
+//! The k-decision heuristic of Fig 5b: mapping text-to-image similarity to
+//! the number of skippable denoising steps.
+//!
+//! The thresholds were derived in the paper by requiring the refined image
+//! to retain at least `alpha = 0.95` of full-generation quality (Eq. 5) for
+//! each `k` in the discrete set K = {5, 10, 15, 20, 25, 30}.
+
+/// The cache-hit threshold `tau`: below this text-to-image similarity the
+/// request is a miss (Fig 5b's first rung).
+pub const HIT_THRESHOLD: f64 = 0.25;
+
+/// The paper's quality-retention constraint `alpha` (Eq. 5).
+pub const QUALITY_ALPHA: f64 = 0.95;
+
+/// Outcome of the k-decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KDecision {
+    /// Similarity below `tau`: full generation required.
+    Miss,
+    /// Cache hit: skip `k` denoising steps.
+    Hit {
+        /// Number of steps to skip, from K = {5, 10, 15, 20, 25, 30}.
+        k: u32,
+    },
+}
+
+/// The Fig 5b decision table, verbatim:
+///
+/// ```text
+/// sim >= 0.30 -> k = 30
+/// sim >= 0.29 -> k = 25
+/// sim >= 0.28 -> k = 15
+/// sim >= 0.27 -> k = 10
+/// sim >= 0.25 -> k = 5
+/// otherwise   -> miss
+/// ```
+///
+/// (The paper's listing tests in ascending order with `else if`, which is
+/// equivalent to this descending-threshold form. Note k = 20 is absent from
+/// the paper's table — matching Fig 5b exactly.)
+///
+/// # Example
+///
+/// ```
+/// use modm_core::{k_decision, KDecision};
+/// assert_eq!(k_decision(0.31), KDecision::Hit { k: 30 });
+/// assert_eq!(k_decision(0.26), KDecision::Hit { k: 5 });
+/// assert_eq!(k_decision(0.10), KDecision::Miss);
+/// ```
+pub fn k_decision(similarity: f64) -> KDecision {
+    if similarity >= 0.30 {
+        KDecision::Hit { k: 30 }
+    } else if similarity >= 0.29 {
+        KDecision::Hit { k: 25 }
+    } else if similarity >= 0.28 {
+        KDecision::Hit { k: 15 }
+    } else if similarity >= 0.27 {
+        KDecision::Hit { k: 10 }
+    } else if similarity >= HIT_THRESHOLD {
+        KDecision::Hit { k: 5 }
+    } else {
+        KDecision::Miss
+    }
+}
+
+/// The same ladder with every threshold shifted by `delta` — the Fig 14
+/// "threshold + 0.01" ablation knob.
+pub fn k_decision_shifted(similarity: f64, delta: f64) -> KDecision {
+    k_decision(similarity - delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_diffusion::K_CHOICES;
+
+    #[test]
+    fn table_matches_fig_5b() {
+        assert_eq!(k_decision(0.24), KDecision::Miss);
+        assert_eq!(k_decision(0.25), KDecision::Hit { k: 5 });
+        assert_eq!(k_decision(0.265), KDecision::Hit { k: 5 });
+        assert_eq!(k_decision(0.27), KDecision::Hit { k: 10 });
+        assert_eq!(k_decision(0.28), KDecision::Hit { k: 15 });
+        assert_eq!(k_decision(0.29), KDecision::Hit { k: 25 });
+        assert_eq!(k_decision(0.30), KDecision::Hit { k: 30 });
+        assert_eq!(k_decision(0.99), KDecision::Hit { k: 30 });
+    }
+
+    #[test]
+    fn monotone_in_similarity() {
+        let mut last_k = 0;
+        for i in 0..200 {
+            let s = 0.20 + i as f64 * 0.001;
+            if let KDecision::Hit { k } = k_decision(s) {
+                assert!(k >= last_k, "k must not decrease with similarity");
+                last_k = k;
+            } else {
+                assert_eq!(last_k, 0, "misses only below the ladder");
+            }
+        }
+    }
+
+    #[test]
+    fn k_always_from_discrete_set() {
+        for i in 0..500 {
+            let s = i as f64 * 0.002;
+            if let KDecision::Hit { k } = k_decision(s) {
+                assert!(K_CHOICES.contains(&k), "k = {k} not in K");
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_ladder_tightens() {
+        // +0.01 shift turns a borderline hit into a miss.
+        assert_eq!(k_decision(0.255), KDecision::Hit { k: 5 });
+        assert_eq!(k_decision_shifted(0.255, 0.01), KDecision::Miss);
+    }
+}

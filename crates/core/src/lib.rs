@@ -1,0 +1,48 @@
+//! The MoDM serving system — the paper's primary contribution.
+//!
+//! MoDM serves text-to-image requests with a *mixture of diffusion models*:
+//! a final-image cache turns many requests into cheap refinements that a
+//! small model can run, while cache misses go to a large model for full
+//! generation. The pieces (paper Fig 4):
+//!
+//! * [`scheduler`] — embeds prompts, consults the image cache, picks the
+//!   number of skippable denoising steps `k` (Fig 5b), and routes requests
+//!   into the cache-hit or cache-miss queue.
+//! * [`monitor`] — the Global Monitor: Algorithm 1's quality-optimized and
+//!   throughput-optimized allocations, smoothed by a [`pid`] controller,
+//!   plus the dynamic small-model escalation (SDXL -> SANA) of Fig 10.
+//! * [`system`] — the discrete-event serving loop tying scheduler, monitor,
+//!   GPU workers, cache and metrics together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use modm_core::{MoDMConfig, ServingSystem};
+//! use modm_cluster::GpuKind;
+//! use modm_workload::TraceBuilder;
+//!
+//! let trace = TraceBuilder::diffusion_db(42).requests(60).rate_per_min(12.0).build();
+//! let config = MoDMConfig::builder()
+//!     .gpus(GpuKind::Mi210, 8)
+//!     .cache_capacity(500)
+//!     .build();
+//! let report = ServingSystem::new(config).run(&trace);
+//! assert_eq!(report.completed(), 60);
+//! assert!(report.hit_rate() > 0.0);
+//! ```
+
+pub mod config;
+pub mod kselect;
+pub mod monitor;
+pub mod pid;
+pub mod report;
+pub mod scheduler;
+pub mod system;
+
+pub use config::{AdmissionPolicy, MoDMConfig, MoDMConfigBuilder, ServingMode};
+pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
+pub use monitor::{GlobalMonitor, WindowStats};
+pub use pid::PidController;
+pub use report::ServingReport;
+pub use scheduler::{RequestScheduler, RoutedRequest, RouteKind};
+pub use system::{RunOptions, ServingSystem};

@@ -1,0 +1,313 @@
+//! The Global Monitor: Algorithm 1's allocation planning plus dynamic
+//! small-model escalation.
+//!
+//! Every monitoring period the monitor observes the request rate `R`, cache
+//! hit rate `H_cache` and the refinement-step distribution `P(K = k)`, then
+//! plans how many workers should host the large model. The plan is smoothed
+//! by a PID controller before being applied.
+
+use modm_cluster::GpuKind;
+use modm_diffusion::{ModelId, K_CHOICES, TOTAL_STEPS};
+
+use crate::config::{MoDMConfig, ServingMode};
+use crate::pid::PidController;
+
+/// Workload observations over one monitoring period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Observed request rate, requests per minute (`R`).
+    pub rate_per_min: f64,
+    /// Cache hit rate in the window (`H_cache`).
+    pub hit_rate: f64,
+    /// Fraction of hits assigned each `k` in [`K_CHOICES`] order
+    /// (`P(K = k)`).
+    pub k_rates: [f64; K_CHOICES.len()],
+}
+
+impl WindowStats {
+    /// The refinement workload factor `F = sum_k P(K=k) (1 - k/T)` —
+    /// Algorithm 1 lines 5–6.
+    pub fn refine_factor(&self) -> f64 {
+        self.k_rates
+            .iter()
+            .zip(K_CHOICES)
+            .map(|(rate, k)| rate * (1.0 - k as f64 / TOTAL_STEPS as f64))
+            .sum()
+    }
+
+    /// Cache-miss workload `W_miss = (1 - H) R` (requests/min of full
+    /// generations).
+    pub fn miss_workload(&self) -> f64 {
+        (1.0 - self.hit_rate) * self.rate_per_min
+    }
+
+    /// Cache-hit workload `W_hit = H R F` (large-model-equivalent
+    /// requests/min of refinement work), Eq. 8.
+    pub fn hit_workload(&self) -> f64 {
+        self.hit_rate * self.rate_per_min * self.refine_factor()
+    }
+}
+
+/// The Global Monitor.
+#[derive(Debug, Clone)]
+pub struct GlobalMonitor {
+    mode: ServingMode,
+    gpu: GpuKind,
+    num_gpus: usize,
+    large: ModelId,
+    smalls: Vec<ModelId>,
+    small_idx: usize,
+    pid: PidController,
+    current_num_large: f64,
+}
+
+impl GlobalMonitor {
+    /// Creates a monitor for the given configuration, starting with every
+    /// worker on the large model (cold systems favor quality).
+    pub fn new(config: &MoDMConfig) -> Self {
+        GlobalMonitor {
+            mode: config.mode,
+            gpu: config.gpu,
+            num_gpus: config.num_gpus,
+            large: config.large_model,
+            smalls: config.small_models.clone(),
+            small_idx: 0,
+            pid: PidController::paper_tuned(),
+            current_num_large: config.num_gpus as f64,
+        }
+    }
+
+    /// The currently selected small model.
+    pub fn small_model(&self) -> ModelId {
+        self.smalls[self.small_idx]
+    }
+
+    /// The current (smoothed) number of large workers.
+    pub fn num_large(&self) -> usize {
+        (self.current_num_large.round() as usize).clamp(1, self.num_gpus)
+    }
+
+    /// Profiled full-generation throughput (`P_large`), requests/min/GPU.
+    pub fn p_large(&self) -> f64 {
+        self.gpu.profiled_throughput_per_min(self.large)
+    }
+
+    /// Profiled full-generation throughput of the current small model
+    /// (`P_small`).
+    pub fn p_small(&self) -> f64 {
+        self.gpu.profiled_throughput_per_min(self.small_model())
+    }
+
+    /// The maximum sustainable request rate with small model `m`, given the
+    /// observed hit behaviour: `R_max = N / ((1-H)/P_large + H F / P_m)`.
+    pub fn max_sustainable_rate(&self, stats: &WindowStats, small: ModelId) -> f64 {
+        let p_large = self.p_large();
+        let p_small = self.gpu.profiled_throughput_per_min(small);
+        let per_request_gpu_mins =
+            (1.0 - stats.hit_rate) / p_large + stats.hit_rate * stats.refine_factor() / p_small;
+        if per_request_gpu_mins <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.num_gpus as f64 / per_request_gpu_mins
+    }
+
+    /// Algorithm 1's heuristic target for the number of large workers
+    /// (before PID smoothing).
+    pub fn plan_target(&self, stats: &WindowStats) -> f64 {
+        let n = self.num_gpus as f64;
+        let p_large = self.p_large();
+        let p_small = self.p_small();
+        let miss = stats.miss_workload();
+        let hit = stats.hit_workload();
+        match self.mode {
+            ServingMode::QualityOptimized => {
+                // Lines 10–19: start from the minimum large count that
+                // covers misses, then grow while hit capacity still fits.
+                let mut num_large = (miss / p_large).ceil().max(1.0);
+                while num_large <= n {
+                    let available = num_large * p_large - miss + (n - num_large) * p_small;
+                    if available >= hit && num_large < n {
+                        num_large += 1.0;
+                    } else {
+                        if available < hit {
+                            num_large -= 1.0;
+                        }
+                        break;
+                    }
+                }
+                num_large.clamp(1.0, n)
+            }
+            ServingMode::ThroughputOptimized => {
+                // Lines 21–24: weight hit work by the small/large speed gap
+                // and split proportionally.
+                let hit_weighted = hit * (p_large / p_small);
+                if miss + hit_weighted <= 0.0 {
+                    1.0
+                } else {
+                    (miss / (hit_weighted + miss) * n).clamp(1.0, n)
+                }
+            }
+        }
+    }
+
+    /// One monitoring tick: updates the small-model selection and the
+    /// smoothed large-worker count, returning the desired per-worker model
+    /// assignment (large workers first, as the dispatch prefers).
+    pub fn tick(&mut self, stats: &WindowStats) -> Vec<ModelId> {
+        self.update_small_selection(stats);
+        let target = self.plan_target(stats);
+        let delta = self.pid.compute(target, self.current_num_large);
+        self.current_num_large =
+            (self.current_num_large + delta).clamp(1.0, self.num_gpus as f64);
+        self.assignment()
+    }
+
+    /// The assignment implied by the current state, without re-planning.
+    pub fn assignment(&self) -> Vec<ModelId> {
+        let n_large = self.num_large();
+        let mut out = vec![self.large; n_large];
+        out.extend(std::iter::repeat_n(self.small_model(), self.num_gpus - n_large));
+        out
+    }
+
+    fn update_small_selection(&mut self, stats: &WindowStats) {
+        // Escalate to a cheaper model when demand approaches the ceiling of
+        // the current one; de-escalate (hysteresis) when a pricier small
+        // model regains comfortable headroom. Mirrors Fig 10's SDXL -> SANA
+        // switch past ~22 req/min.
+        let demand = stats.rate_per_min;
+        while self.small_idx + 1 < self.smalls.len() {
+            let r_max = self.max_sustainable_rate(stats, self.smalls[self.small_idx]);
+            if demand > 0.95 * r_max {
+                self.small_idx += 1;
+            } else {
+                break;
+            }
+        }
+        while self.small_idx > 0 {
+            let prev = self.smalls[self.small_idx - 1];
+            let r_max_prev = self.max_sustainable_rate(stats, prev);
+            if demand < 0.80 * r_max_prev {
+                self.small_idx -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MoDMConfig;
+
+    fn stats(rate: f64, hit: f64) -> WindowStats {
+        // Mass on k = 5 and k = 30 halves, F = 0.5*(0.9 + 0.4) = 0.65.
+        let mut k_rates = [0.0; K_CHOICES.len()];
+        k_rates[0] = 0.5;
+        k_rates[5] = 0.5;
+        WindowStats {
+            rate_per_min: rate,
+            hit_rate: hit,
+            k_rates,
+        }
+    }
+
+    fn monitor(mode: ServingMode) -> GlobalMonitor {
+        let config = MoDMConfig::builder().mode(mode).build(); // 16x MI210
+        GlobalMonitor::new(&config)
+    }
+
+    #[test]
+    fn refine_factor_formula() {
+        let s = stats(10.0, 0.8);
+        assert!((s.refine_factor() - 0.65).abs() < 1e-12);
+        assert!((s.miss_workload() - 2.0).abs() < 1e-12);
+        assert!((s.hit_workload() - 10.0 * 0.8 * 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_mode_allocates_all_large_at_low_rate() {
+        let m = monitor(ServingMode::QualityOptimized);
+        // 4 req/min, 75% hits: large capacity 16 x 0.625 = 10/min covers
+        // everything, so quality mode keeps every GPU large.
+        let target = m.plan_target(&stats(4.0, 0.75));
+        assert!((target - 16.0).abs() < 1e-9, "target = {target}");
+    }
+
+    #[test]
+    fn quality_mode_sheds_large_under_load() {
+        let m = monitor(ServingMode::QualityOptimized);
+        let lo = m.plan_target(&stats(8.0, 0.75));
+        let hi = m.plan_target(&stats(22.0, 0.75));
+        assert!(hi < lo, "more load -> fewer large workers: {hi} vs {lo}");
+        // Misses alone need ceil(0.25*22 / 0.625) = 9 large workers.
+        assert!(hi >= 9.0, "misses must still fit: {hi}");
+    }
+
+    #[test]
+    fn throughput_mode_splits_by_workload_ratio() {
+        let m = monitor(ServingMode::ThroughputOptimized);
+        let s = stats(20.0, 0.75);
+        let target = m.plan_target(&s);
+        // W_miss = 5, W_hit = 9.75, weighted by P_large/P_small = 0.3125
+        // (Eq. 11) -> 3.05; share = 5 / 8.05 * 16 ~ 9.9. At that split, miss
+        // capacity (10 x 0.625) and hit capacity (6 x 2/0.65) balance.
+        assert!((8.5..11.0).contains(&target), "target = {target}");
+    }
+
+    #[test]
+    fn escalates_small_model_under_extreme_load() {
+        let mut m = monitor(ServingMode::ThroughputOptimized);
+        assert_eq!(m.small_model(), ModelId::Sdxl);
+        // 26 req/min exceeds what SDXL-based serving can sustain on 16
+        // MI210s (R_max ~ 23-24 with H=0.75, F=0.65).
+        m.tick(&stats(26.0, 0.75));
+        assert_eq!(m.small_model(), ModelId::Sana);
+        // Dropping back well below the SDXL ceiling de-escalates.
+        for _ in 0..3 {
+            m.tick(&stats(8.0, 0.75));
+        }
+        assert_eq!(m.small_model(), ModelId::Sdxl);
+    }
+
+    #[test]
+    fn pid_smooths_allocation_changes() {
+        let mut m = monitor(ServingMode::ThroughputOptimized);
+        let before = m.num_large();
+        m.tick(&stats(20.0, 0.75));
+        let after_one = m.num_large();
+        // One tick moves part of the way from 16 toward ~10.
+        assert!(after_one < before);
+        assert!(after_one > 10, "damped step: {after_one}");
+        for _ in 0..40 {
+            m.tick(&stats(20.0, 0.75));
+        }
+        let settled = m.num_large();
+        assert!((9..=11).contains(&settled), "settled = {settled}");
+    }
+
+    #[test]
+    fn assignment_is_well_formed() {
+        let mut m = monitor(ServingMode::ThroughputOptimized);
+        let assign = m.tick(&stats(20.0, 0.75));
+        assert_eq!(assign.len(), 16);
+        let n_large = assign.iter().filter(|m| m.spec().is_large()).count();
+        assert!(n_large >= 1);
+        assert_eq!(n_large, m.num_large());
+        // Large workers are listed first.
+        assert!(assign[0].spec().is_large());
+    }
+
+    #[test]
+    fn max_sustainable_rate_ordering() {
+        let m = monitor(ServingMode::ThroughputOptimized);
+        let s = stats(10.0, 0.75);
+        let sdxl = m.max_sustainable_rate(&s, ModelId::Sdxl);
+        let sana = m.max_sustainable_rate(&s, ModelId::Sana);
+        assert!(sana > sdxl, "cheaper small model sustains more");
+        // Anchors from DESIGN.md: ~25 for SDXL, ~32 for SANA.
+        assert!((20.0..30.0).contains(&sdxl), "sdxl = {sdxl}");
+        assert!((28.0..40.0).contains(&sana), "sana = {sana}");
+    }
+}

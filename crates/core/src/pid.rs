@@ -1,0 +1,136 @@
+//! The PID controller stabilizing GPU allocation (paper §5.3).
+//!
+//! The global monitor's heuristic allocation reacts instantly to workload
+//! noise; the PID controller (Kp = 0.6, Ki = 0.05, Kd = 0.05 in the paper)
+//! damps those swings so the number of large-model workers changes smoothly.
+
+/// A discrete-time PID controller.
+///
+/// # Example
+///
+/// ```
+/// use modm_core::PidController;
+/// let mut pid = PidController::paper_tuned();
+/// // Target 10, currently 4: the controller asks for a positive step
+/// // smaller than the raw error.
+/// let delta = pid.compute(10.0, 4.0);
+/// assert!(delta > 0.0 && delta < 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PidController {
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    integral: f64,
+    last_error: Option<f64>,
+    /// Anti-windup clamp on the integral term.
+    integral_limit: f64,
+}
+
+impl PidController {
+    /// Creates a controller with explicit gains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gain is negative.
+    pub fn new(kp: f64, ki: f64, kd: f64) -> Self {
+        assert!(kp >= 0.0 && ki >= 0.0 && kd >= 0.0, "gains must be >= 0");
+        PidController {
+            kp,
+            ki,
+            kd,
+            integral: 0.0,
+            last_error: None,
+            integral_limit: 20.0,
+        }
+    }
+
+    /// The gains the paper reports: Kp = 0.6, Ki = 0.05, Kd = 0.05.
+    pub fn paper_tuned() -> Self {
+        Self::new(0.6, 0.05, 0.05)
+    }
+
+    /// One control step: returns the adjustment to apply to `current` to
+    /// move it toward `target`.
+    pub fn compute(&mut self, target: f64, current: f64) -> f64 {
+        let error = target - current;
+        self.integral =
+            (self.integral + error).clamp(-self.integral_limit, self.integral_limit);
+        let derivative = self.last_error.map_or(0.0, |le| error - le);
+        self.last_error = Some(error);
+        self.kp * error + self.ki * self.integral + self.kd * derivative
+    }
+
+    /// Clears accumulated state (integral and derivative history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_target() {
+        let mut pid = PidController::paper_tuned();
+        let mut current = 2.0;
+        for _ in 0..60 {
+            current += pid.compute(12.0, current);
+        }
+        assert!((current - 12.0).abs() < 0.5, "current = {current}");
+    }
+
+    #[test]
+    fn damps_single_step() {
+        let mut pid = PidController::paper_tuned();
+        let delta = pid.compute(16.0, 0.0);
+        // Raw error is 16; a damped controller moves by less.
+        assert!(delta < 16.0, "delta = {delta}");
+        assert!(delta > 5.0, "but still responds: {delta}");
+    }
+
+    #[test]
+    fn no_oscillation_blowup() {
+        let mut pid = PidController::paper_tuned();
+        let mut current = 0.0;
+        let mut max_abs: f64 = 0.0;
+        for step in 0..100 {
+            // Target flips between 4 and 12 every 10 steps.
+            let target = if (step / 10) % 2 == 0 { 4.0 } else { 12.0 };
+            current += pid.compute(target, current);
+            max_abs = max_abs.max(current.abs());
+        }
+        assert!(max_abs < 25.0, "allocation stayed bounded: {max_abs}");
+    }
+
+    #[test]
+    fn integral_windup_clamped() {
+        let mut pid = PidController::new(0.0, 1.0, 0.0);
+        for _ in 0..1_000 {
+            pid.compute(100.0, 0.0);
+        }
+        // Integral clamped at 20 -> output bounded.
+        let out = pid.compute(100.0, 0.0);
+        assert!(out <= 20.0 + 1e-9, "out = {out}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = PidController::paper_tuned();
+        pid.compute(10.0, 0.0);
+        pid.reset();
+        let a = pid.compute(10.0, 0.0);
+        let mut fresh = PidController::paper_tuned();
+        let b = fresh.compute(10.0, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_error_zero_output_steady_state() {
+        let mut pid = PidController::paper_tuned();
+        let out = pid.compute(5.0, 5.0);
+        assert!(out.abs() < 1e-12);
+    }
+}

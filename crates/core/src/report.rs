@@ -1,0 +1,158 @@
+//! The outcome of a serving run: every number the paper's figures need.
+
+use modm_cache::CacheStats;
+use modm_cluster::ClusterEnergy;
+use modm_diffusion::{ModelId, K_CHOICES};
+use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputReport};
+use modm_simkit::SimTime;
+
+/// One observation of the monitor's allocation over time (Fig 10's regime
+/// annotations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocationSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Number of workers hosting the large model.
+    pub num_large: usize,
+    /// The small model selected at that time.
+    pub small_model: ModelId,
+}
+
+/// Everything measured during a [`crate::ServingSystem`] run.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-request end-to-end latencies.
+    pub latency: LatencyReport,
+    /// Completion counts and rates.
+    pub throughput: ThroughputReport,
+    /// Quality metrics over all served images.
+    pub quality: QualityAggregator,
+    /// Cluster energy over the run.
+    pub energy: ClusterEnergy,
+    /// SLO reference for this deployment.
+    pub slo: SloThresholds,
+    /// Cache statistics (hit ages feed Fig 15).
+    pub cache_stats: CacheStats,
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests requiring full generation.
+    pub misses: u64,
+    /// Hits per k value, in [`K_CHOICES`] order.
+    pub k_histogram: [u64; K_CHOICES.len()],
+    /// Monitor allocation over time.
+    pub allocation_series: Vec<AllocationSample>,
+    /// Total model switches across workers.
+    pub model_switches: u64,
+    /// Virtual time of the last completion.
+    pub finished_at: SimTime,
+}
+
+impl ServingReport {
+    /// Total requests served.
+    pub fn completed(&self) -> u64 {
+        self.throughput.completed()
+    }
+
+    /// Cache hit rate over the serving phase.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Sustained throughput in requests/minute.
+    pub fn requests_per_minute(&self) -> f64 {
+        self.throughput.requests_per_minute()
+    }
+
+    /// P99 end-to-end latency in seconds.
+    pub fn p99_secs(&mut self) -> Option<f64> {
+        self.latency.p99_secs()
+    }
+
+    /// SLO violation rate at `multiple` x the large-model latency.
+    pub fn slo_violation_rate(&self, multiple: f64) -> f64 {
+        self.latency.slo_violation_rate(&self.slo, multiple)
+    }
+
+    /// Fraction of hits at each k, in [`K_CHOICES`] order (Fig 9's stacked
+    /// bars).
+    pub fn k_distribution(&self) -> [f64; K_CHOICES.len()] {
+        let total: u64 = self.k_histogram.iter().sum();
+        let mut out = [0.0; K_CHOICES.len()];
+        if total > 0 {
+            for (o, &c) in out.iter_mut().zip(&self.k_histogram) {
+                *o = c as f64 / total as f64;
+            }
+        }
+        out
+    }
+
+    /// Mean denoising steps skipped per hit.
+    pub fn mean_k(&self) -> f64 {
+        let total: u64 = self.k_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .k_histogram
+            .iter()
+            .zip(K_CHOICES)
+            .map(|(&c, k)| c as f64 * k as f64)
+            .sum();
+        weighted / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_cluster::GpuKind;
+
+    fn empty_report() -> ServingReport {
+        ServingReport {
+            latency: LatencyReport::new(),
+            throughput: ThroughputReport::new(),
+            quality: QualityAggregator::new(),
+            energy: ClusterEnergy {
+                total_joules: 0.0,
+                busy_joules: 0.0,
+                utilization: 0.0,
+            },
+            slo: SloThresholds::for_deployment(GpuKind::Mi210, ModelId::Sd35Large),
+            cache_stats: CacheStats::new(),
+            hits: 0,
+            misses: 0,
+            k_histogram: [0; K_CHOICES.len()],
+            allocation_series: Vec::new(),
+            model_switches: 0,
+            finished_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn hit_rate_and_k_stats() {
+        let mut r = empty_report();
+        r.hits = 3;
+        r.misses = 1;
+        r.k_histogram = [1, 0, 0, 0, 0, 2]; // one k=5, two k=30
+        assert_eq!(r.hit_rate(), 0.75);
+        let d = r.k_distribution();
+        assert!((d[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[5] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_k() - (5.0 + 60.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let mut r = empty_report();
+        assert_eq!(r.completed(), 0);
+        assert_eq!(r.hit_rate(), 0.0);
+        assert_eq!(r.mean_k(), 0.0);
+        assert!(r.p99_secs().is_none());
+        assert_eq!(r.slo_violation_rate(2.0), 0.0);
+    }
+}

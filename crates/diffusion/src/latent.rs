@@ -1,0 +1,129 @@
+//! Model-specific intermediate latents — the representation Nirvana caches.
+//!
+//! MoDM's central argument against latent caching (§3.1) is that latents are
+//! (a) larger than final images and (b) incompatible across models. This
+//! module makes both properties concrete: a [`Latent`] records the model it
+//! came from, and resuming denoising from it with an incompatible model is a
+//! type-checked error.
+
+use std::fmt;
+
+use modm_embedding::Embedding;
+
+use crate::model::ModelId;
+
+/// Storage footprint of one cached latent bundle (multiple intermediate
+/// steps), per the paper's §3.1 figure of 2.5 MB for SD3.5-Large.
+pub const LATENT_BYTES: usize = 2_500_000;
+
+/// An intermediate denoising state captured at step `k`, reusable only by
+/// the same model family.
+#[derive(Debug, Clone)]
+pub struct Latent {
+    /// Model that produced this latent.
+    pub model: ModelId,
+    /// Denoising step at which the latent was captured (steps completed).
+    pub step: u32,
+    /// The latent content, represented by the (would-be) final image
+    /// embedding it decodes to.
+    pub embedding: Embedding,
+    /// Fidelity features the final decode would carry.
+    pub features: Vec<f64>,
+    /// The prompt id this latent was generated for.
+    pub prompt_id: u64,
+}
+
+/// Error returned when a latent cannot be consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatentError {
+    /// The consuming model belongs to a different family than the producer.
+    IncompatibleModel {
+        /// Model that produced the latent.
+        produced_by: ModelId,
+        /// Model that attempted to consume it.
+        consumed_by: ModelId,
+    },
+}
+
+impl fmt::Display for LatentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatentError::IncompatibleModel {
+                produced_by,
+                consumed_by,
+            } => write!(
+                f,
+                "latent from {produced_by} cannot be consumed by {consumed_by}: \
+                 latent spaces differ across model families"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LatentError {}
+
+impl Latent {
+    /// Checks that `model` may resume denoising from this latent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatentError::IncompatibleModel`] when the families differ —
+    /// the cross-model restriction that motivates MoDM's image caching.
+    pub fn check_compatible(&self, model: ModelId) -> Result<(), LatentError> {
+        if self.model.spec().family == model.spec().family {
+            Ok(())
+        } else {
+            Err(LatentError::IncompatibleModel {
+                produced_by: self.model,
+                consumed_by: model,
+            })
+        }
+    }
+
+    /// Bytes this latent bundle occupies in a latent cache.
+    pub fn storage_bytes(&self) -> usize {
+        LATENT_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latent(model: ModelId) -> Latent {
+        Latent {
+            model,
+            step: 20,
+            embedding: Embedding::from_vec(vec![1.0, 0.0]),
+            features: vec![0.0; 4],
+            prompt_id: 1,
+        }
+    }
+
+    #[test]
+    fn same_family_compatible() {
+        let l = latent(ModelId::Sd35Large);
+        assert!(l.check_compatible(ModelId::Sdxl).is_ok());
+        assert!(l.check_compatible(ModelId::Sd35Turbo).is_ok());
+    }
+
+    #[test]
+    fn cross_family_rejected() {
+        let l = latent(ModelId::Sd35Large);
+        let err = l.check_compatible(ModelId::Sana).unwrap_err();
+        assert_eq!(
+            err,
+            LatentError::IncompatibleModel {
+                produced_by: ModelId::Sd35Large,
+                consumed_by: ModelId::Sana,
+            }
+        );
+        assert!(err.to_string().contains("cannot be consumed"));
+        assert!(l.check_compatible(ModelId::Flux).is_err());
+    }
+
+    #[test]
+    fn latents_cost_more_than_images() {
+        assert!(latent(ModelId::Sd35Large).storage_bytes() > crate::image::IMAGE_BYTES);
+    }
+}

@@ -1,0 +1,337 @@
+//! The denoising sampler: full generation, cached-image refinement and the
+//! baseline serving paths (latent resume, unrefined serve).
+//!
+//! The sampler produces [`GeneratedImage`] artifacts; it does *not* account
+//! time — the cluster's workers turn `steps_run` into latency via the
+//! per-(model, GPU) cost model, mirroring how the real system's wall-clock
+//! comes from running the steps on a device.
+
+use modm_embedding::{clip_score, Embedding};
+use modm_simkit::SimRng;
+
+use crate::image::{GeneratedImage, ImageId};
+use crate::latent::{Latent, LatentError};
+use crate::model::ModelId;
+use crate::quality::QualityModel;
+use crate::schedule::NoiseSchedule;
+use crate::TOTAL_STEPS;
+
+/// Stateful image factory around a [`QualityModel`].
+///
+/// # Example
+///
+/// ```
+/// use modm_diffusion::{Sampler, QualityModel, ModelId};
+/// use modm_embedding::{SemanticSpace, TextEncoder};
+/// use modm_simkit::SimRng;
+///
+/// let space = SemanticSpace::default();
+/// let sampler = Sampler::new(QualityModel::new(space.clone(), 1, 6.29));
+/// let text = TextEncoder::new(space);
+/// let mut rng = SimRng::seed_from(2);
+/// let img = sampler.generate(ModelId::Sana, &text.encode("tiny robot"), &mut rng);
+/// assert_eq!(img.model, ModelId::Sana);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    quality: QualityModel,
+    next_id: std::cell::Cell<u64>,
+    next_prompt_fallback: std::cell::Cell<u64>,
+}
+
+impl Sampler {
+    /// Creates a sampler over the given quality model.
+    pub fn new(quality: QualityModel) -> Self {
+        Sampler {
+            quality,
+            next_id: std::cell::Cell::new(0),
+            next_prompt_fallback: std::cell::Cell::new(u64::MAX / 2),
+        }
+    }
+
+    /// The underlying quality model.
+    pub fn quality(&self) -> &QualityModel {
+        &self.quality
+    }
+
+    fn fresh_id(&self) -> ImageId {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        ImageId(id)
+    }
+
+    /// Full from-scratch generation (`T` steps, or the model's default for
+    /// distilled variants).
+    pub fn generate(
+        &self,
+        model: ModelId,
+        prompt: &Embedding,
+        rng: &mut SimRng,
+    ) -> GeneratedImage {
+        self.generate_for(model, prompt, self.bump_prompt_fallback(), rng)
+    }
+
+    /// Full generation tagged with an explicit prompt id.
+    pub fn generate_for(
+        &self,
+        model: ModelId,
+        prompt: &Embedding,
+        prompt_id: u64,
+        rng: &mut SimRng,
+    ) -> GeneratedImage {
+        let spec = model.spec();
+        let embedding = self.quality.image_encoder(model).encode(prompt, rng);
+        let features = self.quality.fresh_features(model, rng);
+        self.quality.assemble_image(
+            self.fresh_id(),
+            prompt_id,
+            prompt,
+            embedding,
+            features,
+            model,
+            spec.default_steps,
+            0,
+        )
+    }
+
+    fn bump_prompt_fallback(&self) -> u64 {
+        let id = self.next_prompt_fallback.get();
+        self.next_prompt_fallback.set(id + 1);
+        id
+    }
+
+    /// MoDM's hit path: re-noise the cached image to timestep `k` (Eq. 2)
+    /// and run the remaining `T - k` steps with `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `[0, TOTAL_STEPS]`.
+    pub fn refine(
+        &self,
+        model: ModelId,
+        cached: &GeneratedImage,
+        new_prompt: &Embedding,
+        k: u32,
+        rng: &mut SimRng,
+    ) -> GeneratedImage {
+        self.refine_for(
+            model,
+            cached,
+            new_prompt,
+            self.bump_prompt_fallback(),
+            k,
+            rng,
+        )
+    }
+
+    /// [`Sampler::refine`] with an explicit prompt id.
+    pub fn refine_for(
+        &self,
+        model: ModelId,
+        cached: &GeneratedImage,
+        new_prompt: &Embedding,
+        prompt_id: u64,
+        k: u32,
+        rng: &mut SimRng,
+    ) -> GeneratedImage {
+        assert!(k <= TOTAL_STEPS, "k = {k} exceeds total steps");
+        // Mechanically re-enter the trajectory: the sigma at step k controls
+        // how much of the cached content survives. The quality model's blend
+        // weight (T-k)/T is the behavioral counterpart of this sigma.
+        let schedule = NoiseSchedule::for_model(model);
+        let _sigma = schedule.sigma_at(k, TOTAL_STEPS);
+        let embedding = self
+            .quality
+            .refined_embedding(model, &cached.embedding, new_prompt, k, rng);
+        let features = self
+            .quality
+            .refined_features(model, &cached.features, k, rng);
+        // Distilled models (fewer default steps) run a proportional share of
+        // their own schedule: skipping k of T maps to running
+        // default * (T - k) / T steps.
+        let spec = model.spec();
+        let frac = (TOTAL_STEPS - k) as f64 / TOTAL_STEPS as f64;
+        let steps_run = ((spec.default_steps as f64 * frac).round() as u32).max(1);
+        self.quality.assemble_image(
+            self.fresh_id(),
+            prompt_id,
+            new_prompt,
+            embedding,
+            features,
+            model,
+            steps_run,
+            k,
+        )
+    }
+
+    /// Nirvana's hit path: resume denoising from a cached *latent* at step
+    /// `k`. Only legal within the producing model's family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatentError::IncompatibleModel`] when `model` belongs to a
+    /// different family than the latent's producer.
+    pub fn resume_from_latent(
+        &self,
+        model: ModelId,
+        latent: &Latent,
+        new_prompt: &Embedding,
+        prompt_id: u64,
+        rng: &mut SimRng,
+    ) -> Result<GeneratedImage, LatentError> {
+        latent.check_compatible(model)?;
+        let k = latent.step;
+        let embedding =
+            self.quality
+                .refined_embedding(model, &latent.embedding, new_prompt, k, rng);
+        let features = self
+            .quality
+            .refined_features(model, &latent.features, k, rng);
+        Ok(self.quality.assemble_image(
+            self.fresh_id(),
+            prompt_id,
+            new_prompt,
+            embedding,
+            features,
+            model,
+            TOTAL_STEPS - k,
+            k,
+        ))
+    }
+
+    /// Pinecone's hit path: serve the cached image as-is (no denoising).
+    /// The "generation" costs zero steps; quality is whatever the retrieval
+    /// similarity gives.
+    pub fn serve_unrefined(
+        &self,
+        cached: &GeneratedImage,
+        new_prompt: &Embedding,
+        prompt_id: u64,
+    ) -> GeneratedImage {
+        let features = self.quality.unrefined_features(&cached.features);
+        GeneratedImage {
+            id: self.fresh_id(),
+            prompt_id,
+            embedding: cached.embedding.clone(),
+            features,
+            model: cached.model,
+            steps_run: 0,
+            steps_skipped: TOTAL_STEPS,
+            clip_to_prompt: clip_score(new_prompt, &cached.embedding),
+        }
+    }
+
+    /// Captures the latent of a fresh generation at step `k`, for populating
+    /// Nirvana's latent cache.
+    pub fn capture_latent(&self, image: &GeneratedImage, k: u32) -> Latent {
+        Latent {
+            model: image.model,
+            step: k,
+            embedding: image.embedding.clone(),
+            features: image.features.clone(),
+            prompt_id: image.prompt_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_embedding::{SemanticSpace, TextEncoder};
+
+    fn setup() -> (Sampler, TextEncoder, SimRng) {
+        let space = SemanticSpace::default();
+        let sampler = Sampler::new(QualityModel::new(space.clone(), 11, 6.29));
+        (sampler, TextEncoder::new(space), SimRng::seed_from(42))
+    }
+
+    #[test]
+    fn generate_runs_default_steps() {
+        let (s, t, mut rng) = setup();
+        let p = t.encode("a fox in the snow");
+        let img = s.generate(ModelId::Sd35Large, &p, &mut rng);
+        assert_eq!(img.steps_run, 50);
+        assert_eq!(img.steps_skipped, 0);
+        assert!(img.is_full_generation());
+        let turbo = s.generate(ModelId::Sd35Turbo, &p, &mut rng);
+        assert_eq!(turbo.steps_run, 10);
+    }
+
+    #[test]
+    fn image_ids_unique() {
+        let (s, t, mut rng) = setup();
+        let p = t.encode("two ships at sea");
+        let a = s.generate(ModelId::Sdxl, &p, &mut rng);
+        let b = s.generate(ModelId::Sdxl, &p, &mut rng);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn refine_skips_k_steps() {
+        let (s, t, mut rng) = setup();
+        let p = t.encode("castle gardens in spring");
+        let full = s.generate(ModelId::Sd35Large, &p, &mut rng);
+        let refined = s.refine(ModelId::Sdxl, &full, &p, 25, &mut rng);
+        assert_eq!(refined.steps_run, 25);
+        assert_eq!(refined.steps_skipped, 25);
+        assert_eq!(refined.model, ModelId::Sdxl);
+        assert!(!refined.is_full_generation());
+    }
+
+    #[test]
+    fn refined_clip_close_to_full_for_good_matches() {
+        let (s, t, mut rng) = setup();
+        let p1 = t.encode("a golden retriever puppy in a meadow at sunset");
+        let p2 = t.encode("a golden retriever puppy in a meadow at sunrise");
+        // Average over repetitions: per-image CLIP noise is real (as in the
+        // paper), but refinement should retain ~95%+ of quality.
+        let n = 100;
+        let mut full_sum = 0.0;
+        let mut ref_sum = 0.0;
+        for _ in 0..n {
+            let full = s.generate(ModelId::Sd35Large, &p1, &mut rng);
+            let fresh_for_p2 = s.generate(ModelId::Sd35Large, &p2, &mut rng);
+            let refined = s.refine(ModelId::Sdxl, &full, &p2, 15, &mut rng);
+            full_sum += fresh_for_p2.clip_to_prompt;
+            ref_sum += refined.clip_to_prompt;
+        }
+        let qf = ref_sum / full_sum;
+        assert!(qf > 0.9, "quality factor = {qf}");
+    }
+
+    #[test]
+    fn latent_resume_requires_family_match() {
+        let (s, t, mut rng) = setup();
+        let p = t.encode("a watercolor fish");
+        let full = s.generate(ModelId::Sd35Large, &p, &mut rng);
+        let latent = s.capture_latent(&full, 10);
+        assert!(s
+            .resume_from_latent(ModelId::Sd35Large, &latent, &p, 1, &mut rng)
+            .is_ok());
+        assert!(s
+            .resume_from_latent(ModelId::Sana, &latent, &p, 1, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn unrefined_serve_costs_zero_steps() {
+        let (s, t, mut rng) = setup();
+        let p = t.encode("lonely lighthouse");
+        let full = s.generate(ModelId::Sd35Large, &p, &mut rng);
+        let served = s.serve_unrefined(&full, &p, 7);
+        assert_eq!(served.steps_run, 0);
+        assert_eq!(served.prompt_id, 7);
+        // CLIP of a direct serve equals 100 x retrieval similarity.
+        let sim = modm_embedding::retrieval_similarity(&p, &full.embedding);
+        assert!((served.clip_to_prompt - 100.0 * sim.max(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refine_preserves_prompt_id() {
+        let (s, t, mut rng) = setup();
+        let p = t.encode("street market in the rain");
+        let full = s.generate(ModelId::Sd35Large, &p, &mut rng);
+        let refined = s.refine_for(ModelId::Sana, &full, &p, 99, 10, &mut rng);
+        assert_eq!(refined.prompt_id, 99);
+    }
+}

@@ -1,0 +1,104 @@
+//! CLIPScore and PickScore scalar metrics over the joint space.
+//!
+//! The paper reports CLIPScore both as a raw similarity (Fig 2, ~0.05–0.40)
+//! and on the conventional x100 scale (Tables 2–3, ~26–30). PickScore is a
+//! preference-model score around 19–22.
+//!
+//! # The similarity scale
+//!
+//! Internally our image embeddings are strongly aligned with their prompts
+//! (raw cosine ~0.85–0.92): this keeps retrieval selection noise an order of
+//! magnitude below the threshold ladder spacing, so a 100k-entry cache never
+//! produces spurious matches. Real CLIP similarities live around 0.2–0.35,
+//! so all *reported* similarities are the raw cosine times
+//! [`CLIP_COS_SCALE`] = 0.32 — mapping a perfectly served prompt to ~0.29,
+//! the paper's scale. CLIPScore is then `100 x scaled similarity`.
+
+use crate::space::Embedding;
+
+/// Conversion from internal raw cosine to the paper's CLIP similarity scale.
+pub const CLIP_COS_SCALE: f64 = 0.32;
+
+/// Retrieval similarity on the paper's scale (the Fig 2 x-axis and the
+/// Fig 5b threshold ladder): `CLIP_COS_SCALE x cosine`.
+pub fn retrieval_similarity(query_text: &Embedding, cached_image: &Embedding) -> f64 {
+    CLIP_COS_SCALE * query_text.cosine(cached_image)
+}
+
+/// CLIPScore on the x100 scale used in the paper's quality tables:
+/// `100 x max(similarity, 0)`.
+///
+/// A well-aligned generation (raw cosine ~0.89) scores ~28.5, matching the
+/// SD3.5-Large row of Table 2.
+///
+/// # Example
+///
+/// ```
+/// use modm_embedding::{clip_score, Embedding};
+/// let t = Embedding::from_vec(vec![1.0, 0.0]);
+/// let i = Embedding::from_vec(vec![1.0, 0.0]);
+/// assert!((clip_score(&t, &i) - 32.0).abs() < 1e-9); // perfect alignment
+/// ```
+pub fn clip_score(text: &Embedding, image: &Embedding) -> f64 {
+    100.0 * retrieval_similarity(text, image).max(0.0)
+}
+
+/// PickScore: a human-preference proxy calibrated to the paper's 19–22
+/// range; affine in the scaled similarity with clamping to the plausible
+/// band.
+pub fn pick_score(text: &Embedding, image: &Embedding) -> f64 {
+    let s = retrieval_similarity(text, image).clamp(-1.0, 1.0);
+    // s = 0.22 -> ~19.45, s = 0.28 -> ~20.5 (Fig 2's t2t vs t2i means).
+    let raw = 15.6 + 17.5 * s;
+    raw.clamp(10.0, 26.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: Vec<f64>) -> Embedding {
+        Embedding::from_vec(v)
+    }
+
+    #[test]
+    fn clip_is_nonnegative_and_bounded() {
+        let a = e(vec![1.0, 0.0]);
+        let b = e(vec![-1.0, 0.0]);
+        assert_eq!(clip_score(&a, &b), 0.0);
+        assert!((clip_score(&a, &a) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pick_monotone_in_cosine() {
+        let t = e(vec![1.0, 0.0]);
+        let close = e(vec![0.95, 0.31]);
+        let far = e(vec![0.2, 0.98]);
+        assert!(pick_score(&t, &close) > pick_score(&t, &far));
+    }
+
+    #[test]
+    fn pick_calibration_range() {
+        let t = e(vec![1.0, 0.0]);
+        // Raw cosine 0.875 -> scaled ~0.28 -> pick ~20.5.
+        let img = e(vec![0.875, (1.0f64 - 0.875 * 0.875).sqrt()]);
+        let p = pick_score(&t, &img);
+        assert!((19.5..21.5).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn retrieval_similarity_is_scaled_cosine() {
+        let a = e(vec![1.0, 0.0]);
+        let b = e(vec![1.0, 0.0]);
+        assert!((retrieval_similarity(&a, &b) - CLIP_COS_SCALE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_serve_lands_on_paper_scale() {
+        // An image with raw cosine 0.89 to its prompt reports CLIP ~28.5.
+        let t = e(vec![1.0, 0.0]);
+        let img = e(vec![0.89, (1.0f64 - 0.89 * 0.89).sqrt()]);
+        let c = clip_score(&t, &img);
+        assert!((c - 28.48).abs() < 0.1, "c = {c}");
+    }
+}

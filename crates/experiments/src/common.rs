@@ -1,0 +1,92 @@
+//! Shared builders for the experiment harness.
+
+use modm_baselines::{NirvanaSystem, PineconeSystem, VanillaSystem};
+use modm_cluster::GpuKind;
+use modm_core::report::ServingReport;
+use modm_core::{MoDMConfig, RunOptions, ServingSystem};
+use modm_diffusion::ModelId;
+use modm_workload::{Trace, TraceBuilder};
+
+/// The paper's default cluster for throughput studies: 16x AMD MI210.
+pub const CLUSTER: (GpuKind, usize) = (GpuKind::Mi210, 16);
+
+/// Default cache capacity for throughput experiments (paper: 10k images).
+pub const CACHE: usize = 10_000;
+
+/// Standard throughput-study trace sizes: 3k warm-up + 6k measured (the
+/// paper uses 10k + 10k; ratios are stable at this scale).
+pub const WARMUP: usize = 3_000;
+pub const SERVED: usize = 6_000;
+
+/// Saturated-run options with the standard warm-up.
+pub fn saturated() -> RunOptions {
+    RunOptions {
+        warmup: WARMUP,
+        saturate: true,
+    }
+}
+
+/// The standard DiffusionDB-like trace for throughput studies.
+pub fn db_trace(seed: u64) -> Trace {
+    TraceBuilder::diffusion_db(seed)
+        .requests(WARMUP + SERVED)
+        .rate_per_min(10.0)
+        .build()
+}
+
+/// The standard MJHQ-like trace.
+pub fn mjhq_trace(seed: u64) -> Trace {
+    TraceBuilder::mjhq(seed)
+        .requests(WARMUP + SERVED)
+        .rate_per_min(10.0)
+        .build()
+}
+
+/// Builds a MoDM system in the standard cluster with one small model.
+pub fn modm(large: ModelId, small: ModelId, cache: usize) -> ServingSystem {
+    ServingSystem::new(
+        MoDMConfig::builder()
+            .gpus(CLUSTER.0, CLUSTER.1)
+            .large_model(large)
+            .small_model(small)
+            .cache_capacity(cache)
+            .build(),
+    )
+}
+
+/// Runs the five Fig 7/8 systems on a trace, returning
+/// `(label, report)` pairs with Vanilla first.
+pub fn run_fig7_suite(trace: &Trace, large: ModelId) -> Vec<(String, ServingReport)> {
+    let opts = saturated();
+    let floor = trace.dataset().fid_floor();
+    let (gpu, n) = CLUSTER;
+    let mut out = Vec::new();
+    out.push((
+        "Vanilla".to_string(),
+        VanillaSystem::with_fid_floor(large, gpu, n, floor).run_with(trace, opts),
+    ));
+    out.push((
+        "NIRVANA".to_string(),
+        NirvanaSystem::with_fid_floor(large, gpu, n, CACHE, floor).run_with(trace, opts),
+    ));
+    out.push((
+        "Pinecone".to_string(),
+        PineconeSystem::with_fid_floor(large, gpu, n, CACHE, floor).run_with(trace, opts),
+    ));
+    for small in [ModelId::Sdxl, ModelId::Sana] {
+        let label = format!(
+            "MoDM-{}",
+            if small == ModelId::Sdxl { "SDXL" } else { "SANA" }
+        );
+        out.push((
+            label,
+            modm(large, small, CACHE).run_with(trace, opts),
+        ));
+    }
+    out
+}
+
+/// Pretty-prints a one-line header for an experiment section.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

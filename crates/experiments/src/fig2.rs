@@ -1,0 +1,90 @@
+//! Fig 2: CLIPScore and PickScore distributions of retrievals selected by
+//! text-to-text vs text-to-image similarity.
+//!
+//! Paper result: t2i-selected retrievals score higher on both metrics
+//! (CLIP means 0.28 vs 0.22; Pick means 20.33 vs 19.52). The experiment
+//! builds a cache of generated images with both their image embeddings and
+//! their source-prompt text embeddings, then retrieves for fresh queries by
+//! each criterion and scores the retrieved image against the query text.
+
+use modm_diffusion::{ModelId, QualityModel, Sampler};
+use modm_embedding::{pick_score, retrieval_similarity, Embedding, SemanticSpace, TextEncoder};
+use modm_simkit::{Histogram, SimRng, StreamingStats};
+use modm_workload::TraceBuilder;
+
+use crate::common::banner;
+
+/// Runs the Fig 2 reproduction.
+pub fn run() {
+    banner("Fig 2: retrieval by text-to-text vs text-to-image similarity");
+    let cache_size = 20_000;
+    let queries = 3_000;
+    let trace = TraceBuilder::diffusion_db(21)
+        .requests(cache_size + queries)
+        .rate_per_min(10.0)
+        .build();
+    let space = SemanticSpace::default();
+    let text = TextEncoder::new(space.clone());
+    let sampler = Sampler::new(QualityModel::new(space, 2, 6.29));
+    let mut rng = SimRng::seed_from(22);
+
+    // Cache: image embedding + source text embedding per entry.
+    let mut images: Vec<(Embedding, Embedding)> = Vec::with_capacity(cache_size);
+    for req in trace.iter().take(cache_size) {
+        let t = text.encode(&req.prompt);
+        let img = sampler.generate(ModelId::Sd35Large, &t, &mut rng);
+        images.push((t, img.embedding));
+    }
+
+    let mut t2t_clip = StreamingStats::new();
+    let mut t2i_clip = StreamingStats::new();
+    let mut t2t_pick = StreamingStats::new();
+    let mut t2i_pick = StreamingStats::new();
+    let mut h_t2t = Histogram::new(0.05, 0.40, 24);
+    let mut h_t2i = Histogram::new(0.05, 0.40, 24);
+
+    for req in trace.iter().skip(cache_size) {
+        let q = text.encode(&req.prompt);
+        // Retrieve by text-to-text: best source-prompt match.
+        let best_t2t = images
+            .iter()
+            .max_by(|a, b| {
+                q.cosine(&a.0)
+                    .partial_cmp(&q.cosine(&b.0))
+                    .expect("no NaN")
+            })
+            .expect("cache non-empty");
+        // Retrieve by text-to-image: best image match.
+        let best_t2i = images
+            .iter()
+            .max_by(|a, b| {
+                q.cosine(&a.1)
+                    .partial_cmp(&q.cosine(&b.1))
+                    .expect("no NaN")
+            })
+            .expect("cache non-empty");
+        let s_t2t = retrieval_similarity(&q, &best_t2t.1);
+        let s_t2i = retrieval_similarity(&q, &best_t2i.1);
+        t2t_clip.record(s_t2t);
+        t2i_clip.record(s_t2i);
+        h_t2t.record(s_t2t);
+        h_t2i.record(s_t2i);
+        t2t_pick.record(pick_score(&q, &best_t2t.1));
+        t2i_pick.record(pick_score(&q, &best_t2i.1));
+    }
+
+    println!("retrieved-image CLIP similarity (paper: t2t mean 0.22, t2i mean 0.28):");
+    println!("  text-to-text : mean = {:.3}", t2t_clip.mean());
+    println!("  text-to-image: mean = {:.3}", t2i_clip.mean());
+    println!("retrieved-image PickScore (paper: t2t 19.52, t2i 20.33):");
+    println!("  text-to-text : mean = {:.2}", t2t_pick.mean());
+    println!("  text-to-image: mean = {:.2}", t2i_pick.mean());
+    println!("\nnormalized CLIP-similarity histogram (bucket mid: t2t | t2i):");
+    let nt = h_t2t.normalized();
+    let ni = h_t2i.normalized();
+    for (i, (a, b)) in nt.iter().zip(&ni).enumerate() {
+        if *a > 0.002 || *b > 0.002 {
+            println!("  {:>5.3}: {:>6.3} | {:>6.3}", h_t2t.bucket_mid(i), a, b);
+        }
+    }
+}

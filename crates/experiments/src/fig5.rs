@@ -1,0 +1,98 @@
+//! Fig 5a/5b: quality factor vs text-image similarity across k, and the
+//! resulting k-decision thresholds.
+//!
+//! For each k in K = {5,...,30} the quality factor of a refinement relative
+//! to a from-scratch large-model generation is measured by Monte Carlo over
+//! cached images binned by retrieval similarity, alongside the closed-form
+//! expectation. The similarity at which each curve crosses alpha = 0.95 is
+//! the cache-hit threshold for that k (paper Fig 5b).
+
+use modm_core::kselect::QUALITY_ALPHA;
+use modm_core::{k_decision, KDecision};
+use modm_diffusion::{ModelId, QualityModel, Sampler, K_CHOICES};
+use modm_embedding::{SemanticSpace, TextEncoder};
+use modm_simkit::SimRng;
+use modm_workload::TraceBuilder;
+
+use crate::common::banner;
+
+/// Runs the Fig 5 reproduction.
+pub fn run() {
+    banner("Fig 5a: quality factor vs text-image similarity per k");
+    let space = SemanticSpace::default();
+    let text = TextEncoder::new(space.clone());
+    let quality = QualityModel::new(space.clone(), 3, 6.29);
+    let sampler = Sampler::new(quality);
+    let mut rng = SimRng::seed_from(33);
+
+    // Generate cached images and fresh queries from a DiffusionDB-like
+    // stream; measure refined CLIP / fresh CLIP per (similarity bin, k).
+    let trace = TraceBuilder::diffusion_db(31).requests(4_000).rate_per_min(10.0).build();
+    let reqs = trace.requests();
+    let large = ModelId::Sd35Large;
+    let small = ModelId::Sdxl;
+    let fresh_clip = 100.0 * QualityModel::mean_alignment_cosine(large);
+
+    const BINS: usize = 8;
+    let lo = 0.20;
+    let hi = 0.34;
+    let mut sums = vec![[0.0f64; BINS]; K_CHOICES.len()];
+    let mut counts = vec![[0u64; BINS]; K_CHOICES.len()];
+    for pair in reqs.chunks(2) {
+        if pair.len() < 2 {
+            continue;
+        }
+        let t_old = text.encode(&pair[0].prompt);
+        let t_new = text.encode(&pair[1].prompt);
+        let cached = sampler.generate(large, &t_old, &mut rng);
+        let sim = modm_embedding::retrieval_similarity(&t_new, &cached.embedding);
+        if !(lo..hi).contains(&sim) {
+            continue;
+        }
+        let bin = ((sim - lo) / (hi - lo) * BINS as f64) as usize;
+        for (ki, &k) in K_CHOICES.iter().enumerate() {
+            let refined = sampler.refine(small, &cached, &t_new, k, &mut rng);
+            sums[ki][bin] += refined.clip_to_prompt / fresh_clip;
+            counts[ki][bin] += 1;
+        }
+    }
+
+    println!("quality factor by similarity bin (measured | expected), alpha = {QUALITY_ALPHA}:");
+    print!("{:>10}", "sim");
+    for &k in &K_CHOICES {
+        print!("  {:>13}", format!("k={k}"));
+    }
+    println!();
+    for b in 0..BINS {
+        let mid = lo + (hi - lo) * (b as f64 + 0.5) / BINS as f64;
+        print!("{mid:>10.3}");
+        for (ki, &k) in K_CHOICES.iter().enumerate() {
+            let measured = if counts[ki][b] > 0 {
+                sums[ki][b] / counts[ki][b] as f64
+            } else {
+                f64::NAN
+            };
+            let expected = QualityModel::expected_quality_factor(small, large, mid, k);
+            print!("  {measured:>6.3}/{expected:>6.3}");
+        }
+        println!();
+    }
+
+    println!("\nsimilarity where each k reaches the 0.95 quality constraint:");
+    for &k in &K_CHOICES {
+        // Invert the closed form: qf(s, k) = 0.95.
+        let w = QualityModel::fresh_weight(k);
+        let c_small = QualityModel::mean_alignment_cosine(small);
+        let c_large = QualityModel::mean_alignment_cosine(large);
+        let s = (QUALITY_ALPHA * c_large - w * c_small) / (1.0 - w);
+        println!("  k = {k:>2}: s* = {s:.3}");
+    }
+
+    banner("Fig 5b: the deployed k-decision ladder");
+    for s in [0.24, 0.25, 0.26, 0.27, 0.28, 0.29, 0.30, 0.32] {
+        match k_decision(s) {
+            KDecision::Hit { k } => println!("  sim {s:.2} -> k = {k}"),
+            KDecision::Miss => println!("  sim {s:.2} -> miss"),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the MoDM
+//! paper's evaluation (§6–§7 and appendix).
+//!
+//! Each module reproduces one artifact and prints the same rows/series the
+//! paper reports. Run them through the `repro` binary:
+//!
+//! ```text
+//! cargo run -p modm-experiments --release -- fig7
+//! cargo run -p modm-experiments --release -- all
+//! ```
+//!
+//! Scales are reduced relative to the paper (e.g. Fig 6 replays 300k
+//! requests instead of 2M) so the full suite completes in minutes; the
+//! mapping is documented per module and in `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod common;
+pub mod fig11;
+pub mod fig14;
+pub mod fig15;
+pub mod fig18;
+pub mod fig2;
+pub mod fig20;
+pub mod fig5;
+pub mod fig6;
+pub mod fig9;
+pub mod quality_tables;
+pub mod retrieval_perf;
+pub mod slo;
+pub mod throughput;

@@ -1,0 +1,99 @@
+//! `repro`: regenerate any table or figure of the MoDM paper.
+//!
+//! ```text
+//! repro <experiment> [<experiment> ...]
+//! repro all
+//! ```
+
+use modm_experiments as exp;
+
+const HELP: &str = "\
+repro — regenerate the MoDM paper's tables and figures
+
+USAGE: repro <experiment> [...]   (or: repro all)
+
+EXPERIMENTS
+  fig2        CLIP/Pick distributions: t2t vs t2i retrieval
+  fig5        quality factor vs similarity per k; k-decision ladder
+  fig6        hit rate over the DiffusionDB replay (cache 10k vs 100k)
+  fig7        normalized max throughput, SD3.5L vanilla (both datasets)
+  fig8        normalized max throughput, FLUX vanilla
+  fig9        hit rates + k distributions vs Nirvana (DiffusionDB)
+  fig10       throughput under a 6->26 req/min ramp (SDXL -> SANA switch)
+  fig11       scalability with GPU count (super-linear)
+  fig12       SLO violation rate at 2x large-model latency
+  fig13       SLO violation rate at 4x large-model latency
+  fig14       FID vs 1/throughput trade-off space (FLUX)
+  fig15       temporal locality of cache hits (>90% under 4h)
+  fig16       P99 tail latency across request rates
+  fig17       throughput under fluctuating request rates
+  fig18       energy savings vs vanilla
+  fig19       MJHQ hit rates (cache 1k / 10k)
+  fig20       qualitative gallery as quality-score table
+  table2      image quality, SD3.5L vanilla (DiffusionDB + MJHQ)
+  table3      image quality, FLUX vanilla (DiffusionDB)
+  a6          ablation: caching small-model images
+  retrieval   cache retrieval latency and storage (sec 5.2)
+  maintenance ablation: FIFO vs LRU vs utility cache maintenance
+  modes       ablation: quality- vs throughput-optimized allocation
+  all         everything above";
+
+fn run_one(name: &str) -> bool {
+    match name {
+        "fig2" => exp::fig2::run(),
+        "fig5" => exp::fig5::run(),
+        "fig6" => exp::fig6::run(),
+        "fig7" => exp::throughput::run_fig7(),
+        "fig8" => exp::throughput::run_fig8(),
+        "fig9" => exp::fig9::run(),
+        "fig10" => exp::throughput::run_fig10(),
+        "fig11" => exp::fig11::run(),
+        "fig12" => exp::slo::run_fig12(),
+        "fig13" => exp::slo::run_fig13(),
+        "fig14" => exp::fig14::run(),
+        "fig15" => exp::fig15::run(),
+        "fig16" => exp::slo::run_fig16(),
+        "fig17" => exp::throughput::run_fig17(),
+        "fig18" => exp::fig18::run(),
+        "fig19" => exp::quality_tables::run_fig19(),
+        "fig20" => exp::fig20::run(),
+        "table2" => exp::quality_tables::run_table2(),
+        "table3" => exp::quality_tables::run_table3(),
+        "a6" => exp::quality_tables::run_a6(),
+        "retrieval" => exp::retrieval_perf::run(),
+        "maintenance" => exp::ablations::run_maintenance(),
+        "modes" => exp::ablations::run_modes(),
+        _ => return false,
+    }
+    true
+}
+
+const ALL: [&str; 23] = [
+    "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table2", "table3",
+    "a6", "retrieval", "maintenance", "modes",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    let mut targets: Vec<&str> = Vec::new();
+    for a in &args {
+        if a == "all" {
+            targets.extend(ALL);
+        } else {
+            targets.push(a);
+        }
+    }
+    for t in targets {
+        let started = std::time::Instant::now();
+        if !run_one(t) {
+            eprintln!("unknown experiment: {t}\n\n{HELP}");
+            std::process::exit(2);
+        }
+        println!("[{t} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}

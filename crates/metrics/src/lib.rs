@@ -1,0 +1,38 @@
+//! Quality and performance metrics for diffusion serving.
+//!
+//! Implements the four image-quality metrics of the paper's evaluation —
+//! CLIPScore, FID (exact Fréchet distance over fidelity features),
+//! Inception Score (entropy of projected class predictions) and PickScore —
+//! plus the serving-side metrics: latency percentiles, SLO violation rates
+//! and throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use modm_metrics::QualityAggregator;
+//! use modm_diffusion::{Sampler, QualityModel, ModelId};
+//! use modm_embedding::{SemanticSpace, TextEncoder};
+//! use modm_simkit::SimRng;
+//!
+//! let space = SemanticSpace::default();
+//! let sampler = Sampler::new(QualityModel::new(space.clone(), 1, 6.29));
+//! let text = TextEncoder::new(space);
+//! let mut rng = SimRng::seed_from(1);
+//! let mut agg = QualityAggregator::new();
+//! for i in 0..64 {
+//!     let p = text.encode(&format!("scene number {i} gilded harbor dawn"));
+//!     let img = sampler.generate(ModelId::Sd35Large, &p, &mut rng);
+//!     agg.record(&p, &img);
+//! }
+//! assert!(agg.mean_clip() > 20.0);
+//! ```
+
+pub mod inception;
+pub mod latency;
+pub mod quality;
+pub mod throughput;
+
+pub use inception::InceptionScorer;
+pub use latency::{LatencyReport, SloThresholds};
+pub use quality::{QualityAggregator, QualityRow};
+pub use throughput::ThroughputReport;

@@ -1,0 +1,178 @@
+//! The Fréchet distance between two Gaussians — the core of the FID metric.
+//!
+//! `d^2 = ||mu1 - mu2||^2 + Tr(C1 + C2 - 2 (C1 C2)^{1/2})`
+//!
+//! The cross term requires the matrix square root of `C1 * C2`, which is not
+//! symmetric in general; we use the standard trick of computing
+//! `sqrt(sqrt(C1) C2 sqrt(C1))`, which is symmetric PSD and has the same
+//! trace.
+
+use std::fmt;
+
+use crate::gaussian::GaussianStats;
+use crate::matrix::EigenError;
+use crate::vector::squared_distance;
+
+/// Errors from [`frechet_distance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrechetError {
+    /// One of the inputs had fewer than two samples.
+    InsufficientSamples,
+    /// The inputs have different dimensions.
+    DimensionMismatch,
+    /// A numerical failure in the eigendecomposition.
+    Numerical(EigenError),
+}
+
+impl fmt::Display for FrechetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrechetError::InsufficientSamples => {
+                write!(f, "need at least two samples on each side")
+            }
+            FrechetError::DimensionMismatch => write!(f, "inputs have different dimensions"),
+            FrechetError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrechetError {}
+
+impl From<EigenError> for FrechetError {
+    fn from(e: EigenError) -> Self {
+        FrechetError::Numerical(e)
+    }
+}
+
+/// Computes the Fréchet distance between the Gaussians summarized by `a`
+/// and `b` (this is the FID when the features come from an Inception-style
+/// encoder).
+///
+/// # Errors
+///
+/// Returns an error if either side has fewer than two samples, the dimensions
+/// differ, or the covariance square root fails numerically.
+///
+/// # Example
+///
+/// ```
+/// use modm_numerics::{GaussianStats, frechet_distance};
+/// let mut a = GaussianStats::new(2);
+/// let mut b = GaussianStats::new(2);
+/// for i in 0..100 {
+///     let t = i as f64 * 0.1;
+///     a.record(&[t.sin(), t.cos()]);
+///     b.record(&[t.sin(), t.cos()]);
+/// }
+/// let d = frechet_distance(&a, &b)?;
+/// assert!(d.abs() < 1e-9, "identical distributions have FID 0");
+/// # Ok::<(), modm_numerics::frechet::FrechetError>(())
+/// ```
+pub fn frechet_distance(a: &GaussianStats, b: &GaussianStats) -> Result<f64, FrechetError> {
+    if a.dim() != b.dim() {
+        return Err(FrechetError::DimensionMismatch);
+    }
+    let ca = a.covariance().ok_or(FrechetError::InsufficientSamples)?;
+    let cb = b.covariance().ok_or(FrechetError::InsufficientSamples)?;
+    let mean_term = squared_distance(a.mean(), b.mean());
+
+    let sqrt_ca = ca.sqrt_psd()?;
+    let inner = sqrt_ca.mul(&cb).mul(&sqrt_ca);
+    // `inner` is symmetric PSD up to floating-point noise; symmetrize before
+    // taking the square root.
+    let inner_sym = inner.add(&inner.transpose()).scaled(0.5);
+    let cross = inner_sym.sqrt_psd()?;
+
+    let cov_term = ca.trace() + cb.trace() - 2.0 * cross.trace();
+    // Clamp tiny negative values from numerical noise; FID is non-negative.
+    Ok((mean_term + cov_term).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_from(samples: &[Vec<f64>]) -> GaussianStats {
+        let mut g = GaussianStats::new(samples[0].len());
+        for s in samples {
+            g.record(s);
+        }
+        g
+    }
+
+    /// Deterministic pseudo-random stream for test data.
+    fn lcg_stream(seed: u64, n: usize, dim: usize) -> Vec<Vec<f64>> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        (0..n)
+            .map(|_| (0..dim).map(|_| next() * 2.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn identical_distributions_give_zero() {
+        let xs = lcg_stream(1, 500, 4);
+        let a = stats_from(&xs);
+        let b = stats_from(&xs);
+        let d = frechet_distance(&a, &b).unwrap();
+        assert!(d < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn mean_shift_equals_squared_distance() {
+        let xs = lcg_stream(2, 2_000, 3);
+        let shifted: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|v| vec![v[0] + 1.0, v[1], v[2]])
+            .collect();
+        let a = stats_from(&xs);
+        let b = stats_from(&shifted);
+        let d = frechet_distance(&a, &b).unwrap();
+        // Covariances are identical, so FID = ||shift||^2 = 1.
+        assert!((d - 1.0).abs() < 1e-6, "d = {d}");
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = stats_from(&lcg_stream(3, 800, 4));
+        let b = stats_from(&lcg_stream(4, 800, 4));
+        let d1 = frechet_distance(&a, &b).unwrap();
+        let d2 = frechet_distance(&b, &a).unwrap();
+        assert!((d1 - d2).abs() < 1e-8);
+        assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn wider_distribution_increases_distance() {
+        let xs = lcg_stream(5, 2_000, 2);
+        let wide: Vec<Vec<f64>> = xs.iter().map(|v| vec![v[0] * 3.0, v[1] * 3.0]).collect();
+        let a = stats_from(&xs);
+        let b = stats_from(&wide);
+        let d = frechet_distance(&a, &b).unwrap();
+        assert!(d > 0.1, "scaling variance should move FID: {d}");
+    }
+
+    #[test]
+    fn errors_on_insufficient_samples() {
+        let mut a = GaussianStats::new(2);
+        a.record(&[0.0, 0.0]);
+        let b = stats_from(&lcg_stream(6, 10, 2));
+        assert_eq!(
+            frechet_distance(&a, &b).err(),
+            Some(FrechetError::InsufficientSamples)
+        );
+    }
+
+    #[test]
+    fn errors_on_dimension_mismatch() {
+        let a = stats_from(&lcg_stream(7, 10, 2));
+        let b = stats_from(&lcg_stream(8, 10, 3));
+        assert_eq!(
+            frechet_distance(&a, &b).err(),
+            Some(FrechetError::DimensionMismatch)
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Running multivariate Gaussian moment estimation.
+//!
+//! FID models each image set as a Gaussian over feature vectors;
+//! [`GaussianStats`] accumulates the sample mean and covariance of a feature
+//! stream without retaining the samples.
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::matrix::Matrix;
+
+/// Streaming estimator of the mean vector and covariance matrix of a
+/// multivariate sample.
+///
+/// # Example
+///
+/// ```
+/// use modm_numerics::GaussianStats;
+/// let mut g = GaussianStats::new(2);
+/// g.record(&[0.0, 0.0]);
+/// g.record(&[2.0, 2.0]);
+/// assert_eq!(g.mean(), &[1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianStats {
+    dim: usize,
+    count: u64,
+    mean: Vec<f64>,
+    /// Upper-triangular co-moment accumulator (row-major full matrix for
+    /// simplicity; dim is small).
+    comoment: Vec<f64>,
+}
+
+impl GaussianStats {
+    /// Creates an estimator for `dim`-dimensional samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        GaussianStats {
+            dim,
+            count: 0,
+            mean: vec![0.0; dim],
+            comoment: vec![0.0; dim * dim],
+        }
+    }
+
+    /// The sample dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one sample (Welford's online update generalized to covariance).
+    ///
+    /// Indexing loops are deliberate here: `i`/`j` address three arrays at
+    /// once in the co-moment update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn record(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.dim, "dimension mismatch");
+        self.count += 1;
+        let n = self.count as f64;
+        let mut delta = vec![0.0; self.dim];
+        for i in 0..self.dim {
+            delta[i] = x[i] - self.mean[i];
+            self.mean[i] += delta[i] / n;
+        }
+        for i in 0..self.dim {
+            let d2_i = x[i] - self.mean[i];
+            for j in 0..self.dim {
+                self.comoment[i * self.dim + j] += delta[j] * d2_i;
+            }
+        }
+    }
+
+    /// The sample mean.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The sample covariance matrix with Bessel's correction; `None` with
+    /// fewer than two samples.
+    pub fn covariance(&self) -> Option<Matrix> {
+        if self.count < 2 {
+            return None;
+        }
+        let scale = 1.0 / (self.count - 1) as f64;
+        let mut m = Matrix::zeros(self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                // Symmetrize to guard against accumulation asymmetry.
+                let v = 0.5 * (self.comoment[i * self.dim + j] + self.comoment[j * self.dim + i]);
+                m.set(i, j, v * scale);
+            }
+        }
+        Some(m)
+    }
+
+    /// Merges another estimator over the same dimension (Chan's method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &GaussianStats) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta: Vec<f64> = (0..self.dim)
+            .map(|i| other.mean[i] - self.mean[i])
+            .collect();
+        for i in 0..self.dim {
+            self.mean[i] += delta[i] * n2 / total;
+        }
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                self.comoment[i * self.dim + j] +=
+                    other.comoment[i * self.dim + j] + delta[i] * delta[j] * n1 * n2 / total;
+            }
+        }
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_covariance_of_known_sample() {
+        let mut g = GaussianStats::new(2);
+        // Perfectly correlated sample.
+        for i in 0..10 {
+            let x = i as f64;
+            g.record(&[x, 2.0 * x]);
+        }
+        assert!((g.mean()[0] - 4.5).abs() < 1e-12);
+        assert!((g.mean()[1] - 9.0).abs() < 1e-12);
+        let c = g.covariance().unwrap();
+        // Var(x) over 0..9 with Bessel = 55/6.
+        let var_x = 55.0 / 6.0;
+        assert!((c.get(0, 0) - var_x).abs() < 1e-9);
+        assert!((c.get(1, 1) - 4.0 * var_x).abs() < 1e-9);
+        assert!((c.get(0, 1) - 2.0 * var_x).abs() < 1e-9);
+        assert!(c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn covariance_none_until_two_samples() {
+        let mut g = GaussianStats::new(3);
+        assert!(g.covariance().is_none());
+        g.record(&[1.0, 2.0, 3.0]);
+        assert!(g.covariance().is_none());
+        g.record(&[2.0, 3.0, 4.0]);
+        assert!(g.covariance().is_some());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<[f64; 2]> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                [t.sin(), t.cos() * 2.0]
+            })
+            .collect();
+        let mut whole = GaussianStats::new(2);
+        for x in &xs {
+            whole.record(x);
+        }
+        let mut a = GaussianStats::new(2);
+        let mut b = GaussianStats::new(2);
+        for x in &xs[..17] {
+            a.record(x);
+        }
+        for x in &xs[17..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for i in 0..2 {
+            assert!((a.mean()[i] - whole.mean()[i]).abs() < 1e-9);
+        }
+        let ca = a.covariance().unwrap();
+        let cw = whole.covariance().unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((ca.get(i, j) - cw.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn record_rejects_wrong_dim() {
+        let mut g = GaussianStats::new(2);
+        g.record(&[1.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Time-ordered event queue.
+//!
+//! The queue is a binary heap keyed by `(SimTime, sequence)`. The sequence
+//! number breaks ties in insertion order, which keeps simulations
+//! deterministic when several events fire at the same instant (e.g. a request
+//! arrival and a worker completion in the same microsecond).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Example
+///
+/// ```
+/// use modm_simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(20), "b");
+/// q.schedule(SimTime::from_micros(10), "a");
+/// q.schedule(SimTime::from_micros(10), "a2"); // same time: FIFO among ties
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!["a", "a2", "b"]);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// Scheduling in the past (before the last popped event) is allowed but
+    /// the event fires "now" from the consumer's perspective; the simulation
+    /// clock never runs backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, with the (monotonic) time at
+    /// which it fires.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        // Clamp so consumers observe a monotone clock even if someone
+        // scheduled into the past.
+        let at = entry.at.max(self.last_popped);
+        self.last_popped = at;
+        Some((at, entry.event))
+    }
+
+    /// The firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at.max(self.last_popped))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (t, v) in [(5u64, 'e'), (1, 'a'), (3, 'c'), (2, 'b'), (4, 'd')] {
+            q.schedule(SimTime::from_micros(t), v);
+        }
+        let out: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "first");
+        let (t1, _) = q.pop().unwrap();
+        q.schedule(SimTime::from_micros(5), "late-scheduled");
+        let (t2, _) = q.pop().unwrap();
+        assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(42)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(42));
+        assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Seeded random sampling for the simulation.
+//!
+//! Only `rand` is on the approved offline dependency list, so the
+//! distribution samplers (`normal`, `exponential`, `poisson`, `zipf`) are
+//! implemented here instead of pulling in `rand_distr`. All samplers are
+//! exercised against their analytic moments in the unit tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random source with the distribution samplers the simulation needs.
+///
+/// # Example
+///
+/// ```
+/// use modm_simkit::SimRng;
+/// let mut rng = SimRng::seed_from(42);
+/// let dt = rng.exponential(0.5); // inter-arrival at rate 0.5/s
+/// assert!(dt >= 0.0);
+/// ```
+pub struct SimRng {
+    inner: StdRng,
+    /// Spare value from the Box–Muller pair, if one is buffered.
+    gauss_spare: Option<f64>,
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator. Used to give each subsystem
+    /// (arrivals, quality noise, …) its own stream so adding draws in one
+    /// subsystem does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty interval [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal sample via Box–Muller (with spare caching).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev: {std_dev}");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Exponential sample with the given rate (events per unit time).
+    ///
+    /// Used for Poisson-process inter-arrival times, as in the paper's
+    /// request-arrival model (§6, "Modeling of Request Arrivals").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive: {rate}");
+        let u = 1.0 - self.uniform(); // in (0, 1]
+        -u.ln() / rate
+    }
+
+    /// Poisson sample with the given mean.
+    ///
+    /// Knuth's product method for small means, normal approximation (clamped
+    /// at zero) for large ones — the simulation only needs counts, not exact
+    /// tail shape, above `mean > 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean.is_finite() && mean >= 0.0, "invalid mean: {mean}");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            let x = self.normal(mean, mean.sqrt());
+            return x.max(0.0).round() as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s`.
+    ///
+    /// Sampled by inverse transform over precomputed weights is too slow to
+    /// rebuild per call, so this uses rejection-free cumulative search over
+    /// the harmonic weights computed on the fly for small `n`, and the
+    /// approximate inverse-CDF method of Devroye for large `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over empty support");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        if n == 1 {
+            return 0;
+        }
+        // Devroye's approximation: invert the integral of x^-s over [1, n+1)
+        // so every rank (including the last) has positive mass.
+        let nf = n as f64;
+        let hi = nf + 1.0;
+        loop {
+            let u = self.uniform();
+            let x = if (s - 1.0).abs() < 1e-9 {
+                hi.powf(u)
+            } else {
+                let t = u * (hi.powf(1.0 - s) - 1.0) + 1.0;
+                t.powf(1.0 / (1.0 - s))
+            };
+            let rank = x.floor();
+            if rank >= 1.0 && rank <= nf {
+                // Accept with probability proportional to the ratio between
+                // the pmf and the continuous envelope.
+                let ratio = (rank / x).powf(s);
+                if self.uniform() < ratio {
+                    return rank as usize - 1;
+                }
+            }
+        }
+    }
+
+    /// Samples an index according to non-negative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "no weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut target = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw 64-bit draw; exposed for hashing-style uses.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = SimRng::seed_from(7);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from(11);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.normal(3.0, 2.0)).collect();
+        let m = mean_of(&xs);
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = SimRng::seed_from(13);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.exponential(4.0)).collect();
+        assert!((mean_of(&xs) - 0.25).abs() < 0.01);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = SimRng::seed_from(17);
+        let small: Vec<f64> = (0..20_000).map(|_| rng.poisson(3.0) as f64).collect();
+        assert!((mean_of(&small) - 3.0).abs() < 0.1);
+        let large: Vec<f64> = (0..20_000).map(|_| rng.poisson(200.0) as f64).collect();
+        assert!((mean_of(&large) - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = SimRng::seed_from(19);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[rng.zipf(100, 1.1)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50] * 5);
+        // Every draw fell in range (indexing would have panicked otherwise).
+        assert_eq!(counts.iter().sum::<usize>(), 50_000);
+    }
+
+    #[test]
+    fn zipf_uniform_when_exponent_zero() {
+        let mut rng = SimRng::seed_from(23);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[rng.zipf(10, 0.0)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "counts {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from(29);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted_index(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(31);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(37);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

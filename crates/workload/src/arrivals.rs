@@ -1,0 +1,166 @@
+//! Arrival processes: homogeneous Poisson and piecewise-rate schedules.
+//!
+//! The paper models request arrivals as a homogeneous Poisson process with
+//! varying rates (§6). Figures 10 and 17 additionally drive the system with
+//! ramping and fluctuating rates; [`RateSchedule`] expresses all three.
+
+use modm_simkit::{SimDuration, SimRng, SimTime};
+
+/// A (possibly time-varying) request rate, in requests per minute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateSchedule {
+    /// A constant rate.
+    Constant(f64),
+    /// Piecewise-constant segments `(duration_minutes, rate_per_min)`,
+    /// repeating the last segment forever.
+    Piecewise(Vec<(f64, f64)>),
+}
+
+impl RateSchedule {
+    /// The Fig 10 ramp: 6 -> 26 requests/minute in +2 steps, one step per
+    /// `step_mins` minutes.
+    pub fn ramp(from: f64, to: f64, step: f64, step_mins: f64) -> RateSchedule {
+        assert!(from > 0.0 && to >= from && step > 0.0 && step_mins > 0.0);
+        let mut segs = Vec::new();
+        let mut r = from;
+        while r <= to + 1e-9 {
+            segs.push((step_mins, r));
+            r += step;
+        }
+        RateSchedule::Piecewise(segs)
+    }
+
+    /// The Fig 17 fluctuating load: alternating low/high plateaus.
+    pub fn fluctuating(low: f64, high: f64, plateau_mins: f64, cycles: usize) -> RateSchedule {
+        assert!(low > 0.0 && high > low && plateau_mins > 0.0 && cycles > 0);
+        let mut segs = Vec::new();
+        for _ in 0..cycles {
+            segs.push((plateau_mins, low));
+            segs.push((plateau_mins, high));
+        }
+        segs.push((plateau_mins, low));
+        RateSchedule::Piecewise(segs)
+    }
+
+    /// The instantaneous rate (requests/minute) at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty or non-positive.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self {
+            RateSchedule::Constant(r) => {
+                assert!(*r > 0.0, "rate must be positive");
+                *r
+            }
+            RateSchedule::Piecewise(segs) => {
+                assert!(!segs.is_empty(), "empty schedule");
+                let mut mins = t.as_mins_f64();
+                for (dur, rate) in segs {
+                    assert!(*rate > 0.0, "rate must be positive");
+                    if mins < *dur {
+                        return *rate;
+                    }
+                    mins -= dur;
+                }
+                segs.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// Total scheduled duration before the terminal rate holds forever
+    /// (zero for constant schedules).
+    pub fn horizon(&self) -> SimDuration {
+        match self {
+            RateSchedule::Constant(_) => SimDuration::ZERO,
+            RateSchedule::Piecewise(segs) => {
+                SimDuration::from_mins_f64(segs.iter().map(|(d, _)| d).sum())
+            }
+        }
+    }
+
+    /// Generates `n` arrival instants from this schedule as a Poisson
+    /// process (piecewise-homogeneous via thinning against the local rate).
+    pub fn sample_arrivals(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = SimTime::ZERO;
+        while out.len() < n {
+            let rate_per_sec = self.rate_at(t) / 60.0;
+            let gap = rng.exponential(rate_per_sec);
+            // Cap a single gap at one minute so segment boundaries are
+            // respected even at very low rates (thinning-style correction).
+            let gap = gap.min(60.0);
+            t += SimDuration::from_secs_f64(gap);
+            // Only emit if a whole exponential gap fit before moving on.
+            if gap < 60.0 {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_everywhere() {
+        let s = RateSchedule::Constant(10.0);
+        assert_eq!(s.rate_at(SimTime::ZERO), 10.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(1e6)), 10.0);
+    }
+
+    #[test]
+    fn ramp_steps_up() {
+        let s = RateSchedule::ramp(6.0, 26.0, 2.0, 15.0);
+        assert_eq!(s.rate_at(SimTime::ZERO), 6.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(16.0 * 60.0)), 8.0);
+        // After the horizon the final rate holds.
+        let end = SimTime::ZERO + s.horizon() + SimDuration::from_mins_f64(5.0);
+        assert_eq!(s.rate_at(end), 26.0);
+    }
+
+    #[test]
+    fn fluctuating_alternates() {
+        let s = RateSchedule::fluctuating(5.0, 20.0, 10.0, 2);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(60.0)), 5.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(11.0 * 60.0)), 20.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(21.0 * 60.0)), 5.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_match_rate() {
+        let s = RateSchedule::Constant(12.0);
+        let mut rng = SimRng::seed_from(8);
+        let arr = s.sample_arrivals(6_000, &mut rng);
+        assert_eq!(arr.len(), 6_000);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let total_mins = arr.last().unwrap().as_mins_f64();
+        let rate = arr.len() as f64 / total_mins;
+        assert!((rate - 12.0).abs() < 0.6, "empirical rate = {rate}");
+    }
+
+    #[test]
+    fn ramp_arrivals_accelerate() {
+        let s = RateSchedule::ramp(6.0, 26.0, 4.0, 10.0);
+        let mut rng = SimRng::seed_from(9);
+        let arr = s.sample_arrivals(2_000, &mut rng);
+        // Count arrivals in the first vs a later 10-minute window.
+        let count_in = |lo: f64, hi: f64| {
+            arr.iter()
+                .filter(|t| t.as_mins_f64() >= lo && t.as_mins_f64() < hi)
+                .count()
+        };
+        let early = count_in(0.0, 10.0);
+        let late = count_in(40.0, 50.0);
+        assert!(late > early, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn horizon_sums_segments() {
+        let s = RateSchedule::fluctuating(5.0, 20.0, 10.0, 2);
+        assert_eq!(s.horizon().as_mins_f64(), 50.0);
+        assert_eq!(RateSchedule::Constant(3.0).horizon(), SimDuration::ZERO);
+    }
+}

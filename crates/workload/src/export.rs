@@ -1,0 +1,184 @@
+//! Trace export/import in a simple CSV form, so generated workloads can be
+//! archived, inspected, or replayed across tool versions — the equivalent of
+//! the paper's published prompt traces.
+//!
+//! Format: one header line, then `id,arrival_us,prompt` per request. Prompts
+//! are synthetic token sequences and never contain commas or newlines; this
+//! is validated on write and parse.
+
+use std::fmt;
+
+use modm_simkit::SimTime;
+
+use crate::request::Request;
+use crate::trace::{DatasetKind, Trace};
+
+/// Errors from [`parse_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The header line was missing or malformed.
+    BadHeader,
+    /// A data line did not have three fields or had bad numbers.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Arrivals were not non-decreasing.
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::BadHeader => write!(f, "missing or malformed header"),
+            ParseTraceError::BadLine { line } => write!(f, "malformed record at line {line}"),
+            ParseTraceError::OutOfOrder { line } => {
+                write!(f, "arrivals out of order at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+const HEADER_DB: &str = "# modm-trace v1 dataset=diffusiondb";
+const HEADER_MJHQ: &str = "# modm-trace v1 dataset=mjhq";
+
+/// Serializes a trace to the CSV form.
+///
+/// # Panics
+///
+/// Panics if a prompt contains a comma or newline (generated prompts never
+/// do).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(match trace.dataset() {
+        DatasetKind::DiffusionDb => HEADER_DB,
+        DatasetKind::Mjhq => HEADER_MJHQ,
+    });
+    out.push('\n');
+    for r in trace.iter() {
+        assert!(
+            !r.prompt.contains(',') && !r.prompt.contains('\n'),
+            "prompt not CSV-safe: {:?}",
+            r.prompt
+        );
+        out.push_str(&format!(
+            "{},{},{}\n",
+            r.id,
+            r.arrival.as_micros(),
+            r.prompt
+        ));
+    }
+    out
+}
+
+/// Parses a trace from the CSV form.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] on malformed input.
+pub fn parse_csv(input: &str) -> Result<Trace, ParseTraceError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseTraceError::BadHeader)?;
+    let dataset = match header.trim() {
+        HEADER_DB => DatasetKind::DiffusionDb,
+        HEADER_MJHQ => DatasetKind::Mjhq,
+        _ => return Err(ParseTraceError::BadHeader),
+    };
+    let mut requests = Vec::new();
+    let mut last = SimTime::ZERO;
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ',');
+        let id = parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or(ParseTraceError::BadLine { line: i + 1 })?;
+        let arrival_us = parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or(ParseTraceError::BadLine { line: i + 1 })?;
+        let prompt = parts
+            .next()
+            .ok_or(ParseTraceError::BadLine { line: i + 1 })?;
+        let arrival = SimTime::from_micros(arrival_us);
+        if arrival < last {
+            return Err(ParseTraceError::OutOfOrder { line: i + 1 });
+        }
+        last = arrival;
+        requests.push(Request::new(id, prompt, arrival));
+    }
+    Ok(Trace::from_requests(dataset, requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = TraceBuilder::diffusion_db(5).requests(50).build();
+        let csv = to_csv(&trace);
+        let parsed = parse_csv(&csv).unwrap();
+        assert_eq!(parsed.dataset(), trace.dataset());
+        assert_eq!(parsed.requests(), trace.requests());
+    }
+
+    #[test]
+    fn mjhq_header_round_trips() {
+        let trace = TraceBuilder::mjhq(5).requests(10).build();
+        let parsed = parse_csv(&to_csv(&trace)).unwrap();
+        assert_eq!(parsed.dataset(), DatasetKind::Mjhq);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(parse_csv("not a header\n1,2,x").err(), Some(ParseTraceError::BadHeader));
+        assert_eq!(parse_csv("").err(), Some(ParseTraceError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let input = format!("{HEADER_DB}\nnot-a-number,5,prompt\n");
+        assert_eq!(
+            parse_csv(&input).err(),
+            Some(ParseTraceError::BadLine { line: 2 })
+        );
+        let input = format!("{HEADER_DB}\n1,5\n");
+        assert_eq!(
+            parse_csv(&input).err(),
+            Some(ParseTraceError::BadLine { line: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_order_arrivals() {
+        let input = format!("{HEADER_DB}\n0,100,a\n1,50,b\n");
+        assert_eq!(
+            parse_csv(&input).err(),
+            Some(ParseTraceError::OutOfOrder { line: 3 })
+        );
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let input = format!("{HEADER_DB}\n0,1,alpha\n\n1,2,beta\n");
+        let t = parse_csv(&input).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests()[1].prompt, "beta");
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(ParseTraceError::BadHeader.to_string().contains("header"));
+        assert!(ParseTraceError::BadLine { line: 3 }.to_string().contains("3"));
+    }
+}

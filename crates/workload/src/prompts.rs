@@ -1,0 +1,304 @@
+//! Prompt synthesis: sessions, trending bases and detail variation.
+//!
+//! A *prompt base* fixes the semantic identity of a prompt: six topic tokens
+//! (subject, modifier, place, time, action) plus a style and two stable
+//! detail tokens. Individual prompts append one varying detail token, so
+//! prompts sharing a base have text cosine ~10/11 ≈ 0.91 — above MoDM's
+//! effective hit threshold — while prompts from different bases share at
+//! most a few tokens and stay far below it.
+
+use modm_simkit::SimRng;
+
+use crate::vocab;
+
+/// A fixed semantic identity that prompts are minted from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromptBase {
+    tokens: Vec<&'static str>,
+}
+
+impl PromptBase {
+    /// Samples a fresh random base.
+    pub fn sample(rng: &mut SimRng) -> Self {
+        let style = vocab::STYLES[rng.index(vocab::STYLES.len())];
+        let tokens = vec![
+            vocab::MODIFIERS[rng.index(vocab::MODIFIERS.len())],
+            vocab::SUBJECTS[rng.index(vocab::SUBJECTS.len())],
+            vocab::ACTIONS[rng.index(vocab::ACTIONS.len())],
+            vocab::PLACES[rng.index(vocab::PLACES.len())],
+            vocab::TIMES[rng.index(vocab::TIMES.len())],
+            style.0,
+            style.1,
+            // Two stable details complete the base identity.
+            vocab::DETAILS[rng.index(vocab::DETAILS.len())],
+            vocab::DETAILS[rng.index(vocab::DETAILS.len())],
+        ];
+        PromptBase { tokens }
+    }
+
+    /// Renders a concrete prompt: the base tokens plus `varying` extra
+    /// detail tokens.
+    pub fn render(&self, varying: &[&str]) -> String {
+        let mut words: Vec<&str> = self.tokens.clone();
+        words.extend_from_slice(varying);
+        words.join(" ")
+    }
+}
+
+/// Tuning knobs of the prompt stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptFactoryConfig {
+    /// Probability that a new session reuses a trending base instead of
+    /// minting a fresh one (prompt-copying behavior in DiffusionDB).
+    pub trending_reuse_prob: f64,
+    /// Size of the recency window trending bases are drawn from.
+    pub trending_pool: usize,
+    /// Zipf exponent over the trending pool (recent = popular).
+    pub trending_zipf: f64,
+    /// Mean session length (geometric); 1.0 disables sessions (MJHQ).
+    pub mean_session_len: f64,
+    /// Number of user sessions interleaved at any time.
+    pub concurrency: usize,
+    /// Probability a session re-issues its previous prompt verbatim.
+    pub verbatim_repeat_prob: f64,
+}
+
+impl PromptFactoryConfig {
+    /// DiffusionDB-like: sessions of ~4 prompts, 30 interleaved users, a
+    /// 600-base trending window (≈4 h of traffic at 10 req/min).
+    pub fn diffusion_db() -> Self {
+        PromptFactoryConfig {
+            trending_reuse_prob: 0.60,
+            trending_pool: 300,
+            trending_zipf: 1.20,
+            mean_session_len: 6.0,
+            concurrency: 60,
+            verbatim_repeat_prob: 0.45,
+        }
+    }
+
+    /// MJHQ-like: no sessions, no recency; repeats only through a large
+    /// Zipf-popular base pool.
+    pub fn mjhq() -> Self {
+        PromptFactoryConfig {
+            trending_reuse_prob: 0.72,
+            trending_pool: 5_000,
+            trending_zipf: 1.0,
+            mean_session_len: 1.0,
+            concurrency: 1,
+            verbatim_repeat_prob: 0.0,
+        }
+    }
+}
+
+struct Session {
+    base: PromptBase,
+    remaining: u32,
+    last_varying: Option<&'static str>,
+}
+
+/// An infinite deterministic stream of prompts with the configured locality
+/// structure.
+///
+/// # Example
+///
+/// ```
+/// use modm_workload::{PromptFactory, PromptFactoryConfig};
+/// use modm_simkit::SimRng;
+///
+/// let mut f = PromptFactory::new(PromptFactoryConfig::diffusion_db(), SimRng::seed_from(3));
+/// let a = f.next_prompt();
+/// let b = f.next_prompt();
+/// assert!(!a.is_empty() && !b.is_empty());
+/// ```
+pub struct PromptFactory {
+    config: PromptFactoryConfig,
+    rng: SimRng,
+    history: Vec<PromptBase>,
+    active: Vec<Session>,
+}
+
+impl std::fmt::Debug for PromptFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PromptFactory")
+            .field("config", &self.config)
+            .field("history_len", &self.history.len())
+            .field("active_sessions", &self.active.len())
+            .finish()
+    }
+}
+
+impl PromptFactory {
+    /// Creates a factory with its own random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero concurrency or a session length < 1.
+    pub fn new(config: PromptFactoryConfig, rng: SimRng) -> Self {
+        assert!(config.concurrency > 0, "need at least one session slot");
+        assert!(config.mean_session_len >= 1.0, "sessions have >= 1 prompt");
+        PromptFactory {
+            config,
+            rng,
+            history: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    fn sample_session_len(&mut self) -> u32 {
+        if self.config.mean_session_len <= 1.0 {
+            return 1;
+        }
+        // Geometric with mean L: success prob 1/L, support {1, 2, ...}.
+        let p = 1.0 / self.config.mean_session_len;
+        let mut len = 1u32;
+        while len < 16 && !self.rng.chance(p) {
+            len += 1;
+        }
+        len
+    }
+
+    fn new_base(&mut self) -> PromptBase {
+        let reuse = !self.history.is_empty() && self.rng.chance(self.config.trending_reuse_prob);
+        let base = if reuse {
+            let window = self.config.trending_pool.min(self.history.len());
+            // Rank 0 = most recent history entry.
+            let rank = self.rng.zipf(window, self.config.trending_zipf);
+            self.history[self.history.len() - 1 - rank].clone()
+        } else {
+            PromptBase::sample(&mut self.rng)
+        };
+        // Re-pushing keeps trending bases recent, which is exactly the
+        // temporal-locality loop the paper observes.
+        self.history.push(base.clone());
+        if self.history.len() > self.config.trending_pool * 4 {
+            // Bound memory: only the trailing window can ever be sampled.
+            let cut = self.history.len() - self.config.trending_pool * 2;
+            self.history.drain(..cut);
+        }
+        base
+    }
+
+    /// Produces the next prompt in the interleaved stream.
+    pub fn next_prompt(&mut self) -> String {
+        // Top up the pool of active sessions.
+        while self.active.len() < self.config.concurrency {
+            let base = self.new_base();
+            let remaining = self.sample_session_len();
+            self.active.push(Session {
+                base,
+                remaining,
+                last_varying: None,
+            });
+        }
+        let idx = self.rng.index(self.active.len());
+        let session = &mut self.active[idx];
+
+        let verbatim = session.last_varying.is_some()
+            && self.rng.chance(self.config.verbatim_repeat_prob);
+        let varying = if verbatim {
+            session.last_varying.expect("checked above")
+        } else {
+            vocab::DETAILS[self.rng.index(vocab::DETAILS.len())]
+        };
+        session.last_varying = Some(varying);
+        let prompt = session.base.render(&[varying]);
+
+        session.remaining -= 1;
+        if session.remaining == 0 {
+            self.active.swap_remove(idx);
+        }
+        prompt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_embedding::{SemanticSpace, TextEncoder};
+
+    fn mean_top_similarity(config: PromptFactoryConfig, n: usize, seed: u64) -> f64 {
+        // For each prompt, the best text-cosine against the previous 200.
+        let enc = TextEncoder::new(SemanticSpace::default());
+        let mut f = PromptFactory::new(config, SimRng::seed_from(seed));
+        let prompts: Vec<String> = (0..n).map(|_| f.next_prompt()).collect();
+        let embs: Vec<_> = prompts.iter().map(|p| enc.encode(p)).collect();
+        let mut total = 0.0;
+        let mut count = 0;
+        for i in 50..n {
+            let lo = i.saturating_sub(200);
+            let best = embs[lo..i]
+                .iter()
+                .map(|e| embs[i].cosine(e))
+                .fold(f64::NEG_INFINITY, f64::max);
+            total += best;
+            count += 1;
+        }
+        total / count as f64
+    }
+
+    #[test]
+    fn diffusion_db_has_session_locality() {
+        let m = mean_top_similarity(PromptFactoryConfig::diffusion_db(), 600, 1);
+        // Most prompts have a near-duplicate (cos ~0.9) in the recent past.
+        assert!(m > 0.75, "mean best-recent similarity = {m}");
+    }
+
+    #[test]
+    fn mjhq_has_less_recent_locality_than_diffusion_db() {
+        let db = mean_top_similarity(PromptFactoryConfig::diffusion_db(), 600, 2);
+        let mj = mean_top_similarity(PromptFactoryConfig::mjhq(), 600, 2);
+        assert!(db > mj, "db = {db}, mjhq = {mj}");
+    }
+
+    #[test]
+    fn session_prompts_share_base() {
+        let mut cfg = PromptFactoryConfig::diffusion_db();
+        cfg.concurrency = 1; // sequential sessions for direct inspection
+        let mut f = PromptFactory::new(cfg, SimRng::seed_from(4));
+        let a = f.next_prompt();
+        let b = f.next_prompt();
+        let words_a: std::collections::HashSet<_> = a.split(' ').collect();
+        let words_b: std::collections::HashSet<_> = b.split(' ').collect();
+        let shared = words_a.intersection(&words_b).count();
+        // Either same session (>= 9 shared base tokens) or a session
+        // boundary fell between them (rare at mean length 4).
+        assert!(shared >= 9 || shared <= 4, "shared = {shared}");
+    }
+
+    #[test]
+    fn prompts_have_expected_token_count() {
+        let mut f = PromptFactory::new(
+            PromptFactoryConfig::diffusion_db(),
+            SimRng::seed_from(5),
+        );
+        for _ in 0..50 {
+            let p = f.next_prompt();
+            assert_eq!(p.split(' ').count(), 10, "prompt: {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let gen = |seed| {
+            let mut f = PromptFactory::new(
+                PromptFactoryConfig::diffusion_db(),
+                SimRng::seed_from(seed),
+            );
+            (0..100).map(|_| f.next_prompt()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    #[test]
+    fn verbatim_repeats_occur_in_db_config() {
+        let mut f = PromptFactory::new(
+            PromptFactoryConfig::diffusion_db(),
+            SimRng::seed_from(11),
+        );
+        let prompts: Vec<String> = (0..2_000).map(|_| f.next_prompt()).collect();
+        let unique: std::collections::HashSet<_> = prompts.iter().collect();
+        assert!(unique.len() < prompts.len(), "some exact repeats expected");
+    }
+}

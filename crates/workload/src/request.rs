@@ -1,0 +1,38 @@
+//! The unit of work the serving systems process.
+
+use modm_simkit::SimTime;
+
+/// A text-to-image generation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Unique, trace-ordered id.
+    pub id: u64,
+    /// The user's prompt text.
+    pub prompt: String,
+    /// Arrival time in the simulated timeline.
+    pub arrival: SimTime,
+}
+
+impl Request {
+    /// Creates a request.
+    pub fn new(id: u64, prompt: impl Into<String>, arrival: SimTime) -> Self {
+        Request {
+            id,
+            prompt: prompt.into(),
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = Request::new(3, "a cat", SimTime::from_secs_f64(2.0));
+        assert_eq!(r.id, 3);
+        assert_eq!(r.prompt, "a cat");
+        assert_eq!(r.arrival.as_secs_f64(), 2.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Traces: ordered request sequences with arrival timestamps.
+
+use modm_simkit::SimRng;
+
+use crate::arrivals::RateSchedule;
+use crate::prompts::{PromptFactory, PromptFactoryConfig};
+use crate::request::Request;
+
+/// Which dataset a trace emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Production-like trace with session/temporal locality (DiffusionDB).
+    DiffusionDb,
+    /// Curated trace without temporal structure (MJHQ-30k).
+    Mjhq,
+}
+
+impl DatasetKind {
+    /// The dataset-dependent same-model FID floor (Table 2: 6.29 vs 5.16).
+    pub fn fid_floor(self) -> f64 {
+        match self {
+            DatasetKind::DiffusionDb => 6.29,
+            DatasetKind::Mjhq => 5.16,
+        }
+    }
+
+    /// Paper-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::DiffusionDb => "DiffusionDB",
+            DatasetKind::Mjhq => "MJHQ-30k",
+        }
+    }
+}
+
+/// An immutable, time-ordered request trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    dataset: DatasetKind,
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Wraps explicit requests (must be time-ordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not non-decreasing.
+    pub fn from_requests(dataset: DatasetKind, requests: Vec<Request>) -> Self {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace must be time-ordered"
+        );
+        Trace { dataset, requests }
+    }
+
+    /// The dataset this trace emulates.
+    pub fn dataset(&self) -> DatasetKind {
+        self.dataset
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Iterates over the requests in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+
+    /// Slice access.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// A copy of the first `n` requests (or all, if shorter).
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace {
+            dataset: self.dataset,
+            requests: self.requests.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Builder for synthetic traces.
+///
+/// # Example
+///
+/// ```
+/// use modm_workload::{TraceBuilder, RateSchedule};
+/// let t = TraceBuilder::mjhq(1)
+///     .requests(100)
+///     .rate_schedule(RateSchedule::Constant(8.0))
+///     .build();
+/// assert_eq!(t.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct TraceBuilder {
+    dataset: DatasetKind,
+    seed: u64,
+    n: usize,
+    schedule: RateSchedule,
+    prompt_config: PromptFactoryConfig,
+}
+
+impl TraceBuilder {
+    /// Starts a DiffusionDB-like trace.
+    pub fn diffusion_db(seed: u64) -> Self {
+        TraceBuilder {
+            dataset: DatasetKind::DiffusionDb,
+            seed,
+            n: 1_000,
+            schedule: RateSchedule::Constant(10.0),
+            prompt_config: PromptFactoryConfig::diffusion_db(),
+        }
+    }
+
+    /// Starts an MJHQ-like trace.
+    pub fn mjhq(seed: u64) -> Self {
+        TraceBuilder {
+            dataset: DatasetKind::Mjhq,
+            seed,
+            n: 1_000,
+            schedule: RateSchedule::Constant(10.0),
+            prompt_config: PromptFactoryConfig::mjhq(),
+        }
+    }
+
+    /// Number of requests to generate.
+    pub fn requests(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Constant Poisson rate, requests per minute.
+    pub fn rate_per_min(mut self, rate: f64) -> Self {
+        self.schedule = RateSchedule::Constant(rate);
+        self
+    }
+
+    /// Arbitrary rate schedule.
+    pub fn rate_schedule(mut self, schedule: RateSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the prompt-locality configuration.
+    pub fn prompt_config(mut self, config: PromptFactoryConfig) -> Self {
+        self.prompt_config = config;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero requests were requested.
+    pub fn build(self) -> Trace {
+        assert!(self.n > 0, "trace needs at least one request");
+        let mut root = SimRng::seed_from(self.seed);
+        let mut prompt_rng = root.fork(1);
+        let mut arrival_rng = root.fork(2);
+        let mut factory = PromptFactory::new(self.prompt_config, prompt_rng.fork(0));
+        let arrivals = self.schedule.sample_arrivals(self.n, &mut arrival_rng);
+        let requests = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, at)| Request::new(i as u64, factory.next_prompt(), at))
+            .collect();
+        Trace {
+            dataset: self.dataset,
+            requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_ordered_unique_ids() {
+        let t = TraceBuilder::diffusion_db(5).requests(300).build();
+        assert_eq!(t.len(), 300);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        assert!(t
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TraceBuilder::diffusion_db(1).requests(50).build();
+        let b = TraceBuilder::diffusion_db(1).requests(50).build();
+        let c = TraceBuilder::diffusion_db(2).requests(50).build();
+        assert_eq!(a.requests(), b.requests());
+        assert_ne!(a.requests(), c.requests());
+    }
+
+    #[test]
+    fn dataset_metadata() {
+        assert_eq!(TraceBuilder::mjhq(1).requests(10).build().dataset(), DatasetKind::Mjhq);
+        assert_eq!(DatasetKind::DiffusionDb.fid_floor(), 6.29);
+        assert_eq!(DatasetKind::Mjhq.name(), "MJHQ-30k");
+    }
+
+    #[test]
+    fn truncation() {
+        let t = TraceBuilder::diffusion_db(3).requests(100).build();
+        let head = t.truncated(10);
+        assert_eq!(head.len(), 10);
+        assert_eq!(head.requests()[9], t.requests()[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_requests_rejected() {
+        use modm_simkit::SimTime;
+        let reqs = vec![
+            Request::new(0, "a", SimTime::from_secs_f64(5.0)),
+            Request::new(1, "b", SimTime::from_secs_f64(1.0)),
+        ];
+        let _ = Trace::from_requests(DatasetKind::Mjhq, reqs);
+    }
+}

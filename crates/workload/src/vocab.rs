@@ -1,0 +1,136 @@
+//! Vocabulary pools for synthetic prompt generation.
+//!
+//! Prompts are structured token sequences: topic tokens (subject, modifier,
+//! place, time, action, object), style tokens and detail tokens. The token
+//! structure is what gives the embedding space its geometry — prompts from
+//! the same session share topic + style + stable details and differ in one
+//! varying detail, landing at text cosine ~0.9.
+
+/// Subjects a prompt can be about.
+pub const SUBJECTS: &[&str] = &[
+    "castle", "dragon", "astronaut", "forest", "samurai", "mermaid", "robot", "wizard",
+    "lighthouse", "phoenix", "garden", "pirate", "valley", "temple", "dancer", "wolf",
+    "galaxy", "submarine", "violinist", "blacksmith", "library", "waterfall", "monk",
+    "fox", "cathedral", "nomad", "orchid", "glacier", "carnival", "observatory",
+    "marketplace", "knight", "jellyfish", "airship", "vineyard", "sphinx", "comet",
+    "harbor", "golem", "falcon", "canyon", "alchemist", "treehouse", "leviathan",
+    "meadow", "clockmaker", "reef", "citadel", "shepherd", "volcano", "archer",
+    "lagoon", "automaton", "bazaar", "glade", "warship", "oracle", "tundra",
+    "gondola", "catacomb",
+];
+
+/// Modifiers applied to the subject.
+pub const MODIFIERS: &[&str] = &[
+    "ancient", "neon", "crystal", "forgotten", "mechanical", "ethereal", "gilded",
+    "overgrown", "frozen", "burning", "miniature", "colossal", "haunted", "radiant",
+    "shattered", "floating", "celestial", "rusted", "luminous", "obsidian", "ivory",
+    "emerald", "spectral", "clockwork", "verdant", "desolate", "ornate", "primordial",
+    "iridescent", "weathered",
+];
+
+/// Places where the scene unfolds.
+pub const PLACES: &[&str] = &[
+    "mountains", "desert", "ocean", "city", "tundra", "jungle", "moon", "swamp",
+    "cliffside", "underworld", "skyline", "island", "cavern", "steppe", "fjord",
+    "metropolis", "ruins", "archipelago", "badlands", "rainforest", "dunes",
+    "highlands", "marsh", "delta", "plateau",
+];
+
+/// Time of day / era markers.
+pub const TIMES: &[&str] = &[
+    "dawn", "dusk", "midnight", "noon", "twilight", "sunrise", "sunset", "eclipse",
+    "winter", "autumn", "spring", "monsoon", "solstice", "stormfall", "aurora",
+];
+
+/// Actions or dynamics in the scene.
+pub const ACTIONS: &[&str] = &[
+    "soaring", "meditating", "exploring", "battling", "drifting", "blooming",
+    "collapsing", "ascending", "wandering", "glowing", "erupting", "dissolving",
+    "awakening", "migrating", "orbiting", "harvesting", "forging", "dueling",
+    "unfurling", "resonating",
+];
+
+/// Style descriptors (each style contributes two tokens).
+pub const STYLES: &[(&str, &str)] = &[
+    ("watercolor", "painting"),
+    ("oil", "painting"),
+    ("cinematic", "photograph"),
+    ("studio", "photograph"),
+    ("pixel", "art"),
+    ("vector", "illustration"),
+    ("charcoal", "sketch"),
+    ("pastel", "drawing"),
+    ("baroque", "fresco"),
+    ("ukiyo-e", "woodblock"),
+    ("vaporwave", "aesthetic"),
+    ("photorealistic", "render"),
+    ("isometric", "render"),
+    ("surrealist", "collage"),
+    ("impressionist", "canvas"),
+    ("noir", "film"),
+    ("anime", "keyframe"),
+    ("claymation", "still"),
+    ("macro", "photograph"),
+    ("infrared", "photograph"),
+    ("holographic", "projection"),
+    ("stained-glass", "mosaic"),
+    ("lowpoly", "model"),
+    ("botanical", "lithograph"),
+];
+
+/// Fine-grained detail tokens (lighting, palette, mood, lens).
+pub const DETAILS: &[&str] = &[
+    "volumetric", "bokeh", "grainy", "hdr", "backlit", "moody", "vibrant", "muted",
+    "symmetrical", "minimalist", "maximalist", "dreamy", "gritty", "polished",
+    "weightless", "dramatic", "serene", "chaotic", "golden", "silver", "crimson",
+    "azure", "amber", "violet", "teal", "monochrome", "saturated", "desaturated",
+    "softfocus", "sharpened", "panoramic", "closeup", "wideangle", "telephoto",
+    "fisheye", "tiltshift", "longexposure", "highcontrast", "lowkey", "highkey",
+    "glossy", "matte", "textured", "smooth", "layered", "fragmented", "woven",
+    "crystalline", "misty", "dusty", "smoky", "sparkling", "velvet", "metallic",
+    "organic", "geometric", "fractal", "flowing", "rigid", "delicate", "massive",
+    "intricate", "sparse", "dense", "glowing-edges", "rimlight", "ambient",
+    "spotlit", "moonlit", "sunlit", "candlelit", "neonlit", "shadowed", "luminant",
+    "prismatic", "opalescent", "gilded-frame", "vignette", "filmgrain", "pristine",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        fn check(name: &str, pool: &[&str]) {
+            assert!(!pool.is_empty(), "{name} empty");
+            let set: HashSet<_> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len(), "{name} has duplicates");
+        }
+        check("subjects", SUBJECTS);
+        check("modifiers", MODIFIERS);
+        check("places", PLACES);
+        check("times", TIMES);
+        check("actions", ACTIONS);
+        check("details", DETAILS);
+        let styles: HashSet<_> = STYLES.iter().collect();
+        assert_eq!(styles.len(), STYLES.len());
+    }
+
+    #[test]
+    fn pools_do_not_overlap_topics_and_details() {
+        // A detail token colliding with a subject token would silently raise
+        // cross-topic text similarity.
+        let subjects: HashSet<_> = SUBJECTS.iter().collect();
+        for d in DETAILS {
+            assert!(!subjects.contains(d), "token {d} in two pools");
+        }
+    }
+
+    #[test]
+    fn combinatorics_are_large_enough() {
+        // Base combinations must comfortably exceed the biggest cache
+        // (100k) so hit rates are driven by reuse, not pool exhaustion.
+        let combos = SUBJECTS.len() * MODIFIERS.len() * PLACES.len() * TIMES.len();
+        assert!(combos > 500_000, "combos = {combos}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Cache explorer: watch retrieval decisions one request at a time.
+//!
+//! Feeds a handful of related prompts through the scheduler's cache and
+//! prints the retrieval similarity, the k-decision, and what the refinement
+//! would preserve — a direct view of §5.1–§5.2 of the paper.
+//!
+//! ```text
+//! cargo run --example cache_explorer --release
+//! ```
+
+use modm::cache::{CacheConfig, ImageCache};
+use modm::core::{k_decision, KDecision};
+use modm::diffusion::{ModelId, QualityModel, Sampler};
+use modm::embedding::{SemanticSpace, TextEncoder};
+use modm::simkit::{SimRng, SimTime};
+
+fn main() {
+    let space = SemanticSpace::default();
+    let text = TextEncoder::new(space.clone());
+    let sampler = Sampler::new(QualityModel::new(space, 3, 6.29));
+    let mut rng = SimRng::seed_from(8);
+    let mut cache = ImageCache::new(CacheConfig::fifo(100));
+
+    let stream = [
+        "ancient castle soaring mountains dawn oil painting misty golden",
+        "ancient castle soaring mountains dawn oil painting misty crimson",
+        "ancient castle soaring mountains dawn oil painting misty golden",
+        "neon robot dueling metropolis midnight pixel art gritty",
+        "ancient castle soaring mountains dusk oil painting misty golden",
+        "crystal mermaid drifting lagoon twilight watercolor painting dreamy",
+        "neon robot dueling metropolis midnight pixel art polished",
+    ];
+
+    for (i, prompt) in stream.iter().enumerate() {
+        let emb = text.encode(prompt);
+        let now = SimTime::from_secs_f64(i as f64 * 30.0);
+        let short: String = prompt.chars().take(46).collect();
+        match cache.retrieve(now, &emb, 0.25) {
+            Some(hit) => {
+                let decision = k_decision(hit.similarity);
+                let k = match decision {
+                    KDecision::Hit { k } => k,
+                    KDecision::Miss => unreachable!("threshold equals the ladder floor"),
+                };
+                let refined = sampler.refine(ModelId::Sdxl, &hit.image, &emb, k, &mut rng);
+                println!(
+                    "[{i}] HIT  sim={:.3} -> skip k={k:>2} steps, run {:>2} on SDXL  | {short}",
+                    hit.similarity, refined.steps_run
+                );
+                cache.insert(now, refined);
+            }
+            None => {
+                let img = sampler.generate(ModelId::Sd35Large, &emb, &mut rng);
+                println!(
+                    "[{i}] MISS full 50-step generation on SD3.5-Large        | {short}"
+                );
+                cache.insert(now, img);
+            }
+        }
+    }
+    println!(
+        "\ncache: {} images, {:.1} MB, hit rate {:.2}",
+        cache.len(),
+        cache.storage_bytes() as f64 / 1e6,
+        cache.stats().hit_rate()
+    );
+}

@@ -1,0 +1,42 @@
+//! # MoDM — Mixture-of-Diffusion-Models serving, reproduced in Rust
+//!
+//! Facade crate re-exporting every component of the MoDM reproduction:
+//!
+//! * [`simkit`] — deterministic discrete-event simulation engine.
+//! * [`numerics`] — linear algebra and Fréchet-distance kernels.
+//! * [`embedding`] — synthetic CLIP-like semantic space and retrieval index.
+//! * [`diffusion`] — diffusion model zoo, schedules, samplers and quality model.
+//! * [`workload`] — DiffusionDB/MJHQ-like traces and arrival processes.
+//! * [`cache`] — image cache (FIFO/LRU/utility) and Nirvana's latent cache.
+//! * [`cluster`] — GPU workers, model switching and energy accounting.
+//! * [`metrics`] — CLIPScore, FID, IS, PickScore, latency/SLO/throughput.
+//! * [`core`] — the MoDM serving system (scheduler, global monitor, PID).
+//! * [`baselines`] — Vanilla, Nirvana and Pinecone baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use modm::core::{MoDMConfig, ServingSystem};
+//! use modm::workload::TraceBuilder;
+//! use modm::cluster::GpuKind;
+//!
+//! // A small DiffusionDB-like trace at 12 requests/minute.
+//! let trace = TraceBuilder::diffusion_db(42).requests(200).rate_per_min(12.0).build();
+//! let config = MoDMConfig::builder()
+//!     .gpus(GpuKind::Mi210, 16)
+//!     .cache_capacity(2_000)
+//!     .build();
+//! let report = ServingSystem::new(config).run(&trace);
+//! assert!(report.completed() == 200);
+//! ```
+
+pub use modm_baselines as baselines;
+pub use modm_cache as cache;
+pub use modm_cluster as cluster;
+pub use modm_core as core;
+pub use modm_diffusion as diffusion;
+pub use modm_embedding as embedding;
+pub use modm_metrics as metrics;
+pub use modm_numerics as numerics;
+pub use modm_simkit as simkit;
+pub use modm_workload as workload;

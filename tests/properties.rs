@@ -1,0 +1,209 @@
+//! Property-based tests over the core data structures and invariants.
+
+use modm::cache::{CacheConfig, ImageCache, MaintenancePolicy};
+use modm::core::{k_decision, KDecision, PidController};
+use modm::diffusion::{forward_noise, ModelId, NoiseSchedule, QualityModel, Sampler, TOTAL_STEPS};
+use modm::embedding::{Embedding, EmbeddingIndex, IvfIndex, SemanticSpace, TextEncoder};
+use modm::numerics::{cosine_similarity, frechet_distance, GaussianStats};
+use modm::simkit::{EventQueue, Percentiles, SimRng, SimTime};
+use proptest::prelude::*;
+
+fn small_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cosine_always_in_unit_interval(a in small_vec(8), b in small_vec(8)) {
+        let c = cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn cosine_symmetric(a in small_vec(8), b in small_vec(8)) {
+        let c1 = cosine_similarity(&a, &b);
+        let c2 = cosine_similarity(&b, &a);
+        prop_assert!((c1 - c2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_queue_delivers_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn percentiles_bounded_by_extremes(xs in prop::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..=1.0) {
+        let mut p = Percentiles::new();
+        for &x in &xs { p.record(x); }
+        let v = p.quantile(q).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn schedules_monotone_and_bounded(step in 0u32..=TOTAL_STEPS) {
+        for s in [NoiseSchedule::RectifiedFlow, NoiseSchedule::Cosine, NoiseSchedule::Karras] {
+            let sigma = s.sigma_at(step, TOTAL_STEPS);
+            prop_assert!((0.0..=1.0).contains(&sigma));
+            if step > 0 {
+                prop_assert!(sigma <= s.sigma_at(step - 1, TOTAL_STEPS) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_noise_preserves_length(img in small_vec(16), sigma in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mut rng = SimRng::seed_from(seed);
+        let out = forward_noise(&img, sigma, &mut rng);
+        prop_assert_eq!(out.len(), img.len());
+        if sigma == 0.0 {
+            prop_assert_eq!(out, img);
+        }
+    }
+
+    #[test]
+    fn k_decision_monotone_and_discrete(s1 in 0.0f64..0.5, ds in 0.0f64..0.2) {
+        let s2 = s1 + ds;
+        let k_of = |s: f64| match k_decision(s) {
+            KDecision::Miss => 0,
+            KDecision::Hit { k } => k,
+        };
+        prop_assert!(k_of(s2) >= k_of(s1));
+        let k = k_of(s1);
+        prop_assert!(k == 0 || modm::diffusion::K_CHOICES.contains(&k));
+    }
+
+    #[test]
+    fn cache_capacity_invariant(
+        capacity in 1usize..30,
+        inserts in 1usize..80,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [MaintenancePolicy::Fifo, MaintenancePolicy::Lru, MaintenancePolicy::Utility][policy_idx];
+        let space = SemanticSpace::default();
+        let text = TextEncoder::new(space.clone());
+        let sampler = Sampler::new(QualityModel::new(space, 1, 6.29));
+        let mut rng = SimRng::seed_from(9);
+        let mut cache = ImageCache::new(CacheConfig::with_policy(capacity, policy));
+        for i in 0..inserts {
+            let e = text.encode(&format!("prompt number {i}"));
+            cache.insert(
+                SimTime::from_micros(i as u64),
+                sampler.generate(ModelId::Sd35Large, &e, &mut rng),
+            );
+            prop_assert!(cache.len() <= capacity);
+        }
+        prop_assert_eq!(cache.len(), inserts.min(capacity));
+    }
+
+    #[test]
+    fn retrieval_respects_threshold(threshold in 0.0f64..0.32, seed in 0u64..50) {
+        let space = SemanticSpace::default();
+        let text = TextEncoder::new(space.clone());
+        let sampler = Sampler::new(QualityModel::new(space, 2, 6.29));
+        let mut rng = SimRng::seed_from(seed);
+        let mut cache = ImageCache::new(CacheConfig::fifo(16));
+        for i in 0..16 {
+            let e = text.encode(&format!("cached item {i} {}", seed));
+            cache.insert(SimTime::ZERO, sampler.generate(ModelId::Sd35Large, &e, &mut rng));
+        }
+        let q = text.encode("a completely different query prompt");
+        if let Some(hit) = cache.retrieve(SimTime::ZERO, &q, threshold) {
+            prop_assert!(hit.similarity >= threshold);
+        }
+    }
+
+    #[test]
+    fn flat_and_ivf_agree_on_self_queries(n in 1usize..60, probe in 0usize..60) {
+        let space = SemanticSpace::default();
+        let text = TextEncoder::new(space.clone());
+        let mut flat = EmbeddingIndex::new();
+        let mut ivf: IvfIndex<u64> = IvfIndex::new(space.dim(), 16, 16); // probe all lists: exact
+        let embs: Vec<Embedding> = (0..n)
+            .map(|i| text.encode(&format!("item {i} distinct tokens {}", i * 7)))
+            .collect();
+        for (i, e) in embs.iter().enumerate() {
+            flat.insert(i as u64, e.clone());
+            ivf.insert(i as u64, e.clone());
+        }
+        let q = &embs[probe % n];
+        let a = flat.nearest(q).unwrap();
+        let b = ivf.nearest(q).unwrap();
+        prop_assert!((a.similarity - b.similarity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pid_output_bounded_by_gain_times_error(target in -50.0f64..50.0, current in -50.0f64..50.0) {
+        let mut pid = PidController::paper_tuned();
+        let out = pid.compute(target, current);
+        let err = (target - current).abs();
+        // First step: |out| <= (kp + ki + kd) * |err|.
+        prop_assert!(out.abs() <= 0.7 * err + 1e-9);
+    }
+
+    #[test]
+    fn quality_factor_monotone_in_similarity(k_idx in 0usize..6, s in 0.05f64..0.35) {
+        let k = modm::diffusion::K_CHOICES[k_idx];
+        let q1 = QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s, k);
+        let q2 = QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s + 0.01, k);
+        prop_assert!(q2 >= q1);
+        prop_assert!(q1 > 0.0);
+    }
+}
+
+proptest! {
+    // Heavier cases run fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn frechet_nonnegative_and_symmetric(seed_a in 0u64..100, seed_b in 0u64..100) {
+        let sample = |seed: u64| {
+            let mut rng = SimRng::seed_from(seed);
+            let mut g = GaussianStats::new(4);
+            for _ in 0..300 {
+                let v: Vec<f64> = (0..4).map(|_| rng.normal(seed as f64 % 3.0, 1.0 + (seed % 2) as f64)).collect();
+                g.record(&v);
+            }
+            g
+        };
+        let a = sample(seed_a);
+        let b = sample(seed_b);
+        let d1 = frechet_distance(&a, &b).unwrap();
+        let d2 = frechet_distance(&b, &a).unwrap();
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        if seed_a == seed_b {
+            prop_assert!(d1 < 1e-6);
+        }
+    }
+
+    #[test]
+    fn serving_conserves_requests(n in 20usize..120, rate in 2.0f64..40.0, seed in 0u64..20) {
+        use modm::cluster::GpuKind;
+        use modm::core::{MoDMConfig, ServingSystem};
+        use modm::workload::TraceBuilder;
+        let t = TraceBuilder::diffusion_db(seed).requests(n).rate_per_min(rate).build();
+        let r = ServingSystem::new(
+            MoDMConfig::builder()
+                .gpus(GpuKind::Mi210, 4)
+                .cache_capacity(500)
+                .build(),
+        )
+        .run(&t);
+        prop_assert_eq!(r.completed(), n as u64);
+        prop_assert_eq!(r.hits + r.misses, n as u64);
+        let k_total: u64 = r.k_histogram.iter().sum();
+        prop_assert_eq!(k_total, r.hits);
+    }
+}
