@@ -181,22 +181,21 @@ impl<P: BaselinePolicy> BaselineEngine<P> {
         let mut misses = 0u64;
         let mut finished_at = SimTime::ZERO;
 
-        let complete =
-            |now: SimTime,
-             job: &BaselineJob,
-             policy: &mut P,
-             rng: &mut SimRng,
-             latency: &mut LatencyReport,
-             throughput: &mut ThroughputReport,
-             quality: &mut QualityAggregator,
-             finished_at: &mut SimTime| {
-                let image = policy.produce(job, rng);
-                latency.record(job.arrival, now);
-                throughput.record_completion(now);
-                quality.record(&job.prompt_embedding, &image);
-                *finished_at = (*finished_at).max(now);
-                policy.on_complete(now, job, &image);
-            };
+        let complete = |now: SimTime,
+                        job: &BaselineJob,
+                        policy: &mut P,
+                        rng: &mut SimRng,
+                        latency: &mut LatencyReport,
+                        throughput: &mut ThroughputReport,
+                        quality: &mut QualityAggregator,
+                        finished_at: &mut SimTime| {
+            let image = policy.produce(job, rng);
+            latency.record(job.arrival, now);
+            throughput.record_completion(now);
+            quality.record(&job.prompt_embedding, &image);
+            *finished_at = (*finished_at).max(now);
+            policy.on_complete(now, job, &image);
+        };
 
         while let Some((now, event)) = events.pop() {
             match event {

@@ -95,7 +95,12 @@ impl NirvanaSystem {
 }
 
 impl NirvanaPolicy {
-    fn cache_latents(&mut self, now: SimTime, prompt_embedding: &modm_embedding::Embedding, image: &GeneratedImage) {
+    fn cache_latents(
+        &mut self,
+        now: SimTime,
+        prompt_embedding: &modm_embedding::Embedding,
+        image: &GeneratedImage,
+    ) {
         let latents = K_CHOICES
             .iter()
             .map(|&k| self.sampler.capture_latent(image, k))
@@ -111,9 +116,7 @@ impl BaselinePolicy for NirvanaPolicy {
 
     fn warm(&mut self, request: &Request, rng: &mut SimRng) {
         let emb = self.encoder.encode(&request.prompt);
-        let img = self
-            .sampler
-            .generate_for(self.model, &emb, request.id, rng);
+        let img = self.sampler.generate_for(self.model, &emb, request.id, rng);
         self.cache_latents(SimTime::ZERO, &emb, &img);
     }
 
@@ -131,8 +134,7 @@ impl BaselinePolicy for NirvanaPolicy {
                     arrival: request.arrival,
                     prompt_embedding: emb,
                     steps: self.model.spec().default_steps
-                        - (self.model.spec().default_steps * k
-                            / modm_diffusion::TOTAL_STEPS),
+                        - (self.model.spec().default_steps * k / modm_diffusion::TOTAL_STEPS),
                     k,
                     is_hit: true,
                     payload: JobPayload::ResumeLatent { latent, k },
@@ -158,7 +160,13 @@ impl BaselinePolicy for NirvanaPolicy {
             }
             JobPayload::ResumeLatent { latent, .. } => self
                 .sampler
-                .resume_from_latent(self.model, latent, &job.prompt_embedding, job.request_id, rng)
+                .resume_from_latent(
+                    self.model,
+                    latent,
+                    &job.prompt_embedding,
+                    job.request_id,
+                    rng,
+                )
                 .expect("latent cache only stores same-family latents"),
             JobPayload::ServeCached { .. } => unreachable!("nirvana never serves unrefined"),
         }
@@ -192,7 +200,10 @@ mod tests {
 
     #[test]
     fn nirvana_hits_but_skips_modestly() {
-        let trace = TraceBuilder::diffusion_db(3).requests(300).rate_per_min(10.0).build();
+        let trace = TraceBuilder::diffusion_db(3)
+            .requests(300)
+            .rate_per_min(10.0)
+            .build();
         let mut sys = NirvanaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16, 2_000);
         let report = sys.run(&trace);
         assert!(report.hit_rate() > 0.4, "hit rate = {}", report.hit_rate());
@@ -203,15 +214,17 @@ mod tests {
 
     #[test]
     fn nirvana_beats_vanilla_modestly_on_throughput() {
-        let trace = TraceBuilder::diffusion_db(4).requests(250).rate_per_min(1.0).build();
+        let trace = TraceBuilder::diffusion_db(4)
+            .requests(250)
+            .rate_per_min(1.0)
+            .build();
         let opts = RunOptions {
             warmup: 50,
             saturate: true,
         };
         let mut nirvana = NirvanaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16, 2_000);
         let n = nirvana.run_with(&trace, opts);
-        let mut vanilla =
-            crate::VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
+        let mut vanilla = crate::VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
         let v = vanilla.run_with(&trace, opts);
         let speedup = n.requests_per_minute() / v.requests_per_minute();
         assert!(

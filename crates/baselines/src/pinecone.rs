@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn pinecone_hits_cost_nothing() {
-        let trace = TraceBuilder::diffusion_db(5).requests(300).rate_per_min(10.0).build();
+        let trace = TraceBuilder::diffusion_db(5)
+            .requests(300)
+            .rate_per_min(10.0)
+            .build();
         let mut sys = PineconeSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16, 2_000);
         let report = sys.run(&trace);
         assert!(report.hits > 0, "some verbatim-ish repeats must hit");
@@ -192,7 +195,10 @@ mod tests {
 
     #[test]
     fn pinecone_quality_suffers_on_alignment() {
-        let trace = TraceBuilder::diffusion_db(6).requests(400).rate_per_min(10.0).build();
+        let trace = TraceBuilder::diffusion_db(6)
+            .requests(400)
+            .rate_per_min(10.0)
+            .build();
         let opts = RunOptions {
             warmup: 100,
             saturate: true,

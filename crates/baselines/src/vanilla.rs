@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn vanilla_serves_everything_fully() {
-        let trace = TraceBuilder::diffusion_db(1).requests(30).rate_per_min(5.0).build();
+        let trace = TraceBuilder::diffusion_db(1)
+            .requests(30)
+            .rate_per_min(5.0)
+            .build();
         let mut sys = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 8);
         let report = sys.run(&trace);
         assert_eq!(report.completed(), 30);
@@ -102,7 +105,10 @@ mod tests {
     #[test]
     fn vanilla_throughput_matches_profile() {
         // Saturated: 16 MI210s at 96 s per image -> ~10 req/min.
-        let trace = TraceBuilder::diffusion_db(2).requests(200).rate_per_min(1.0).build();
+        let trace = TraceBuilder::diffusion_db(2)
+            .requests(200)
+            .rate_per_min(1.0)
+            .build();
         let mut sys = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
         let report = sys.run_with(
             &trace,

@@ -1,12 +1,12 @@
 //! Image-cache insert/evict throughput under each maintenance policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modm_bench::Bench;
 use modm_cache::{CacheConfig, ImageCache, MaintenancePolicy};
 use modm_diffusion::{ModelId, QualityModel, Sampler};
 use modm_embedding::{SemanticSpace, TextEncoder};
 use modm_simkit::{SimRng, SimTime};
 
-fn bench_insert_evict(c: &mut Criterion) {
+fn main() {
     let space = SemanticSpace::default();
     let text = TextEncoder::new(space.clone());
     let sampler = Sampler::new(QualityModel::new(space, 1, 6.29));
@@ -19,42 +19,29 @@ fn bench_insert_evict(c: &mut Criterion) {
         })
         .collect();
 
-    let mut group = c.benchmark_group("cache_insert_full");
+    let mut bench = Bench::new("cache_insert_full");
     for policy in [
         MaintenancePolicy::Fifo,
         MaintenancePolicy::Lru,
         MaintenancePolicy::Utility,
+        MaintenancePolicy::S3Fifo,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("policy", format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                b.iter_batched(
-                    || {
-                        let mut cache =
-                            ImageCache::new(CacheConfig::with_policy(256, policy));
-                        for (i, img) in images.iter().take(256).enumerate() {
-                            cache.insert(SimTime::from_micros(i as u64), img.clone());
-                        }
-                        cache
-                    },
-                    |mut cache| {
-                        // Insert into a full cache: every insert evicts.
-                        for (i, img) in images.iter().skip(256).enumerate() {
-                            cache.insert(
-                                SimTime::from_micros(1_000 + i as u64),
-                                img.clone(),
-                            );
-                        }
-                        cache
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
+        bench.measure_batched(
+            format!("policy/{policy:?}"),
+            || {
+                let mut cache = ImageCache::new(CacheConfig::with_policy(256, policy));
+                for (i, img) in images.iter().take(256).enumerate() {
+                    cache.insert(SimTime::from_micros(i as u64), img.clone());
+                }
+                cache
+            },
+            |mut cache| {
+                // Insert into a full cache: every insert evicts.
+                for (i, img) in images.iter().skip(256).enumerate() {
+                    cache.insert(SimTime::from_micros(1_000 + i as u64), img.clone());
+                }
+                cache
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_insert_evict);
-criterion_main!(benches);

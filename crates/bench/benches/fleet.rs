@@ -1,0 +1,68 @@
+//! Fleet simulation speed and the `BENCH_fleet.json` trajectory point.
+//!
+//! Times a fixed 8-node fleet run per routing policy and records both the
+//! wall-clock cost of the simulation and the simulated serving outcomes
+//! (hit rate, throughput, load imbalance) into `BENCH_fleet.json`, so the
+//! repo's performance trajectory tracks the fleet subsystem over time.
+
+use modm_bench::{write_json, Bench, Json};
+use modm_cluster::GpuKind;
+use modm_core::MoDMConfig;
+use modm_fleet::{Fleet, Router, RoutingPolicy};
+use modm_workload::TraceBuilder;
+
+const NODES: usize = 8;
+
+fn main() {
+    let trace = TraceBuilder::diffusion_db(5)
+        .requests(1_200)
+        .rate_per_min(20.0)
+        .build();
+    let node = MoDMConfig::builder()
+        .gpus(GpuKind::Mi210, 2)
+        .cache_capacity(1_000)
+        .build();
+
+    let mut bench = Bench::new("fleet").with_sample_secs(0.5);
+    let mut points: Vec<Json> = Vec::new();
+    for policy in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::CacheAffinity,
+    ] {
+        let fleet = Fleet::new(node.clone(), Router::new(policy, NODES));
+        bench.measure(format!("run/{}", policy.name()), || {
+            std::hint::black_box(fleet.run(&trace))
+        });
+        let wall_ns = bench.results().last().expect("just measured").median_ns;
+        let report = fleet.run(&trace);
+        points.push(Json::Obj(vec![
+            ("policy".into(), Json::Str(policy.name().into())),
+            ("nodes".into(), Json::Num(NODES as f64)),
+            ("hit_rate".into(), Json::Num(report.hit_rate())),
+            (
+                "requests_per_minute".into(),
+                Json::Num(report.requests_per_minute()),
+            ),
+            ("load_imbalance".into(), Json::Num(report.load_imbalance())),
+            (
+                "sim_requests_per_wall_sec".into(),
+                Json::Num(report.completed() as f64 / (wall_ns / 1e9)),
+            ),
+            ("wall_ms_per_run".into(), Json::Num(wall_ns / 1e6)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("fleet".into())),
+        ("trace_requests".into(), Json::Num(1_200.0)),
+        ("gpus_per_node".into(), Json::Num(2.0)),
+        ("cache_per_node".into(), Json::Num(1_000.0)),
+        ("points".into(), Json::Arr(points)),
+    ]);
+    // Emit at the workspace root (cargo bench runs with the package as
+    // its working directory).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    write_json(path, &doc).expect("write BENCH_fleet.json");
+    println!("\nwrote {path}");
+}

@@ -1,14 +1,14 @@
 //! Quality-metric kernels: Fréchet distance (Jacobi eigendecomposition on
 //! 16x16 covariances) and the Inception Score pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modm_bench::Bench;
 use modm_diffusion::{ModelId, QualityModel};
 use modm_embedding::SemanticSpace;
 use modm_metrics::InceptionScorer;
 use modm_numerics::{frechet_distance, GaussianStats};
 use modm_simkit::SimRng;
 
-fn bench_metrics(c: &mut Criterion) {
+fn main() {
     let q = QualityModel::new(SemanticSpace::default(), 1, 6.29);
     let mut rng = SimRng::seed_from(3);
     let feats: Vec<Vec<f64>> = (0..2_000)
@@ -18,37 +18,32 @@ fn bench_metrics(c: &mut Criterion) {
         .map(|_| q.fresh_features(ModelId::Sdxl, &mut rng))
         .collect();
 
-    c.bench_function("frechet_distance_16d", |b| {
-        let mut ga = GaussianStats::new(16);
-        let mut gb = GaussianStats::new(16);
+    let mut bench = Bench::new("metrics");
+
+    let mut ga = GaussianStats::new(16);
+    let mut gb = GaussianStats::new(16);
+    for f in &feats {
+        ga.record(f);
+    }
+    for f in &feats_b {
+        gb.record(f);
+    }
+    bench.measure("frechet_distance_16d", || {
+        std::hint::black_box(frechet_distance(&ga, &gb).unwrap())
+    });
+
+    bench.measure("inception_score_2k_images", || {
+        let mut sc = InceptionScorer::new();
         for f in &feats {
-            ga.record(f);
+            sc.record(f);
         }
-        for f in &feats_b {
-            gb.record(f);
-        }
-        b.iter(|| std::hint::black_box(frechet_distance(&ga, &gb).unwrap()))
+        std::hint::black_box(sc.score())
     });
 
-    c.bench_function("inception_score_2k_images", |b| {
-        b.iter(|| {
-            let mut sc = InceptionScorer::new();
-            for f in &feats {
-                sc.record(f);
-            }
-            std::hint::black_box(sc.score())
-        })
-    });
-
-    c.bench_function("gaussian_record", |b| {
-        let mut g = GaussianStats::new(16);
-        let mut i = 0;
-        b.iter(|| {
-            g.record(&feats[i % feats.len()]);
-            i += 1;
-        })
+    let mut g = GaussianStats::new(16);
+    let mut i = 0;
+    bench.measure("gaussian_record", || {
+        g.record(&feats[i % feats.len()]);
+        i += 1;
     });
 }
-
-criterion_group!(benches, bench_metrics);
-criterion_main!(benches);

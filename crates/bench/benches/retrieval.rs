@@ -1,15 +1,15 @@
 //! Cache retrieval latency vs cache size (paper §5.2: 0.05 s at 100k on
 //! GPU; here the CPU flat scan and the IVF index).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modm_bench::Bench;
 use modm_embedding::{EmbeddingIndex, IvfIndex, SemanticSpace, TextEncoder};
 
-fn bench_retrieval(c: &mut Criterion) {
+fn main() {
     let space = SemanticSpace::default();
     let text = TextEncoder::new(space.clone());
     let query = text.encode("gilded castle soaring mountains dawn oil painting");
 
-    let mut group = c.benchmark_group("retrieval");
+    let mut bench = Bench::new("retrieval");
     for &n in &[1_000usize, 10_000, 100_000] {
         let mut flat = EmbeddingIndex::new();
         let mut ivf = IvfIndex::new(space.dim(), 256, 12);
@@ -18,15 +18,11 @@ fn bench_retrieval(c: &mut Criterion) {
             flat.insert(i as u64, e.clone());
             ivf.insert(i as u64, e);
         }
-        group.bench_with_input(BenchmarkId::new("flat", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(flat.nearest(&query)))
+        bench.measure(format!("flat/{n}"), || {
+            std::hint::black_box(flat.nearest(&query))
         });
-        group.bench_with_input(BenchmarkId::new("ivf", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(ivf.nearest(&query)))
+        bench.measure(format!("ivf/{n}"), || {
+            std::hint::black_box(ivf.nearest(&query))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_retrieval);
-criterion_main!(benches);

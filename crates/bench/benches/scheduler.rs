@@ -1,43 +1,36 @@
 //! Scheduler-path costs: prompt encoding, the k-decision, and the global
 //! monitor's Algorithm 1 planning step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modm_bench::Bench;
 use modm_core::monitor::{GlobalMonitor, WindowStats};
 use modm_core::{k_decision, MoDMConfig};
 use modm_embedding::{SemanticSpace, TextEncoder};
 
-fn bench_scheduler(c: &mut Criterion) {
+fn main() {
     let text = TextEncoder::new(SemanticSpace::default());
-    c.bench_function("encode_prompt", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                text.encode("gilded castle soaring mountains dawn oil painting misty"),
-            )
-        })
+    let mut bench = Bench::new("scheduler");
+
+    bench.measure("encode_prompt", || {
+        std::hint::black_box(text.encode("gilded castle soaring mountains dawn oil painting misty"))
     });
 
-    c.bench_function("k_decision", |b| {
-        let mut s = 0.2f64;
-        b.iter(|| {
-            s = if s > 0.34 { 0.2 } else { s + 1e-4 };
-            std::hint::black_box(k_decision(s))
-        })
+    let mut s = 0.2f64;
+    bench.measure("k_decision", || {
+        s = if s > 0.34 { 0.2 } else { s + 1e-4 };
+        std::hint::black_box(k_decision(s))
     });
 
-    c.bench_function("monitor_tick_algorithm1", |b| {
-        let config = MoDMConfig::builder().build();
-        let mut monitor = GlobalMonitor::new(&config);
-        let mut k_rates = [0.0; 6];
-        k_rates[2] = 0.5;
-        k_rates[5] = 0.5;
-        let stats = WindowStats {
-            rate_per_min: 18.0,
-            hit_rate: 0.75,
-            k_rates,
-        };
-        b.iter(|| std::hint::black_box(monitor.tick(&stats)))
+    let config = MoDMConfig::builder().build();
+    let mut monitor = GlobalMonitor::new(&config);
+    let mut k_rates = [0.0; 6];
+    k_rates[2] = 0.5;
+    k_rates[5] = 0.5;
+    let stats = WindowStats {
+        rate_per_min: 18.0,
+        hit_rate: 0.75,
+        k_rates,
+    };
+    bench.measure("monitor_tick_algorithm1", || {
+        std::hint::black_box(monitor.tick(&stats))
     });
 }
-
-criterion_group!(benches, bench_scheduler);
-criterion_main!(benches);

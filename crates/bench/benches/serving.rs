@@ -1,14 +1,14 @@
 //! End-to-end simulation speed: virtual requests served per wall-clock
 //! second for MoDM and the baselines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use modm_baselines::VanillaSystem;
+use modm_bench::Bench;
 use modm_cluster::GpuKind;
 use modm_core::{MoDMConfig, RunOptions, ServingSystem};
 use modm_diffusion::ModelId;
 use modm_workload::TraceBuilder;
 
-fn bench_serving(c: &mut Criterion) {
+fn main() {
     let trace = TraceBuilder::diffusion_db(5)
         .requests(600)
         .rate_per_min(10.0)
@@ -18,25 +18,18 @@ fn bench_serving(c: &mut Criterion) {
         saturate: true,
     };
 
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::new("system", "modm"), |b| {
-        let system = ServingSystem::new(
-            MoDMConfig::builder()
-                .gpus(GpuKind::Mi210, 16)
-                .cache_capacity(2_000)
-                .build(),
-        );
-        b.iter(|| std::hint::black_box(system.run_with(&trace, opts)))
+    let mut bench = Bench::new("end_to_end").with_sample_secs(0.5);
+    let system = ServingSystem::new(
+        MoDMConfig::builder()
+            .gpus(GpuKind::Mi210, 16)
+            .cache_capacity(2_000)
+            .build(),
+    );
+    bench.measure("system/modm", || {
+        std::hint::black_box(system.run_with(&trace, opts))
     });
-    group.bench_function(BenchmarkId::new("system", "vanilla"), |b| {
-        b.iter(|| {
-            let mut v = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
-            std::hint::black_box(v.run_with(&trace, opts))
-        })
+    bench.measure("system/vanilla", || {
+        let mut v = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
+        std::hint::black_box(v.run_with(&trace, opts))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_serving);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks for MoDM components.
+//! Micro-benchmarks for MoDM components, on a self-contained harness.
 //!
 //! The experiment harness (`modm-experiments`) regenerates the paper's
 //! tables and figures; these benches measure the *costs of the system's own
@@ -6,7 +6,281 @@
 //! next to denoising:
 //!
 //! * `retrieval` — flat vs IVF cache lookup across cache sizes.
-//! * `cache_ops` — insert/evict throughput of the image cache.
+//! * `cache_ops` — insert/evict throughput of the image cache, per policy.
 //! * `scheduler` — prompt encoding, k-decision, Algorithm 1 planning.
 //! * `metrics` — FID (eigendecomposition) and Inception Score kernels.
 //! * `serving` — end-to-end simulated requests per wall-clock second.
+//! * `fleet` — multi-node fleet simulation speed; also emits the
+//!   `BENCH_fleet.json` trajectory point.
+//!
+//! The build runs fully offline, so instead of Criterion the benches share
+//! the [`Bench`] harness below: auto-calibrated iteration counts, median-of
+//! -samples timing, a plain-text table, and a dependency-free JSON writer
+//! for trajectory files. Run with `cargo bench -p modm-bench`.
+
+use std::time::Instant;
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Case id, e.g. `"flat/10000"`.
+    pub id: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Median per-iteration time over the samples, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub min_ns: f64,
+}
+
+/// A tiny Criterion stand-in: warms up, auto-calibrates the iteration
+/// count to a target sample duration, takes several samples and keeps the
+/// median.
+///
+/// # Example
+///
+/// ```
+/// use modm_bench::Bench;
+/// let mut b = Bench::new("demo");
+/// b.measure("add", || std::hint::black_box(2u64 + 2));
+/// assert_eq!(b.results().len(), 1);
+/// ```
+pub struct Bench {
+    suite: String,
+    results: Vec<BenchResult>,
+    /// Target wall-clock per sample, seconds.
+    sample_secs: f64,
+    samples: usize,
+}
+
+impl Bench {
+    /// Creates a suite harness with default calibration (5 samples of
+    /// ~0.1 s each per case).
+    pub fn new(suite: impl Into<String>) -> Self {
+        Bench {
+            suite: suite.into(),
+            results: Vec::new(),
+            sample_secs: 0.1,
+            samples: 5,
+        }
+    }
+
+    /// Overrides the per-sample duration target (e.g. for slow end-to-end
+    /// cases).
+    pub fn with_sample_secs(mut self, secs: f64) -> Self {
+        self.sample_secs = secs;
+        self
+    }
+
+    /// The suite name.
+    pub fn suite(&self) -> &str {
+        &self.suite
+    }
+
+    /// Results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Measures `work`, printing and recording the median per-iteration
+    /// time.
+    pub fn measure<T>(&mut self, id: impl Into<String>, mut work: impl FnMut() -> T) {
+        let id = id.into();
+        // Warm-up + calibration: run once, then scale to the sample target.
+        let t0 = Instant::now();
+        std::hint::black_box(work());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((self.sample_secs / once).clamp(1.0, 1e8)) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(work());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = per_iter[per_iter.len() / 2];
+        let min_ns = per_iter[0];
+        println!(
+            "{:<40} {:>12} {:>14}  ({} iters x {} samples)",
+            format!("{}/{}", self.suite, id),
+            format_ns(median_ns),
+            format!("min {}", format_ns(min_ns)),
+            iters,
+            self.samples
+        );
+        self.results.push(BenchResult {
+            id,
+            iters,
+            median_ns,
+            min_ns,
+        });
+    }
+
+    /// Measures `work` over a fresh untimed `setup` value per sample —
+    /// the batched pattern for mutation-heavy cases (e.g. filling a cache
+    /// that the timed section then overflows).
+    pub fn measure_batched<S, T>(
+        &mut self,
+        id: impl Into<String>,
+        mut setup: impl FnMut() -> S,
+        mut work: impl FnMut(S) -> T,
+    ) {
+        let id = id.into();
+        let mut per_run: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let state = setup();
+            let t = Instant::now();
+            std::hint::black_box(work(state));
+            per_run.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+        per_run.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = per_run[per_run.len() / 2];
+        let min_ns = per_run[0];
+        println!(
+            "{:<40} {:>12} {:>14}  (1 run x {} samples)",
+            format!("{}/{}", self.suite, id),
+            format_ns(median_ns),
+            format!("min {}", format_ns(min_ns)),
+            self.samples
+        );
+        self.results.push(BenchResult {
+            id,
+            iters: 1,
+            median_ns,
+            min_ns,
+        });
+    }
+}
+
+/// Human-readable nanoseconds.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Minimal JSON value model for trajectory files — enough structure for
+/// `BENCH_*.json` without an external serializer.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float (serialized with full precision).
+    Num(f64),
+    /// A string (escaped).
+    Str(String),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Serializes the value.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    format!("{x}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            Json::Str(s) => format!("\"{}\"", escape(s)),
+            Json::Obj(fields) => {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": {}", escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", body.join(", "))
+            }
+            Json::Arr(items) => {
+                let body: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", body.join(", "))
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes a trajectory-point JSON file to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &str, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, value.render() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut b = Bench::new("t").with_sample_secs(0.001);
+        b.measure("noop", || std::hint::black_box(1u32));
+        assert_eq!(b.results().len(), 1);
+        assert!(b.results()[0].median_ns >= 0.0);
+        assert!(b.results()[0].min_ns <= b.results()[0].median_ns);
+    }
+
+    #[test]
+    fn batched_measures_once_per_sample() {
+        let mut b = Bench::new("t");
+        let mut setups = 0;
+        b.measure_batched(
+            "batch",
+            || {
+                setups += 1;
+                vec![0u8; 64]
+            },
+            |v| v.len(),
+        );
+        assert_eq!(setups, 5, "one setup per sample");
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("a \"quoted\"\nvalue".into())),
+            ("x".into(), Json::Num(1.5)),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Str("two".into())]),
+            ),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("\\n"));
+        assert!(s.contains("\"x\": 1.5"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

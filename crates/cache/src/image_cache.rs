@@ -1,7 +1,8 @@
 //! MoDM's final-image cache: capacity-bounded, similarity-retrievable,
-//! maintained by FIFO (the paper's choice), LRU or utility policies.
+//! maintained by FIFO (the paper's choice), LRU, utility or S3-FIFO
+//! policies.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use modm_diffusion::GeneratedImage;
 use modm_embedding::{Embedding, EmbeddingIndex, IvfIndex, Neighbor};
@@ -12,7 +13,7 @@ use crate::stats::CacheStats;
 /// Capacity at which caches switch from the exact flat index to the
 /// IVF approximate index (lookup cost stops growing with cache size, as the
 /// paper's GPU-batched similarity search also does).
-pub(crate) const IVF_THRESHOLD: usize = 20_000;
+pub const IVF_THRESHOLD: usize = 20_000;
 
 /// Index backend shared by the cache variants: exact for small caches,
 /// IVF for large ones.
@@ -81,6 +82,11 @@ pub enum MaintenancePolicy {
     Lru,
     /// Evict the entry with the fewest hits (utility-based, Nirvana-style).
     Utility,
+    /// S3-FIFO (Yang et al., SOSP'23): a small probationary FIFO absorbs
+    /// one-hit wonders, entries retrieved while probationary are promoted
+    /// into a main FIFO with lazy second-chance eviction, and a ghost queue
+    /// of recently evicted keys readmits comebacks straight into main.
+    S3Fifo,
 }
 
 /// Cache configuration.
@@ -142,6 +148,84 @@ pub struct RetrievedImage {
     pub cached_at: SimTime,
 }
 
+/// Book-keeping for the S3-FIFO maintenance policy: the probationary
+/// (small) and protected (main) FIFO queues, the ghost queue of recently
+/// evicted keys, and the per-entry access frequency (capped at 3, as in the
+/// reference implementations).
+#[derive(Debug, Clone, Default)]
+struct S3State {
+    small: VecDeque<u64>,
+    main: VecDeque<u64>,
+    ghost: VecDeque<u64>,
+    ghost_set: HashSet<u64>,
+    freq: HashMap<u64, u8>,
+}
+
+/// Maximum tracked access frequency under S3-FIFO.
+const S3_FREQ_CAP: u8 = 3;
+
+impl S3State {
+    /// Target size of the probationary queue: 10% of capacity (at least 1).
+    fn small_target(capacity: usize) -> usize {
+        (capacity / 10).max(1)
+    }
+
+    fn bump(&mut self, key: u64) {
+        let f = self.freq.entry(key).or_insert(0);
+        *f = (*f + 1).min(S3_FREQ_CAP);
+    }
+
+    fn remember_ghost(&mut self, key: u64, capacity: usize) {
+        if self.ghost_set.insert(key) {
+            self.ghost.push_back(key);
+        }
+        while self.ghost.len() > capacity {
+            if let Some(old) = self.ghost.pop_front() {
+                self.ghost_set.remove(&old);
+            }
+        }
+    }
+
+    fn forget(&mut self, key: u64) {
+        self.freq.remove(&key);
+        if let Some(pos) = self.small.iter().position(|&id| id == key) {
+            self.small.remove(pos);
+        }
+        if let Some(pos) = self.main.iter().position(|&id| id == key) {
+            self.main.remove(pos);
+        }
+    }
+
+    /// Selects one victim to evict, performing small->main promotions and
+    /// main-queue second chances along the way. Terminates because every
+    /// pass either shrinks `small` or decrements a frequency.
+    fn pick_victim(&mut self, capacity: usize) -> Option<u64> {
+        loop {
+            let from_small =
+                self.small.len() >= Self::small_target(capacity) || self.main.is_empty();
+            if from_small {
+                if let Some(key) = self.small.pop_front() {
+                    if self.freq.get(&key).copied().unwrap_or(0) >= 1 {
+                        // Retrieved while probationary: promote.
+                        self.freq.insert(key, 0);
+                        self.main.push_back(key);
+                        continue;
+                    }
+                    return Some(key);
+                }
+            }
+            let key = self.main.pop_front()?;
+            let f = self.freq.get(&key).copied().unwrap_or(0);
+            if f > 0 {
+                self.freq.insert(key, f - 1);
+                self.main.push_back(key);
+                continue;
+            }
+            return Some(key);
+        }
+    }
+}
+
 /// The final-image cache.
 #[derive(Debug, Clone)]
 pub struct ImageCache {
@@ -149,6 +233,7 @@ pub struct ImageCache {
     entries: HashMap<u64, CachedImage>,
     index: CacheIndex,
     fifo: VecDeque<u64>,
+    s3: S3State,
     stats: CacheStats,
 }
 
@@ -161,8 +246,16 @@ impl ImageCache {
             entries: HashMap::new(),
             index,
             fifo: VecDeque::new(),
+            s3: S3State::default(),
             stats: CacheStats::new(),
         }
+    }
+
+    /// True when the cache retrieves through the approximate IVF index
+    /// rather than the exact flat scan (decided by capacity against
+    /// [`IVF_THRESHOLD`]).
+    pub fn uses_ivf_index(&self) -> bool {
+        matches!(self.index, CacheIndex::Ivf(_))
     }
 
     /// Current number of cached images.
@@ -209,29 +302,64 @@ impl ImageCache {
                 .values()
                 .min_by_key(|e| (e.hit_count, e.cached_at, e.image.id.0))
                 .map(|e| e.image.id.0),
+            MaintenancePolicy::S3Fifo => self.s3.pick_victim(self.config.capacity),
         }
     }
 
     /// Inserts an image at time `now`, evicting per policy when full.
+    /// Re-inserting an id that is already resident replaces the old entry.
     pub fn insert(&mut self, now: SimTime, image: GeneratedImage) {
+        let key = image.id.0;
+        if self.entries.remove(&key).is_some() {
+            self.index.remove(&key);
+            self.remove_from_queues(key);
+        }
+        // Ghost membership is decided when the insert arrives, before this
+        // insert's own evictions can rotate the ghost queue.
+        let ghost_comeback =
+            self.config.policy == MaintenancePolicy::S3Fifo && self.s3.ghost_set.contains(&key);
         while self.entries.len() >= self.config.capacity {
             let Some(victim) = self.evict_victim() else {
                 break;
             };
-            // Under LRU/Utility the FIFO deque may contain stale ids; keep
-            // it consistent by removing the victim wherever it sits.
-            if self.config.policy != MaintenancePolicy::Fifo {
-                if let Some(pos) = self.fifo.iter().position(|&id| id == victim) {
-                    self.fifo.remove(pos);
+            match self.config.policy {
+                // FIFO and S3-FIFO pop the victim from their own queues.
+                MaintenancePolicy::Fifo => {}
+                MaintenancePolicy::S3Fifo => {
+                    self.s3.freq.remove(&victim);
+                    self.s3.remember_ghost(victim, self.config.capacity);
+                }
+                // Under LRU/Utility the FIFO deque may contain stale ids;
+                // keep it consistent by removing the victim wherever it sits.
+                MaintenancePolicy::Lru | MaintenancePolicy::Utility => {
+                    if let Some(pos) = self.fifo.iter().position(|&id| id == victim) {
+                        self.fifo.remove(pos);
+                    }
                 }
             }
             self.entries.remove(&victim);
             self.index.remove(&victim);
             self.stats.record_eviction();
         }
-        let key = image.id.0;
         self.index.insert(key, image.embedding.clone());
-        self.fifo.push_back(key);
+        match self.config.policy {
+            MaintenancePolicy::S3Fifo => {
+                self.s3.freq.insert(key, 0);
+                if ghost_comeback {
+                    // A key evicted recently came back: skip probation, and
+                    // drop the ghost record so a future eviction grants a
+                    // fresh full-length comeback window.
+                    self.s3.ghost_set.remove(&key);
+                    if let Some(pos) = self.s3.ghost.iter().position(|&id| id == key) {
+                        self.s3.ghost.remove(pos);
+                    }
+                    self.s3.main.push_back(key);
+                } else {
+                    self.s3.small.push_back(key);
+                }
+            }
+            _ => self.fifo.push_back(key),
+        }
         self.entries.insert(
             key,
             CachedImage {
@@ -242,6 +370,19 @@ impl ImageCache {
             },
         );
         self.stats.record_insertion();
+    }
+
+    /// Drops every queue reference to `key` (only needed when an id is
+    /// replaced while resident, which eviction does not handle).
+    fn remove_from_queues(&mut self, key: u64) {
+        match self.config.policy {
+            MaintenancePolicy::S3Fifo => self.s3.forget(key),
+            _ => {
+                if let Some(pos) = self.fifo.iter().position(|&id| id == key) {
+                    self.fifo.remove(pos);
+                }
+            }
+        }
     }
 
     /// Looks up the most similar cached image for a query text embedding,
@@ -263,6 +404,9 @@ impl ImageCache {
                 let entry = self.entries.get_mut(&key).expect("index/entries in sync");
                 entry.last_used = now;
                 entry.hit_count += 1;
+                if self.config.policy == MaintenancePolicy::S3Fifo {
+                    self.s3.bump(key);
+                }
                 let age = now.saturating_since(entry.cached_at);
                 self.stats.record_lookup(Some((age, sim)));
                 Some(RetrievedImage {
@@ -297,6 +441,22 @@ impl ImageCache {
     /// Iterates over the cached entries (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = &CachedImage> {
         self.entries.values()
+    }
+
+    /// Empties the cache, returning every resident image in ascending id
+    /// order (so downstream re-placement is deterministic). Maintenance
+    /// state (queues, ghost memory, frequencies) is reset;
+    /// lookup/insertion/eviction counters are preserved but the drain
+    /// itself is not counted as evictions. This is the primitive behind
+    /// shard rebalancing in `modm-fleet`.
+    pub fn drain_images(&mut self) -> Vec<GeneratedImage> {
+        let mut images: Vec<GeneratedImage> = self.entries.drain().map(|(_, e)| e.image).collect();
+        images.sort_unstable_by_key(|img| img.id.0);
+        self.index =
+            CacheIndex::for_capacity(self.config.capacity, modm_embedding::space::DEFAULT_DIM);
+        self.fifo.clear();
+        self.s3 = S3State::default();
+        images
     }
 }
 
@@ -334,7 +494,9 @@ mod tests {
         let p = "ancient castle soaring mountains dawn watercolor painting misty golden";
         cache.insert(SimTime::ZERO, image_for(&mut f, p));
         let q_same = f.text.encode(p);
-        let q_far = f.text.encode("neon robot dueling metropolis midnight pixel art");
+        let q_far = f
+            .text
+            .encode("neon robot dueling metropolis midnight pixel art");
         let now = SimTime::from_secs_f64(10.0);
         assert!(cache.retrieve(now, &q_same, 0.25).is_some());
         assert!(cache.retrieve(now, &q_far, 0.25).is_none());
@@ -356,7 +518,9 @@ mod tests {
             );
             cache.insert(SimTime::ZERO, image_for(&mut f, &p));
         }
-        let q = f.text.encode("crystal leviathan awakening reef noon baroque fresco velvet");
+        let q = f
+            .text
+            .encode("crystal leviathan awakening reef noon baroque fresco velvet");
         let hit = cache.retrieve(SimTime::ZERO, &q, 0.25);
         assert!(hit.is_none(), "unrelated query must miss");
     }
@@ -427,8 +591,7 @@ mod tests {
     #[test]
     fn utility_keeps_popular() {
         let mut f = fixture();
-        let mut cache =
-            ImageCache::new(CacheConfig::with_policy(2, MaintenancePolicy::Utility));
+        let mut cache = ImageCache::new(CacheConfig::with_policy(2, MaintenancePolicy::Utility));
         let p1 = "weathered shepherd meditating highlands dawn impressionist canvas";
         let p2 = "luminous jellyfish orbiting moon eclipse vaporwave aesthetic";
         cache.insert(SimTime::from_secs_f64(0.0), image_for(&mut f, p1));
@@ -446,6 +609,88 @@ mod tests {
     }
 
     #[test]
+    fn s3fifo_protects_retrieved_entries() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::with_policy(3, MaintenancePolicy::S3Fifo));
+        let hot = "ancient lighthouse guarding archipelago dusk oil painting";
+        let cold = "forgotten automaton rusting junkyard noon charcoal sketch";
+        cache.insert(SimTime::from_secs_f64(0.0), image_for(&mut f, hot));
+        cache.insert(SimTime::from_secs_f64(1.0), image_for(&mut f, cold));
+        // Retrieve `hot` while probationary so it gets promoted to main.
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(2.0), &f.text.encode(hot), 0.25)
+            .is_some());
+        // Flood with one-hit wonders; `hot` must survive, `cold` must not.
+        for i in 0..6 {
+            let p = format!("fleeting meteor streak {i} night photo grainy");
+            cache.insert(
+                SimTime::from_secs_f64(3.0 + i as f64),
+                image_for(&mut f, &p),
+            );
+            assert!(cache.len() <= 3);
+        }
+        let now = SimTime::from_secs_f64(60.0);
+        assert!(cache.retrieve(now, &f.text.encode(hot), 0.25).is_some());
+        assert!(cache.retrieve(now, &f.text.encode(cold), 0.25).is_none());
+    }
+
+    #[test]
+    fn s3fifo_ghost_readmits_to_main() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::with_policy(2, MaintenancePolicy::S3Fifo));
+        let p1 = "sapphire glacier calving fjord dawn long exposure";
+        let img1 = image_for(&mut f, p1);
+        let clone1 = img1.clone();
+        let key1 = img1.id.0;
+        cache.insert(SimTime::from_secs_f64(0.0), img1);
+        // Push p1 out: it lands in the ghost queue.
+        for i in 0..3 {
+            let p = format!("transient spark {i} cavern midnight macro");
+            cache.insert(
+                SimTime::from_secs_f64(1.0 + i as f64),
+                image_for(&mut f, &p),
+            );
+        }
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(9.0), &f.text.encode(p1), 0.25)
+            .is_none());
+        // Re-inserting the same id is a ghost comeback: it skips probation,
+        // so a later flood of cold entries cannot displace it.
+        cache.insert(SimTime::from_secs_f64(10.0), clone1);
+        assert!(cache.s3.main.contains(&key1), "ghost comeback goes to main");
+        assert!(
+            !cache.s3.ghost_set.contains(&key1),
+            "readmission clears the ghost record"
+        );
+        for i in 0..4 {
+            let p = format!("dust mote drifting attic {i} afternoon");
+            cache.insert(
+                SimTime::from_secs_f64(11.0 + i as f64),
+                image_for(&mut f, &p),
+            );
+        }
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(30.0), &f.text.encode(p1), 0.25)
+            .is_some());
+    }
+
+    #[test]
+    fn s3fifo_capacity_and_eviction_accounting() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::with_policy(8, MaintenancePolicy::S3Fifo));
+        for i in 0..40 {
+            let p = format!("procedural vista number {i} dawn matte painting");
+            cache.insert(SimTime::from_secs_f64(i as f64), image_for(&mut f, &p));
+            assert!(cache.len() <= 8, "S3-FIFO overflowed at insert {i}");
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.stats().evictions(), 32);
+        // Ghost memory stays bounded by capacity.
+        assert!(cache.s3.ghost.len() <= 8);
+        assert_eq!(cache.s3.ghost.len(), cache.s3.ghost_set.len());
+    }
+
+    #[test]
     fn hit_age_recorded() {
         let mut f = fixture();
         let mut cache = ImageCache::new(CacheConfig::fifo(4));
@@ -459,7 +704,10 @@ mod tests {
     fn storage_accounting() {
         let mut f = fixture();
         let mut cache = ImageCache::new(CacheConfig::fifo(10));
-        cache.insert(SimTime::ZERO, image_for(&mut f, "amber reef glowing lagoon dusk"));
+        cache.insert(
+            SimTime::ZERO,
+            image_for(&mut f, "amber reef glowing lagoon dusk"),
+        );
         // One image (1.4 MB) plus one 64-d f32 embedding.
         assert!(cache.storage_bytes() >= 1_400_000);
         assert!(cache.storage_bytes() < 1_500_000);

@@ -32,6 +32,8 @@ pub mod image_cache;
 pub mod latent_cache;
 pub mod stats;
 
-pub use image_cache::{CacheConfig, CachedImage, ImageCache, MaintenancePolicy, RetrievedImage};
+pub use image_cache::{
+    CacheConfig, CachedImage, ImageCache, MaintenancePolicy, RetrievedImage, IVF_THRESHOLD,
+};
 pub use latent_cache::{CachedLatent, LatentCache, RetrievedLatent};
 pub use stats::CacheStats;

@@ -95,13 +95,19 @@ impl Worker {
     ///
     /// Panics if the worker is still busy at `now`.
     pub fn assign(&mut self, now: SimTime, model: ModelId, steps: u32) -> SimTime {
-        assert!(self.is_idle(now), "worker {:?} busy until {}", self.id, self.busy_until);
+        assert!(
+            self.is_idle(now),
+            "worker {:?} busy until {}",
+            self.id,
+            self.busy_until
+        );
         let mut start = now;
         if model != self.model {
             let load = SimDuration::from_secs_f64(model.spec().load_secs);
             // Loading draws roughly idle+ power; fold it into busy energy at
             // half the model's draw.
-            self.energy.record_busy(load, model.spec().power_watts * 0.5);
+            self.energy
+                .record_busy(load, model.spec().power_watts * 0.5);
             start += load;
             self.model = model;
             self.switches += 1;
@@ -125,7 +131,8 @@ impl Worker {
             return;
         }
         let load = SimDuration::from_secs_f64(model.spec().load_secs);
-        self.energy.record_busy(load, model.spec().power_watts * 0.5);
+        self.energy
+            .record_busy(load, model.spec().power_watts * 0.5);
         self.busy_until = now + load;
         self.model = model;
         self.switches += 1;

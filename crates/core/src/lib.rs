@@ -44,5 +44,5 @@ pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
 pub use monitor::{GlobalMonitor, WindowStats};
 pub use pid::PidController;
 pub use report::ServingReport;
-pub use scheduler::{RequestScheduler, RoutedRequest, RouteKind};
+pub use scheduler::{RequestScheduler, RouteKind, RoutedRequest};
 pub use system::{RunOptions, ServingSystem};

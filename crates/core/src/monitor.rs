@@ -157,8 +157,7 @@ impl GlobalMonitor {
         self.update_small_selection(stats);
         let target = self.plan_target(stats);
         let delta = self.pid.compute(target, self.current_num_large);
-        self.current_num_large =
-            (self.current_num_large + delta).clamp(1.0, self.num_gpus as f64);
+        self.current_num_large = (self.current_num_large + delta).clamp(1.0, self.num_gpus as f64);
         self.assignment()
     }
 
@@ -166,7 +165,10 @@ impl GlobalMonitor {
     pub fn assignment(&self) -> Vec<ModelId> {
         let n_large = self.num_large();
         let mut out = vec![self.large; n_large];
-        out.extend(std::iter::repeat_n(self.small_model(), self.num_gpus - n_large));
+        out.extend(std::iter::repeat_n(
+            self.small_model(),
+            self.num_gpus - n_large,
+        ));
         out
     }
 

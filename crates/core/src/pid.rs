@@ -54,8 +54,7 @@ impl PidController {
     /// move it toward `target`.
     pub fn compute(&mut self, target: f64, current: f64) -> f64 {
         let error = target - current;
-        self.integral =
-            (self.integral + error).clamp(-self.integral_limit, self.integral_limit);
+        self.integral = (self.integral + error).clamp(-self.integral_limit, self.integral_limit);
         let derivative = self.last_error.map_or(0.0, |le| error - le);
         self.last_error = Some(error);
         self.kp * error + self.ki * self.integral + self.kd * derivative

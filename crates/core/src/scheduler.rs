@@ -158,12 +158,7 @@ mod tests {
         let prompt = "ancient dragon soaring mountains dusk oil painting moody golden";
         let r0 = Request::new(0, prompt, SimTime::ZERO);
         let routed0 = sched.route(SimTime::ZERO, &r0);
-        let img = sampler.generate_for(
-            ModelId::Sd35Large,
-            &routed0.prompt_embedding,
-            0,
-            &mut rng,
-        );
+        let img = sampler.generate_for(ModelId::Sd35Large, &routed0.prompt_embedding, 0, &mut rng);
         sched.admit(SimTime::ZERO, img);
 
         let r1 = Request::new(1, prompt, SimTime::from_secs_f64(30.0));
@@ -191,12 +186,7 @@ mod tests {
         let prompt = "ancient dragon soaring mountains dusk oil painting moody golden";
         let r0 = Request::new(0, prompt, SimTime::ZERO);
         let routed0 = sched.route(SimTime::ZERO, &r0);
-        let img = sampler.generate_for(
-            ModelId::Sd35Large,
-            &routed0.prompt_embedding,
-            0,
-            &mut rng,
-        );
+        let img = sampler.generate_for(ModelId::Sd35Large, &routed0.prompt_embedding, 0, &mut rng);
         sched.admit(SimTime::ZERO, img);
         // With the ladder shifted by +0.08, even an identical prompt
         // (similarity ~0.29) falls below the raised threshold (0.33).

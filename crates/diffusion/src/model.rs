@@ -156,7 +156,7 @@ const SDXL: ModelSpec = ModelSpec {
     step_secs_a40: 0.30, // 15 s full generation on A40
     power_watts: 220.0,
     load_secs: 15.0,
-    alignment: 2.2775, // raw cos 0.916 -> CLIP ~29.30
+    alignment: 2.2775,   // raw cos 0.916 -> CLIP ~29.30
     fidelity_bias: 3.16, // FID 16.29 = 3.16^2 + 6.29 floor
     feature_spread: 1.08,
     vram_gb: 10.0,
@@ -171,7 +171,7 @@ const SANA: ModelSpec = ModelSpec {
     step_secs_a40: 0.12, // 6 s full generation on A40
     power_watts: 150.0,
     load_secs: 10.0,
-    alignment: 1.8297, // raw cos 0.878 -> CLIP ~28.08
+    alignment: 1.8297,   // raw cos 0.878 -> CLIP ~28.08
     fidelity_bias: 3.70, // FID 19.96
     feature_spread: 0.82,
     vram_gb: 6.0,
@@ -186,7 +186,7 @@ const SD35_TURBO: ModelSpec = ModelSpec {
     step_secs_a40: 0.96, // same per-step cost, 10 steps -> 9.6 s
     power_watts: 300.0,
     load_secs: 30.0,
-    alignment: 1.6200, // raw cos 0.851 -> CLIP ~27.23
+    alignment: 1.6200,   // raw cos 0.851 -> CLIP ~27.23
     fidelity_bias: 2.89, // FID 14.63
     feature_spread: 0.97,
     vram_gb: 22.0,
@@ -239,7 +239,10 @@ mod tests {
             ModelId::Sd35Large.spec().family,
             ModelId::Sdxl.spec().family
         );
-        assert_ne!(ModelId::Sd35Large.spec().family, ModelId::Sana.spec().family);
+        assert_ne!(
+            ModelId::Sd35Large.spec().family,
+            ModelId::Sana.spec().family
+        );
         assert_ne!(ModelId::Flux.spec().family, ModelId::Sdxl.spec().family);
     }
 

@@ -332,23 +332,14 @@ mod tests {
         let s_lo = 0.22;
         let s_hi = 0.32;
         for k in crate::K_CHOICES {
-            let lo = QualityModel::expected_quality_factor(
-                ModelId::Sdxl,
-                ModelId::Sd35Large,
-                s_lo,
-                k,
-            );
-            let hi = QualityModel::expected_quality_factor(
-                ModelId::Sdxl,
-                ModelId::Sd35Large,
-                s_hi,
-                k,
-            );
+            let lo =
+                QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s_lo, k);
+            let hi =
+                QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s_hi, k);
             assert!(hi > lo, "qf rises with similarity at k={k}");
         }
         // For a similarity below the model ceiling, more skipped steps hurt.
-        let q5 =
-            QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, 0.24, 5);
+        let q5 = QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, 0.24, 5);
         let q30 =
             QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, 0.24, 30);
         assert!(q5 > q30, "{q5} vs {q30}");
@@ -357,12 +348,7 @@ mod tests {
     #[test]
     fn quality_factor_exceeds_one_for_great_matches() {
         // Fig 5a: a quality factor > 1 is observed for high-similarity hits.
-        let q = QualityModel::expected_quality_factor(
-            ModelId::Sdxl,
-            ModelId::Sd35Large,
-            0.34,
-            30,
-        );
+        let q = QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, 0.34, 30);
         assert!(q > 1.0, "q = {q}");
     }
 
@@ -405,15 +391,16 @@ mod tests {
         let n = 200;
         let mean_corr = |k: u32, rng: &mut SimRng| {
             (0..n)
-                .map(|_| {
-                    cached.cosine(&q.refined_embedding(ModelId::Sdxl, &cached, &t, k, rng))
-                })
+                .map(|_| cached.cosine(&q.refined_embedding(ModelId::Sdxl, &cached, &t, k, rng)))
                 .sum::<f64>()
                 / n as f64
         };
         let near = mean_corr(30, &mut rng);
         let far = mean_corr(5, &mut rng);
-        assert!(near > far, "more skipping preserves structure: {near} vs {far}");
+        assert!(
+            near > far,
+            "more skipping preserves structure: {near} vs {far}"
+        );
     }
 
     #[test]
@@ -426,6 +413,6 @@ mod tests {
         assert_eq!(refined.len(), FEATURE_DIM);
         assert_eq!(served.len(), FEATURE_DIM);
         // The stale bias exceeds the reuse bias by construction.
-        assert!(UNREFINED_BIAS > REUSE_BIAS);
+        const { assert!(UNREFINED_BIAS > REUSE_BIAS) };
     }
 }

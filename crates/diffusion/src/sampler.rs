@@ -62,12 +62,7 @@ impl Sampler {
 
     /// Full from-scratch generation (`T` steps, or the model's default for
     /// distilled variants).
-    pub fn generate(
-        &self,
-        model: ModelId,
-        prompt: &Embedding,
-        rng: &mut SimRng,
-    ) -> GeneratedImage {
+    pub fn generate(&self, model: ModelId, prompt: &Embedding, rng: &mut SimRng) -> GeneratedImage {
         self.generate_for(model, prompt, self.bump_prompt_fallback(), rng)
     }
 
@@ -140,9 +135,9 @@ impl Sampler {
         // weight (T-k)/T is the behavioral counterpart of this sigma.
         let schedule = NoiseSchedule::for_model(model);
         let _sigma = schedule.sigma_at(k, TOTAL_STEPS);
-        let embedding = self
-            .quality
-            .refined_embedding(model, &cached.embedding, new_prompt, k, rng);
+        let embedding =
+            self.quality
+                .refined_embedding(model, &cached.embedding, new_prompt, k, rng);
         let features = self
             .quality
             .refined_features(model, &cached.features, k, rng);

@@ -140,8 +140,7 @@ impl<K: Copy + Eq + std::hash::Hash> EmbeddingIndex<K> {
     /// The most similar entry at or above `threshold`, mirroring the paper's
     /// retrieval rule "retrieve only if S(q, I*) >= tau".
     pub fn nearest_above(&self, query: &Embedding, threshold: f64) -> Option<Neighbor<K>> {
-        self.nearest(query)
-            .filter(|n| n.similarity >= threshold)
+        self.nearest(query).filter(|n| n.similarity >= threshold)
     }
 
     /// The `k` most similar entries, best first.

@@ -184,7 +184,15 @@ mod tests {
         let mut ivf: IvfIndex<u64> = IvfIndex::new(64, 32, 8);
         let mut flat: EmbeddingIndex<u64> = EmbeddingIndex::new();
         let prompts: Vec<String> = (0..300)
-            .map(|i| format!("subject{} place{} style{} detail{}", i % 40, i % 7, i % 5, i))
+            .map(|i| {
+                format!(
+                    "subject{} place{} style{} detail{}",
+                    i % 40,
+                    i % 7,
+                    i % 5,
+                    i
+                )
+            })
             .collect();
         for (i, p) in prompts.iter().enumerate() {
             let e = enc.encode(p);

@@ -11,7 +11,7 @@ use modm_workload::TraceBuilder;
 
 use crate::common::{banner, db_trace, saturated, CACHE, CLUSTER};
 
-/// Cache-maintenance ablation: FIFO vs LRU vs utility-based eviction.
+/// Cache-maintenance ablation: FIFO vs LRU vs utility vs S3-FIFO eviction.
 pub fn run_maintenance() {
     banner("Ablation: cache maintenance policy (paper section 5.4)");
     let trace = db_trace(301);
@@ -24,6 +24,7 @@ pub fn run_maintenance() {
         MaintenancePolicy::Fifo,
         MaintenancePolicy::Lru,
         MaintenancePolicy::Utility,
+        MaintenancePolicy::S3Fifo,
     ] {
         // Small cache so eviction pressure is real.
         let r = ServingSystem::new(
@@ -59,7 +60,10 @@ pub fn run_modes() {
             .requests(1_800)
             .rate_per_min(rate)
             .build();
-        for mode in [ServingMode::QualityOptimized, ServingMode::ThroughputOptimized] {
+        for mode in [
+            ServingMode::QualityOptimized,
+            ServingMode::ThroughputOptimized,
+        ] {
             let r = ServingSystem::new(
                 MoDMConfig::builder()
                     .gpus(gpu, n)
@@ -71,7 +75,10 @@ pub fn run_modes() {
             let avg_large = if r.allocation_series.is_empty() {
                 n as f64
             } else {
-                r.allocation_series.iter().map(|s| s.num_large as f64).sum::<f64>()
+                r.allocation_series
+                    .iter()
+                    .map(|s| s.num_large as f64)
+                    .sum::<f64>()
                     / r.allocation_series.len() as f64
             };
             println!(

@@ -76,12 +76,13 @@ pub fn run_fig7_suite(trace: &Trace, large: ModelId) -> Vec<(String, ServingRepo
     for small in [ModelId::Sdxl, ModelId::Sana] {
         let label = format!(
             "MoDM-{}",
-            if small == ModelId::Sdxl { "SDXL" } else { "SANA" }
+            if small == ModelId::Sdxl {
+                "SDXL"
+            } else {
+                "SANA"
+            }
         );
-        out.push((
-            label,
-            modm(large, small, CACHE).run_with(trace, opts),
-        ));
+        out.push((label, modm(large, small, CACHE).run_with(trace, opts)));
     }
     out
 }

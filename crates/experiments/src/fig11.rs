@@ -21,7 +21,10 @@ pub fn run() {
         .rate_per_min(45.0)
         .build();
     let mut base_rpm = None;
-    println!("{:>6} {:>10} {:>10} {:>8}", "GPUs", "req/min", "norm", "hit");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "GPUs", "req/min", "norm", "hit"
+    );
     for n in [4usize, 8, 12, 16, 20, 24, 28, 32] {
         let system = ServingSystem::new(
             MoDMConfig::builder()

@@ -40,7 +40,11 @@ pub fn run() {
     for small in [ModelId::Sdxl, ModelId::Sana] {
         let label = format!(
             "MoDM-{}",
-            if small == ModelId::Sdxl { "SDXL" } else { "SANA" }
+            if small == ModelId::Sdxl {
+                "SDXL"
+            } else {
+                "SANA"
+            }
         );
         let r = ServingSystem::new(
             MoDMConfig::builder()

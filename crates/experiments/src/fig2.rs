@@ -48,20 +48,12 @@ pub fn run() {
         // Retrieve by text-to-text: best source-prompt match.
         let best_t2t = images
             .iter()
-            .max_by(|a, b| {
-                q.cosine(&a.0)
-                    .partial_cmp(&q.cosine(&b.0))
-                    .expect("no NaN")
-            })
+            .max_by(|a, b| q.cosine(&a.0).partial_cmp(&q.cosine(&b.0)).expect("no NaN"))
             .expect("cache non-empty");
         // Retrieve by text-to-image: best image match.
         let best_t2i = images
             .iter()
-            .max_by(|a, b| {
-                q.cosine(&a.1)
-                    .partial_cmp(&q.cosine(&b.1))
-                    .expect("no NaN")
-            })
+            .max_by(|a, b| q.cosine(&a.1).partial_cmp(&q.cosine(&b.1)).expect("no NaN"))
             .expect("cache non-empty");
         let s_t2t = retrieval_similarity(&q, &best_t2t.1);
         let s_t2i = retrieval_similarity(&q, &best_t2i.1);

@@ -27,7 +27,10 @@ pub fn run() {
 
     // Generate cached images and fresh queries from a DiffusionDB-like
     // stream; measure refined CLIP / fresh CLIP per (similarity bin, k).
-    let trace = TraceBuilder::diffusion_db(31).requests(4_000).rate_per_min(10.0).build();
+    let trace = TraceBuilder::diffusion_db(31)
+        .requests(4_000)
+        .rate_per_min(10.0)
+        .build();
     let reqs = trace.requests();
     let large = ModelId::Sd35Large;
     let small = ModelId::Sdxl;

@@ -34,8 +34,9 @@ EXPERIMENTS
   table3      image quality, FLUX vanilla (DiffusionDB)
   a6          ablation: caching small-model images
   retrieval   cache retrieval latency and storage (sec 5.2)
-  maintenance ablation: FIFO vs LRU vs utility cache maintenance
+  maintenance ablation: FIFO vs LRU vs utility vs S3-FIFO maintenance
   modes       ablation: quality- vs throughput-optimized allocation
+  fleet       fleet scaling: sharded-cache hit rate vs routing policy
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -63,15 +64,37 @@ fn run_one(name: &str) -> bool {
         "retrieval" => exp::retrieval_perf::run(),
         "maintenance" => exp::ablations::run_maintenance(),
         "modes" => exp::ablations::run_modes(),
+        "fleet" => exp::fleet_scaling::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 23] = [
-    "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table2", "table3",
-    "a6", "retrieval", "maintenance", "modes",
+const ALL: [&str; 24] = [
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "table2",
+    "table3",
+    "a6",
+    "retrieval",
+    "maintenance",
+    "modes",
+    "fleet",
 ];
 
 fn main() {

@@ -18,7 +18,11 @@ use crate::common::{banner, db_trace, mjhq_trace, saturated, CACHE, CLUSTER, WAR
 fn ground_truth(trace: &Trace, large: ModelId) -> QualityAggregator {
     let space = SemanticSpace::default();
     let text = TextEncoder::new(space.clone());
-    let sampler = Sampler::new(QualityModel::new(space, 77_777, trace.dataset().fid_floor()));
+    let sampler = Sampler::new(QualityModel::new(
+        space,
+        77_777,
+        trace.dataset().fid_floor(),
+    ));
     let mut rng = SimRng::seed_from(202);
     let mut agg = QualityAggregator::new();
     for req in trace.iter().skip(WARMUP) {

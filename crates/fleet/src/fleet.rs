@@ -1,0 +1,751 @@
+//! The fleet: N MoDM serving nodes behind one router, simulated as a
+//! single discrete-event system.
+//!
+//! Each node is a full MoDM deployment in miniature — its own GPU workers,
+//! global monitor, hit/miss queues and cache shard — while arrivals,
+//! routing and completions interleave on one shared virtual clock. This is
+//! the same structure as `modm_core::ServingSystem`'s event loop, lifted to
+//! `(node, event)` pairs, so fleet runs remain exactly deterministic under
+//! a fixed seed.
+
+use modm_cache::CacheConfig;
+use modm_cluster::{ClusterEnergy, Worker};
+use modm_core::config::{AdmissionPolicy, MoDMConfig};
+use modm_core::kselect::{k_decision_shifted, KDecision, HIT_THRESHOLD};
+use modm_core::monitor::{GlobalMonitor, WindowStats};
+use modm_core::report::{AllocationSample, ServingReport};
+use modm_core::scheduler::{RouteKind, RoutedRequest};
+use modm_diffusion::{ModelId, QualityModel, Sampler, K_CHOICES, TOTAL_STEPS};
+use modm_embedding::{SemanticSpace, TextEncoder};
+use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputReport};
+use modm_simkit::{EventQueue, FifoQueue, SimRng, SimTime};
+use modm_workload::{Request, Trace};
+
+use crate::report::{FleetReport, NodeReport};
+use crate::router::Router;
+use crate::shard::ShardedCache;
+
+/// Options controlling a fleet run (mirrors `modm_core::RunOptions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetRunOptions {
+    /// Leading trace requests used only to warm the shards (placed by the
+    /// affinity map, generated off-line by the large model, excluded from
+    /// all metrics including per-node routed counts).
+    pub warmup: usize,
+    /// Ignore arrival timestamps and keep every node saturated
+    /// (closed-loop admission, as in the paper's max-throughput runs).
+    pub saturate: bool,
+}
+
+/// Closed-loop backlog depth per worker under saturation.
+const SATURATION_BACKLOG_PER_WORKER: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Request `idx` reaches the front-end router.
+    Arrival(usize),
+    /// Worker `worker` on `node` finishes its job (or model switch).
+    WorkerFree { node: usize, worker: usize },
+    /// Node-local global-monitor tick.
+    MonitorTick(usize),
+}
+
+struct InFlight {
+    routed: RoutedRequest,
+    model: ModelId,
+}
+
+/// Per-node serving state: a miniature MoDM deployment.
+struct Node {
+    monitor: GlobalMonitor,
+    desired: Vec<ModelId>,
+    workers: Vec<Worker>,
+    in_flight: Vec<Option<InFlight>>,
+    hit_q: FifoQueue<RoutedRequest>,
+    miss_q: FifoQueue<RoutedRequest>,
+    // Metrics.
+    latency: LatencyReport,
+    throughput: ThroughputReport,
+    quality: QualityAggregator,
+    k_histogram: [u64; K_CHOICES.len()],
+    hits: u64,
+    misses: u64,
+    allocation_series: Vec<AllocationSample>,
+    // Monitor window counters.
+    win_arrivals: u64,
+    win_hits: u64,
+    win_misses: u64,
+    win_k: [u64; K_CHOICES.len()],
+}
+
+impl Node {
+    fn new(config: &MoDMConfig) -> Self {
+        let monitor = GlobalMonitor::new(config);
+        let desired = monitor.assignment();
+        let workers: Vec<Worker> = desired
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Worker::new(i, config.gpu, *m))
+            .collect();
+        let n = workers.len();
+        Node {
+            monitor,
+            desired,
+            workers,
+            in_flight: (0..n).map(|_| None).collect(),
+            hit_q: FifoQueue::new(),
+            miss_q: FifoQueue::new(),
+            latency: LatencyReport::new(),
+            throughput: ThroughputReport::new(),
+            quality: QualityAggregator::new(),
+            k_histogram: [0; K_CHOICES.len()],
+            hits: 0,
+            misses: 0,
+            allocation_series: Vec::new(),
+            win_arrivals: 0,
+            win_hits: 0,
+            win_misses: 0,
+            win_k: [0; K_CHOICES.len()],
+        }
+    }
+
+    /// Outstanding backlog: queued requests plus busy workers. The unit is
+    /// "jobs", which is all the LeastLoaded policy needs to compare nodes
+    /// of a homogeneous fleet.
+    fn load(&self) -> f64 {
+        (self.hit_q.len()
+            + self.miss_q.len()
+            + self.in_flight.iter().filter(|f| f.is_some()).count()) as f64
+    }
+
+    fn busy(&self) -> bool {
+        !self.hit_q.is_empty()
+            || !self.miss_q.is_empty()
+            || self.in_flight.iter().any(Option::is_some)
+    }
+}
+
+/// A simulated fleet of MoDM nodes behind a request router.
+///
+/// Every node runs `node_config` (so a `Fleet` over `router.nodes()` nodes
+/// deploys `nodes * node_config.num_gpus` GPUs and shards
+/// `nodes * node_config.cache_capacity` cache entries). Each
+/// [`Fleet::run`] builds fresh state, so runs are independent and
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use modm_fleet::{Fleet, Router, RoutingPolicy};
+/// use modm_core::MoDMConfig;
+/// use modm_cluster::GpuKind;
+/// use modm_workload::TraceBuilder;
+///
+/// let trace = TraceBuilder::diffusion_db(7).requests(120).rate_per_min(12.0).build();
+/// let node = MoDMConfig::builder().gpus(GpuKind::Mi210, 4).cache_capacity(500).build();
+/// let fleet = Fleet::new(node, Router::new(RoutingPolicy::CacheAffinity, 4));
+/// let report = fleet.run(&trace);
+/// assert_eq!(report.completed(), 120);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    node_config: MoDMConfig,
+    router: Router,
+}
+
+impl Fleet {
+    /// Creates a fleet where every one of `router.nodes()` nodes runs
+    /// `node_config`.
+    pub fn new(node_config: MoDMConfig, router: Router) -> Self {
+        Fleet {
+            node_config,
+            router,
+        }
+    }
+
+    /// The per-node configuration.
+    pub fn node_config(&self) -> &MoDMConfig {
+        &self.node_config
+    }
+
+    /// The router template runs start from.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.router.nodes()
+    }
+
+    /// Total GPUs across the fleet.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes() * self.node_config.num_gpus
+    }
+
+    /// Serves the trace with default options.
+    pub fn run(&self, trace: &Trace) -> FleetReport {
+        self.run_with(trace, FleetRunOptions::default())
+    }
+
+    /// Serves the trace with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.warmup >= trace.len()`.
+    pub fn run_with(&self, trace: &Trace, options: FleetRunOptions) -> FleetReport {
+        assert!(
+            options.warmup < trace.len(),
+            "warmup consumes the whole trace"
+        );
+        FleetRun::new(self, trace, options).execute()
+    }
+}
+
+struct FleetRun<'a> {
+    config: &'a MoDMConfig,
+    router: Router,
+    nodes: Vec<Node>,
+    cache: ShardedCache,
+    requests: Vec<Request>,
+    encoder: TextEncoder,
+    sampler: Sampler,
+    events: EventQueue<Event>,
+    rng: SimRng,
+    // Fleet-wide metrics.
+    latency: LatencyReport,
+    throughput: ThroughputReport,
+    finished_at: SimTime,
+    arrivals_pending: usize,
+    saturate: bool,
+    next_admission: usize,
+}
+
+impl<'a> FleetRun<'a> {
+    fn new(fleet: &'a Fleet, trace: &Trace, options: FleetRunOptions) -> Self {
+        let config = &fleet.node_config;
+        let n_nodes = fleet.nodes();
+        let space = SemanticSpace::default();
+        let encoder = TextEncoder::new(space.clone());
+        let quality_model = QualityModel::new(space, config.seed, trace.dataset().fid_floor());
+        let sampler = Sampler::new(quality_model);
+        let mut rng = SimRng::seed_from(config.seed ^ 0x464C_5452); // "FLTR"
+        let mut router = fleet.router.clone();
+        let mut cache = ShardedCache::new(
+            n_nodes,
+            CacheConfig::with_policy(config.cache_capacity, config.cache_policy),
+        );
+
+        // Warm the shards off-line via the affinity placement map (not
+        // `route`, which would count warmup traffic in the per-node routed
+        // metrics — and, under LeastLoaded's uniform tie-break, pile every
+        // warmup image onto node 0).
+        for req in trace.iter().take(options.warmup) {
+            let emb = encoder.encode(&req.prompt);
+            let shard = router.shard_for(&emb);
+            let img = sampler.generate_for(config.large_model, &emb, req.id, &mut rng);
+            cache.shard_mut(shard).insert(SimTime::ZERO, img);
+        }
+
+        // Re-base the serving-phase arrivals to start at zero (or collapse
+        // them entirely in saturation mode).
+        let serving = &trace.requests()[options.warmup..];
+        let base = serving.first().map_or(SimTime::ZERO, |r| r.arrival);
+        let requests: Vec<Request> = serving
+            .iter()
+            .map(|r| {
+                let arrival = if options.saturate {
+                    SimTime::ZERO
+                } else {
+                    SimTime::ZERO + r.arrival.saturating_since(base)
+                };
+                Request::new(r.id, r.prompt.clone(), arrival)
+            })
+            .collect();
+
+        let nodes: Vec<Node> = (0..n_nodes).map(|_| Node::new(config)).collect();
+        let total_workers = n_nodes * config.num_gpus;
+
+        let mut events = EventQueue::new();
+        let admitted = if options.saturate {
+            let initial = (total_workers * SATURATION_BACKLOG_PER_WORKER).min(requests.len());
+            for i in 0..initial {
+                events.schedule(SimTime::ZERO, Event::Arrival(i));
+            }
+            initial
+        } else {
+            for (i, r) in requests.iter().enumerate() {
+                events.schedule(r.arrival, Event::Arrival(i));
+            }
+            requests.len()
+        };
+        for node in 0..n_nodes {
+            events.schedule(
+                SimTime::ZERO + config.monitor_period,
+                Event::MonitorTick(node),
+            );
+        }
+
+        let arrivals_pending = requests.len();
+        FleetRun {
+            config,
+            router,
+            nodes,
+            cache,
+            requests,
+            encoder,
+            sampler,
+            events,
+            rng,
+            latency: LatencyReport::new(),
+            throughput: ThroughputReport::new(),
+            finished_at: SimTime::ZERO,
+            arrivals_pending,
+            saturate: options.saturate,
+            next_admission: admitted,
+        }
+    }
+
+    fn execute(mut self) -> FleetReport {
+        while let Some((now, event)) = self.events.pop() {
+            match event {
+                Event::Arrival(i) => {
+                    let node = self.on_arrival(now, i);
+                    self.dispatch(now, node);
+                }
+                Event::WorkerFree { node, worker } => {
+                    self.on_worker_free(now, node, worker);
+                    self.dispatch(now, node);
+                }
+                Event::MonitorTick(node) => {
+                    self.on_monitor_tick(now, node);
+                    self.dispatch(now, node);
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// Routes one request through the front-end and into a node's queues;
+    /// returns the chosen node.
+    fn on_arrival(&mut self, now: SimTime, idx: usize) -> usize {
+        let request = self.requests[idx].clone();
+        let embedding = self.encoder.encode(&request.prompt);
+        let loads: Vec<f64> = self.nodes.iter().map(Node::load).collect();
+        let node_idx = self.router.route(&embedding, &loads);
+
+        // Node-local scheduling: consult the node's shard, pick k.
+        let threshold = HIT_THRESHOLD + self.config.threshold_shift;
+        let shard = self.cache.shard_mut(node_idx);
+        let route = match shard.retrieve(now, &embedding, threshold) {
+            Some(retrieved) => {
+                match k_decision_shifted(retrieved.similarity, self.config.threshold_shift) {
+                    KDecision::Hit { k } => RouteKind::Hit { retrieved, k },
+                    // Defensive: the retrieval threshold equals the
+                    // ladder's first rung, so this cannot fire.
+                    KDecision::Miss => RouteKind::Miss,
+                }
+            }
+            None => RouteKind::Miss,
+        };
+        let routed = RoutedRequest {
+            request_id: request.id,
+            arrival: request.arrival,
+            prompt_embedding: embedding,
+            route,
+        };
+
+        let node = &mut self.nodes[node_idx];
+        node.win_arrivals += 1;
+        match &routed.route {
+            RouteKind::Hit { k, .. } => {
+                node.hits += 1;
+                node.win_hits += 1;
+                let slot = k_slot(*k);
+                node.k_histogram[slot] += 1;
+                node.win_k[slot] += 1;
+                node.hit_q.push(now, routed);
+            }
+            RouteKind::Miss => {
+                node.misses += 1;
+                node.win_misses += 1;
+                node.miss_q.push(now, routed);
+            }
+        }
+        self.arrivals_pending -= 1;
+        node_idx
+    }
+
+    fn on_worker_free(&mut self, now: SimTime, node: usize, worker: usize) {
+        if let Some(inflight) = self.nodes[node].in_flight[worker].take() {
+            self.complete(now, node, inflight);
+        }
+    }
+
+    fn on_monitor_tick(&mut self, now: SimTime, node_idx: usize) {
+        let node = &mut self.nodes[node_idx];
+        let total = node.win_hits + node.win_misses;
+        if total > 0 {
+            let period_mins = self.config.monitor_period.as_mins_f64();
+            let mut k_rates = [0.0; K_CHOICES.len()];
+            if node.win_hits > 0 {
+                for (r, &c) in k_rates.iter_mut().zip(&node.win_k) {
+                    *r = c as f64 / node.win_hits as f64;
+                }
+            }
+            let stats = WindowStats {
+                rate_per_min: node.win_arrivals as f64 / period_mins,
+                hit_rate: node.win_hits as f64 / total as f64,
+                k_rates,
+            };
+            node.desired = node.monitor.tick(&stats);
+            node.allocation_series.push(AllocationSample {
+                at: now,
+                num_large: node.monitor.num_large(),
+                small_model: node.monitor.small_model(),
+            });
+        }
+        node.win_arrivals = 0;
+        node.win_hits = 0;
+        node.win_misses = 0;
+        node.win_k = [0; K_CHOICES.len()];
+        // Keep ticking while this node may still see work: requests are
+        // still arriving fleet-wide (any of them could route here) or the
+        // node itself is draining.
+        if self.arrivals_pending > 0 || self.nodes[node_idx].busy() {
+            self.events.schedule(
+                now + self.config.monitor_period,
+                Event::MonitorTick(node_idx),
+            );
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, node_idx: usize, inflight: InFlight) {
+        let routed = inflight.routed;
+        let image = match &routed.route {
+            RouteKind::Miss => self.sampler.generate_for(
+                inflight.model,
+                &routed.prompt_embedding,
+                routed.request_id,
+                &mut self.rng,
+            ),
+            RouteKind::Hit { retrieved, k } => self.sampler.refine_for(
+                inflight.model,
+                &retrieved.image,
+                &routed.prompt_embedding,
+                routed.request_id,
+                *k,
+                &mut self.rng,
+            ),
+        };
+        let node = &mut self.nodes[node_idx];
+        node.latency.record(routed.arrival, now);
+        node.throughput.record_completion(now);
+        node.quality.record(&routed.prompt_embedding, &image);
+        self.latency.record(routed.arrival, now);
+        self.throughput.record_completion(now);
+        self.finished_at = self.finished_at.max(now);
+        let admit = match self.config.admission {
+            AdmissionPolicy::CacheAll => true,
+            AdmissionPolicy::CacheLarge => image.is_full_generation(),
+        };
+        if admit {
+            self.cache.shard_mut(node_idx).insert(now, image);
+        }
+        // Closed-loop saturation: each completion admits the next request,
+        // routed against the fleet as it exists *now*.
+        if self.saturate && self.next_admission < self.requests.len() {
+            self.events
+                .schedule(now, Event::Arrival(self.next_admission));
+            self.next_admission += 1;
+        }
+    }
+
+    fn steps_for(routed: &RoutedRequest, model: ModelId) -> u32 {
+        match &routed.route {
+            RouteKind::Miss => model.spec().default_steps,
+            RouteKind::Hit { k, .. } => {
+                let frac = (TOTAL_STEPS - k) as f64 / TOTAL_STEPS as f64;
+                ((model.spec().default_steps as f64 * frac).round() as u32).max(1)
+            }
+        }
+    }
+
+    /// The per-node worker dispatch loop (same policy as the single-node
+    /// system: re-host toward the monitor's assignment, large workers
+    /// prefer misses, small workers serve hits).
+    fn dispatch(&mut self, now: SimTime, node_idx: usize) {
+        let node = &mut self.nodes[node_idx];
+        loop {
+            let mut progress = false;
+            for w in 0..node.workers.len() {
+                if node.in_flight[w].is_some() || !node.workers[w].is_idle(now) {
+                    continue;
+                }
+                let desired = node.desired[w];
+                if node.workers[w].model() != desired {
+                    node.workers[w].switch_model(now, desired);
+                    self.events.schedule(
+                        node.workers[w].busy_until(),
+                        Event::WorkerFree {
+                            node: node_idx,
+                            worker: w,
+                        },
+                    );
+                    progress = true;
+                    continue;
+                }
+                let hosted = node.workers[w].model();
+                let job = if hosted.spec().is_large() {
+                    // Large workers prioritize misses, then help with hits
+                    // rather than idling (both serving modes).
+                    node.miss_q.pop(now).or_else(|| node.hit_q.pop(now))
+                } else {
+                    node.hit_q.pop(now)
+                };
+                let Some(queued) = job else { continue };
+                let routed = queued.item;
+                let steps = Self::steps_for(&routed, hosted);
+                let done = node.workers[w].assign(now, hosted, steps);
+                self.events.schedule(
+                    done,
+                    Event::WorkerFree {
+                        node: node_idx,
+                        worker: w,
+                    },
+                );
+                node.in_flight[w] = Some(InFlight {
+                    routed,
+                    model: hosted,
+                });
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    fn finish(self) -> FleetReport {
+        let slo = SloThresholds::for_deployment(self.config.gpu, self.config.large_model);
+        let finished_at = self.finished_at;
+        let routed = self.router.routed_per_node().to_vec();
+        let cache_summary = self.cache.summary();
+        let mut cache = self.cache;
+        let nodes: Vec<NodeReport> = self
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let energy = ClusterEnergy::aggregate(
+                    node.workers.iter().map(|w| (w.energy(), w.gpu())),
+                    SimTime::ZERO,
+                    finished_at,
+                );
+                NodeReport {
+                    node: i,
+                    routed: routed[i],
+                    report: ServingReport {
+                        latency: node.latency,
+                        throughput: node.throughput,
+                        quality: node.quality,
+                        energy,
+                        slo,
+                        cache_stats: cache.shard_mut(i).stats().clone(),
+                        hits: node.hits,
+                        misses: node.misses,
+                        k_histogram: node.k_histogram,
+                        allocation_series: node.allocation_series,
+                        model_switches: node.workers.iter().map(Worker::switches).sum(),
+                        finished_at,
+                    },
+                }
+            })
+            .collect();
+        FleetReport {
+            policy: self.router.policy(),
+            nodes,
+            latency: self.latency,
+            throughput: self.throughput,
+            cache: cache_summary,
+            finished_at,
+        }
+    }
+}
+
+fn k_slot(k: u32) -> usize {
+    K_CHOICES
+        .iter()
+        .position(|&c| c == k)
+        .expect("k from the discrete ladder")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RoutingPolicy;
+    use modm_cluster::GpuKind;
+    use modm_workload::TraceBuilder;
+
+    fn node_config(gpus: usize, cache: usize) -> MoDMConfig {
+        MoDMConfig::builder()
+            .gpus(GpuKind::Mi210, gpus)
+            .cache_capacity(cache)
+            .build()
+    }
+
+    fn fleet(policy: RoutingPolicy, nodes: usize) -> Fleet {
+        Fleet::new(node_config(4, 500), Router::new(policy, nodes))
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let trace = TraceBuilder::diffusion_db(21)
+            .requests(200)
+            .rate_per_min(12.0)
+            .build();
+        for policy in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::CacheAffinity,
+        ] {
+            let report = fleet(policy, 4).run(&trace);
+            assert_eq!(report.completed(), 200, "{policy:?}");
+            assert_eq!(report.hits() + report.misses(), 200, "{policy:?}");
+            let per_node: u64 = report.nodes.iter().map(|n| n.report.completed()).sum();
+            assert_eq!(per_node, 200, "{policy:?} node accounting");
+            let routed: u64 = report.nodes.iter().map(|n| n.routed).sum();
+            assert_eq!(routed, 200, "{policy:?} router accounting");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let trace = TraceBuilder::diffusion_db(22)
+            .requests(150)
+            .rate_per_min(12.0)
+            .build();
+        let a = fleet(RoutingPolicy::CacheAffinity, 4).run(&trace);
+        let b = fleet(RoutingPolicy::CacheAffinity, 4).run(&trace);
+        assert_eq!(a.hits(), b.hits());
+        assert!((a.requests_per_minute() - b.requests_per_minute()).abs() < 1e-12);
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.routed, y.routed);
+            assert_eq!(x.report.hits, y.report.hits);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let trace = TraceBuilder::diffusion_db(23)
+            .requests(400)
+            .rate_per_min(20.0)
+            .build();
+        let report = fleet(RoutingPolicy::RoundRobin, 4).run(&trace);
+        assert!((report.load_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_loaded_balances_under_load() {
+        let trace = TraceBuilder::diffusion_db(24)
+            .requests(400)
+            .rate_per_min(30.0)
+            .build();
+        let report = fleet(RoutingPolicy::LeastLoaded, 4).run(&trace);
+        // Backlog-aware routing cannot be wildly imbalanced on a
+        // homogeneous fleet.
+        assert!(report.load_imbalance() < 1.5, "{}", report.load_imbalance());
+    }
+
+    #[test]
+    fn affinity_beats_round_robin_hit_rate() {
+        // The tentpole property, at small scale (the scaling study and the
+        // integration test cover 8 nodes).
+        let trace = TraceBuilder::diffusion_db(25)
+            .requests(600)
+            .rate_per_min(20.0)
+            .build();
+        let rr = fleet(RoutingPolicy::RoundRobin, 4).run(&trace);
+        let ca = fleet(RoutingPolicy::CacheAffinity, 4).run(&trace);
+        assert!(
+            ca.hit_rate() > rr.hit_rate(),
+            "affinity {} vs round-robin {}",
+            ca.hit_rate(),
+            rr.hit_rate()
+        );
+    }
+
+    #[test]
+    fn single_node_fleet_matches_monolith_semantics() {
+        // One node, any policy: everything routes to node 0 and the fleet
+        // degenerates to a single MoDM system over the same shard size.
+        let trace = TraceBuilder::diffusion_db(26)
+            .requests(150)
+            .rate_per_min(10.0)
+            .build();
+        let report = fleet(RoutingPolicy::CacheAffinity, 1).run(&trace);
+        assert_eq!(report.completed(), 150);
+        assert_eq!(report.nodes.len(), 1);
+        assert_eq!(report.nodes[0].routed, 150);
+        assert!(report.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn warmup_excluded_and_saturation_compresses_time() {
+        let trace = TraceBuilder::diffusion_db(27)
+            .requests(260)
+            .rate_per_min(2.0)
+            .build();
+        let report = fleet(RoutingPolicy::CacheAffinity, 4).run_with(
+            &trace,
+            FleetRunOptions {
+                warmup: 60,
+                saturate: true,
+            },
+        );
+        assert_eq!(report.completed(), 200);
+        // At 2 req/min the timed run would take 100 minutes; saturation
+        // finishes far faster.
+        assert!(report.finished_at.as_mins_f64() < 60.0);
+    }
+
+    #[test]
+    fn warmup_not_counted_in_routing_metrics() {
+        let trace = TraceBuilder::diffusion_db(29)
+            .requests(260)
+            .rate_per_min(10.0)
+            .build();
+        for policy in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::CacheAffinity,
+        ] {
+            let report = fleet(policy, 4).run_with(
+                &trace,
+                FleetRunOptions {
+                    warmup: 60,
+                    saturate: false,
+                },
+            );
+            assert_eq!(report.completed(), 200, "{policy:?}");
+            let routed: u64 = report.nodes.iter().map(|n| n.routed).sum();
+            assert_eq!(routed, 200, "{policy:?}: warmup leaked into routed counts");
+        }
+    }
+
+    #[test]
+    fn monitors_run_per_node() {
+        let trace = TraceBuilder::diffusion_db(28)
+            .requests(400)
+            .rate_per_min(24.0)
+            .build();
+        let report = fleet(RoutingPolicy::RoundRobin, 4).run(&trace);
+        assert!(
+            report
+                .nodes
+                .iter()
+                .all(|n| !n.report.allocation_series.is_empty()),
+            "every node's monitor ticked"
+        );
+    }
+}

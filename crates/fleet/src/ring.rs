@@ -1,0 +1,105 @@
+//! A consistent-hash ring mapping cluster ids to serving nodes.
+//!
+//! Each node owns `vnodes` pseudo-random points on a `u64` ring; a key is
+//! served by the owner of the first point at or after its hash. Adding or
+//! removing one node moves only the keys adjacent to that node's points —
+//! the property that makes shard growth cheap — while virtual nodes keep
+//! the per-node key share balanced.
+
+use modm_simkit::mix64;
+
+/// A consistent-hash ring over `nodes` serving nodes.
+///
+/// # Example
+///
+/// ```
+/// use modm_fleet::HashRing;
+/// let ring = HashRing::new(8, 64);
+/// let n = ring.node_for(42);
+/// assert!(n < 8);
+/// assert_eq!(n, ring.node_for(42), "placement is stable");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring points sorted by position: `(position, node)`.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// Default virtual nodes per physical node.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// Builds a ring with `vnodes` virtual points per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `vnodes` is zero.
+    pub fn new(nodes: usize, vnodes: usize) -> Self {
+        assert!(nodes > 0, "ring needs at least one node");
+        assert!(vnodes > 0, "ring needs at least one virtual node");
+        // Domain-separate ring points from lookup keys: without the tag, a
+        // small key k collides with node 0's vnode input `0 << 32 | k`,
+        // hashes to exactly that ring point, and every small key lands on
+        // node 0.
+        const POINT_TAG: u64 = 0x5249_4E47_504F_494E; // "RING POIN"
+        let mut points: Vec<(u64, usize)> = (0..nodes)
+            .flat_map(|node| {
+                (0..vnodes)
+                    .map(move |r| (mix64(POINT_TAG ^ ((node as u64) << 32 | r as u64)), node))
+            })
+            .collect();
+        points.sort_unstable();
+        HashRing { points, nodes }
+    }
+
+    /// Number of physical nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node owning `key`.
+    pub fn node_for(&self, key: u64) -> usize {
+        let h = mix64(key);
+        // First point at or after the hash, wrapping at the ring's end.
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, node) = self.points[idx % self.points.len()];
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_nodes_roughly_evenly() {
+        let ring = HashRing::new(8, HashRing::DEFAULT_VNODES);
+        let mut counts = vec![0usize; 8];
+        for key in 0..8_000u64 {
+            counts[ring.node_for(key)] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 0, "every node owns keys: {counts:?}");
+        assert!(max < 3 * min, "imbalance too high: {counts:?}");
+    }
+
+    #[test]
+    fn growing_the_ring_moves_few_keys() {
+        let a = HashRing::new(8, 64);
+        let b = HashRing::new(9, 64);
+        let moved = (0..10_000u64)
+            .filter(|&k| a.node_for(k) != b.node_for(k))
+            .count();
+        // Ideal churn on 8 -> 9 nodes is 1/9 of keys (~1111); allow slack
+        // for vnode placement variance.
+        assert!(moved < 2_500, "moved = {moved}");
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let ring = HashRing::new(1, 4);
+        assert!((0..100u64).all(|k| ring.node_for(k) == 0));
+    }
+}

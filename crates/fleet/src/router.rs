@@ -1,0 +1,238 @@
+//! The fleet front-end: pluggable request-to-node routing policies.
+//!
+//! The router sees every request before any node does, exactly like the
+//! front-end load balancer of a production deployment. Three policies:
+//!
+//! * [`RoutingPolicy::RoundRobin`] — classic rotation; ignores both load
+//!   and semantics.
+//! * [`RoutingPolicy::LeastLoaded`] — picks the node with the smallest
+//!   outstanding backlog (queued + in-flight work), the "join the shortest
+//!   queue" baseline.
+//! * [`RoutingPolicy::CacheAffinity`] — consistent-hashes the prompt
+//!   embedding's coarse semantic cluster onto the node ring, so similar
+//!   prompts land on the same shard and its cache keeps the session's
+//!   images. This is the fleet-level analogue of MoDM's single-node cache
+//!   locality argument.
+
+use modm_embedding::Embedding;
+
+use crate::affinity::SemanticClusterer;
+use crate::ring::HashRing;
+
+/// Which routing policy the fleet front-end runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingPolicy {
+    /// Rotate assignments over nodes.
+    RoundRobin,
+    /// Route to the node with the smallest current backlog.
+    LeastLoaded,
+    /// Consistent-hash the prompt's coarse semantic cluster to a node.
+    #[default]
+    CacheAffinity,
+}
+
+impl RoutingPolicy {
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::CacheAffinity => "cache-affinity",
+        }
+    }
+}
+
+/// The front-end router: assigns each request to one of `nodes` nodes.
+///
+/// # Example
+///
+/// ```
+/// use modm_fleet::{Router, RoutingPolicy};
+/// use modm_embedding::{SemanticSpace, TextEncoder};
+///
+/// let enc = TextEncoder::new(SemanticSpace::default());
+/// let mut router = Router::new(RoutingPolicy::CacheAffinity, 4);
+/// let e = enc.encode("crystal harbor at dawn");
+/// let n1 = router.route(&e, &[0.0; 4]);
+/// let n2 = router.route(&e, &[0.0; 4]);
+/// assert_eq!(n1, n2, "affinity routing is stable per prompt");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    nodes: usize,
+    rr_next: usize,
+    clusterer: SemanticClusterer,
+    ring: HashRing,
+    routed: Vec<u64>,
+}
+
+impl Router {
+    /// Creates a router over `nodes` nodes with default affinity
+    /// parameters ([`SemanticClusterer::DEFAULT_THRESHOLD`] join
+    /// threshold, [`HashRing::DEFAULT_VNODES`] virtual nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(policy: RoutingPolicy, nodes: usize) -> Self {
+        Self::with_affinity(
+            policy,
+            nodes,
+            SemanticClusterer::default_config(),
+            HashRing::DEFAULT_VNODES,
+        )
+    }
+
+    /// Creates a router with an explicit clusterer and virtual-node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `vnodes` is zero.
+    pub fn with_affinity(
+        policy: RoutingPolicy,
+        nodes: usize,
+        clusterer: SemanticClusterer,
+        vnodes: usize,
+    ) -> Self {
+        assert!(nodes > 0, "fleet needs at least one node");
+        Router {
+            policy,
+            nodes,
+            rr_next: 0,
+            clusterer,
+            ring: HashRing::new(nodes, vnodes),
+            routed: vec![0; nodes],
+        }
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Number of nodes routed over.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Requests routed to each node so far.
+    pub fn routed_per_node(&self) -> &[u64] {
+        &self.routed
+    }
+
+    /// Max-over-mean of the per-node routed counts (1.0 = perfectly even).
+    /// Zero before any request was routed.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.routed.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = *self.routed.iter().max().expect("non-empty") as f64;
+        max / (total as f64 / self.nodes as f64)
+    }
+
+    /// The shard the affinity mapping assigns to `embedding`, independent
+    /// of the active policy. This is the placement function shard
+    /// rebalancing uses. (Mutable because the online clusterer may mint a
+    /// new leader for a first-seen semantic neighborhood.)
+    pub fn shard_for(&mut self, embedding: &Embedding) -> usize {
+        self.ring.node_for(self.clusterer.cluster_of(embedding))
+    }
+
+    /// Routes one request. `loads` is the per-node outstanding backlog
+    /// (queued plus in-flight work, in any consistent unit); only
+    /// [`RoutingPolicy::LeastLoaded`] consults it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len()` differs from the node count.
+    pub fn route(&mut self, embedding: &Embedding, loads: &[f64]) -> usize {
+        assert_eq!(loads.len(), self.nodes, "one load figure per node");
+        let node = match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let n = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.nodes;
+                n
+            }
+            RoutingPolicy::LeastLoaded => {
+                let mut best = 0usize;
+                let mut best_load = f64::INFINITY;
+                for (i, &l) in loads.iter().enumerate() {
+                    if l < best_load {
+                        best_load = l;
+                        best = i;
+                    }
+                }
+                best
+            }
+            RoutingPolicy::CacheAffinity => self.shard_for(embedding),
+        };
+        self.routed[node] += 1;
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_embedding::{SemanticSpace, TextEncoder};
+
+    fn encoder() -> TextEncoder {
+        TextEncoder::new(SemanticSpace::default())
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let enc = encoder();
+        let e = enc.encode("any prompt at all");
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 3);
+        let seq: Vec<usize> = (0..6).map(|_| r.route(&e, &[0.0; 3])).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+        assert!((r.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum() {
+        let enc = encoder();
+        let e = enc.encode("another prompt");
+        let mut r = Router::new(RoutingPolicy::LeastLoaded, 4);
+        assert_eq!(r.route(&e, &[3.0, 1.0, 2.0, 5.0]), 1);
+        assert_eq!(r.route(&e, &[0.5, 1.0, 0.5, 5.0]), 0, "ties go low");
+    }
+
+    #[test]
+    fn affinity_groups_similar_prompts() {
+        let enc = encoder();
+        let mut r = Router::new(RoutingPolicy::CacheAffinity, 8);
+        let base = "ancient dragon soaring mountains dusk oil painting moody";
+        let mut grouped = 0;
+        let n = 100;
+        for i in 0..n {
+            let a = r.route(&enc.encode(&format!("{base} golden")), &[0.0; 8]);
+            let b = r.route(&enc.encode(&format!("{base} var{i}")), &[0.0; 8]);
+            if a == b {
+                grouped += 1;
+            }
+        }
+        assert!(
+            grouped * 100 / n >= 70,
+            "session co-location = {grouped}/{n}"
+        );
+    }
+
+    #[test]
+    fn affinity_uses_every_node_on_diverse_traffic() {
+        let enc = encoder();
+        let mut r = Router::new(RoutingPolicy::CacheAffinity, 8);
+        for i in 0..800 {
+            let e = enc.encode(&format!("distinct scene {i} tokens {}", i * 17));
+            r.route(&e, &[0.0; 8]);
+        }
+        assert!(
+            r.routed_per_node().iter().all(|&c| c > 0),
+            "every node sees traffic: {:?}",
+            r.routed_per_node()
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! The fleet's sharded semantic cache: one [`ImageCache`] per node.
+//!
+//! Sharding the image cache is what makes the fleet horizontally scalable:
+//! each node only indexes (and scans) its own slice of the global cache, so
+//! per-lookup cost stays flat as nodes are added. The price is that a hit
+//! can only happen on the shard a request was routed to — which is why the
+//! `CacheAffinity` policy, which co-locates semantically similar requests,
+//! recovers most of the monolithic cache's hit rate while `RoundRobin`
+//! scatters sessions over shards and loses it.
+
+use modm_cache::{CacheConfig, CacheStats, ImageCache};
+use modm_embedding::Embedding;
+use modm_simkit::SimTime;
+
+/// Aggregated counters over every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardSummary {
+    /// Total lookups across shards.
+    pub lookups: u64,
+    /// Total hits across shards.
+    pub hits: u64,
+    /// Total insertions across shards.
+    pub insertions: u64,
+    /// Total evictions across shards.
+    pub evictions: u64,
+    /// Total resident images.
+    pub len: usize,
+    /// Total capacity.
+    pub capacity: usize,
+}
+
+impl ShardSummary {
+    /// Aggregate hit rate in `[0, 1]` (zero before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Outcome of a [`ShardedCache::rebalance`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Images redistributed (all resident images are re-placed).
+    pub total: usize,
+    /// Images whose owning shard changed.
+    pub moved: usize,
+}
+
+/// The image cache partitioned across fleet nodes.
+///
+/// # Example
+///
+/// ```
+/// use modm_fleet::ShardedCache;
+/// use modm_cache::CacheConfig;
+///
+/// let cache = ShardedCache::new(4, CacheConfig::fifo(100));
+/// assert_eq!(cache.num_shards(), 4);
+/// assert_eq!(cache.total_capacity(), 400);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedCache {
+    shards: Vec<ImageCache>,
+}
+
+impl ShardedCache {
+    /// Creates `nodes` shards, each with the per-shard `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, config: CacheConfig) -> Self {
+        assert!(nodes > 0, "need at least one shard");
+        ShardedCache {
+            shards: (0..nodes)
+                .map(|_| ImageCache::new(config.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Immutable access to shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> &ImageCache {
+        &self.shards[i]
+    }
+
+    /// Mutable access to shard `i` (the owning node retrieves from and
+    /// admits into its shard through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_mut(&mut self, i: usize) -> &mut ImageCache {
+        &mut self.shards[i]
+    }
+
+    /// Total resident images.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(ImageCache::len).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(ImageCache::is_empty)
+    }
+
+    /// Sum of shard capacities.
+    pub fn total_capacity(&self) -> usize {
+        self.shards.iter().map(ImageCache::capacity).sum()
+    }
+
+    /// Per-shard statistics, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<&CacheStats> {
+        self.shards.iter().map(ImageCache::stats).collect()
+    }
+
+    /// Aggregated counters over all shards.
+    pub fn summary(&self) -> ShardSummary {
+        let mut s = ShardSummary::default();
+        for shard in &self.shards {
+            let st = shard.stats();
+            s.lookups += st.lookups();
+            s.hits += st.hits();
+            s.insertions += st.insertions();
+            s.evictions += st.evictions();
+            s.len += shard.len();
+            s.capacity += shard.capacity();
+        }
+        s
+    }
+
+    /// Total storage across shards (images + embedding indexes).
+    pub fn storage_bytes(&self) -> usize {
+        self.shards.iter().map(ImageCache::storage_bytes).sum()
+    }
+
+    /// Re-places every resident image onto the shard `assign` chooses for
+    /// its embedding — the hook a fleet operator runs after changing the
+    /// node count or the affinity map. Hit-age bookkeeping restarts at
+    /// `now` for moved and unmoved entries alike (the drain/reinsert is
+    /// indistinguishable from fresh admission to the per-shard caches).
+    pub fn rebalance(
+        &mut self,
+        now: SimTime,
+        mut assign: impl FnMut(&Embedding) -> usize,
+    ) -> RebalanceReport {
+        let mut drained: Vec<(usize, Vec<modm_diffusion::GeneratedImage>)> = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            drained.push((i, shard.drain_images()));
+        }
+        let mut report = RebalanceReport { total: 0, moved: 0 };
+        for (from, images) in drained {
+            for image in images {
+                let to = assign(&image.embedding) % self.shards.len();
+                report.total += 1;
+                if to != from {
+                    report.moved += 1;
+                }
+                self.shards[to].insert(now, image);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_diffusion::{GeneratedImage, ModelId, QualityModel, Sampler};
+    use modm_embedding::{SemanticSpace, TextEncoder};
+    use modm_simkit::SimRng;
+
+    struct Fixture {
+        sampler: Sampler,
+        text: TextEncoder,
+        rng: SimRng,
+    }
+
+    fn fixture() -> Fixture {
+        let space = SemanticSpace::default();
+        Fixture {
+            sampler: Sampler::new(QualityModel::new(space.clone(), 1, 6.29)),
+            text: TextEncoder::new(space),
+            rng: SimRng::seed_from(7),
+        }
+    }
+
+    fn image_for(f: &mut Fixture, prompt: &str) -> GeneratedImage {
+        let e = f.text.encode(prompt);
+        f.sampler.generate(ModelId::Sd35Large, &e, &mut f.rng)
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let mut f = fixture();
+        let mut cache = ShardedCache::new(2, CacheConfig::fifo(10));
+        let p = "silver fox crossing tundra dawn watercolor painting soft";
+        cache
+            .shard_mut(0)
+            .insert(SimTime::ZERO, image_for(&mut f, p));
+        let q = f.text.encode(p);
+        let now = SimTime::from_secs_f64(5.0);
+        assert!(cache.shard_mut(0).retrieve(now, &q, 0.25).is_some());
+        assert!(
+            cache.shard_mut(1).retrieve(now, &q, 0.25).is_none(),
+            "a hit can only happen on the owning shard"
+        );
+        let s = cache.summary();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.len, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebalance_moves_entries_to_assigned_shards() {
+        let mut f = fixture();
+        let mut cache = ShardedCache::new(4, CacheConfig::fifo(50));
+        // Scatter 20 images round-robin (a RoundRobin fleet's placement).
+        for i in 0..20 {
+            let p = format!("scene number {i} amber cliffs sunset matte");
+            cache
+                .shard_mut(i % 4)
+                .insert(SimTime::ZERO, image_for(&mut f, &p));
+        }
+        assert_eq!(cache.len(), 20);
+        // Rebalance everything onto shard 3.
+        let report = cache.rebalance(SimTime::from_secs_f64(1.0), |_| 3);
+        assert_eq!(report.total, 20);
+        assert_eq!(report.moved, 15, "the 5 already on shard 3 stay");
+        assert_eq!(cache.shard(3).len(), 20);
+        assert_eq!(cache.len(), 20);
+        // Retrieval works after the move.
+        let q = f.text.encode("scene number 7 amber cliffs sunset matte");
+        assert!(cache
+            .shard_mut(3)
+            .retrieve(SimTime::from_secs_f64(2.0), &q, 0.25)
+            .is_some());
+    }
+
+    #[test]
+    fn rebalance_respects_capacity() {
+        let mut f = fixture();
+        let mut cache = ShardedCache::new(2, CacheConfig::fifo(5));
+        for i in 0..10 {
+            let p = format!("vista {i} cobalt storm rolling plains");
+            cache
+                .shard_mut(i % 2)
+                .insert(SimTime::ZERO, image_for(&mut f, &p));
+        }
+        cache.rebalance(SimTime::from_secs_f64(1.0), |_| 0);
+        assert!(cache.shard(0).len() <= 5, "capacity holds after rebalance");
+    }
+}

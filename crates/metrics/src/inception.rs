@@ -45,8 +45,7 @@ impl InceptionScorer {
         let mut rng = SimRng::seed_from(0x494E_4345); // "INCE"
         let projection = (0..CLASSES)
             .map(|_| {
-                let mut row: Vec<f64> =
-                    (0..FEATURE_DIM).map(|_| rng.standard_normal()).collect();
+                let mut row: Vec<f64> = (0..FEATURE_DIM).map(|_| rng.standard_normal()).collect();
                 modm_numerics::normalize(&mut row);
                 row
             })
@@ -156,7 +155,7 @@ mod tests {
     #[test]
     fn probs_form_distribution() {
         let sc = InceptionScorer::new();
-        let p = sc.class_probs(&vec![0.3; FEATURE_DIM]);
+        let p = sc.class_probs(&[0.3; FEATURE_DIM]);
         assert_eq!(p.len(), CLASSES);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p.iter().all(|&x| x >= 0.0));
@@ -166,7 +165,7 @@ mod tests {
     fn identical_images_give_is_one() {
         let mut sc = InceptionScorer::new();
         for _ in 0..50 {
-            sc.record(&vec![0.5; FEATURE_DIM]);
+            sc.record(&[0.5; FEATURE_DIM]);
         }
         let s = sc.score().unwrap();
         assert!((s - 1.0).abs() < 1e-6, "IS of a constant set is 1: {s}");

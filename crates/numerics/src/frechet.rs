@@ -104,7 +104,9 @@ mod tests {
     fn lcg_stream(seed: u64, n: usize, dim: usize) -> Vec<Vec<f64>> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         (0..n)
@@ -124,10 +126,7 @@ mod tests {
     #[test]
     fn mean_shift_equals_squared_distance() {
         let xs = lcg_stream(2, 2_000, 3);
-        let shifted: Vec<Vec<f64>> = xs
-            .iter()
-            .map(|v| vec![v[0] + 1.0, v[1], v[2]])
-            .collect();
+        let shifted: Vec<Vec<f64>> = xs.iter().map(|v| vec![v[0] + 1.0, v[1], v[2]]).collect();
         let a = stats_from(&xs);
         let b = stats_from(&shifted);
         let d = frechet_distance(&a, &b).unwrap();

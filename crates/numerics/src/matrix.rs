@@ -285,11 +285,8 @@ impl Matrix {
         if eig.iter().any(|&e| e < -1e-6) {
             return Err(EigenError::NotPositiveSemiDefinite);
         }
-        let sqrt_d = Matrix::from_diagonal(
-            &eig.iter()
-                .map(|&e| e.max(0.0).sqrt())
-                .collect::<Vec<f64>>(),
-        );
+        let sqrt_d =
+            Matrix::from_diagonal(&eig.iter().map(|&e| e.max(0.0).sqrt()).collect::<Vec<f64>>());
         Ok(v.mul(&sqrt_d).mul(&v.transpose()))
     }
 }

@@ -29,7 +29,7 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use queue::FifoQueue;
-pub use rng::SimRng;
+pub use rng::{mix64, SimRng};
 pub use series::TimeSeries;
 pub use stats::{Histogram, Percentiles, StreamingStats};
 pub use time::{SimDuration, SimTime};

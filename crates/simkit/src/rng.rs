@@ -1,12 +1,58 @@
 //! Seeded random sampling for the simulation.
 //!
-//! Only `rand` is on the approved offline dependency list, so the
-//! distribution samplers (`normal`, `exponential`, `poisson`, `zipf`) are
-//! implemented here instead of pulling in `rand_distr`. All samplers are
-//! exercised against their analytic moments in the unit tests.
+//! The build runs in fully offline environments, so both the generator
+//! (xoshiro256++ seeded through SplitMix64) and the distribution samplers
+//! (`normal`, `exponential`, `poisson`, `zipf`) are implemented here rather
+//! than pulled from `rand`/`rand_distr`. All samplers are exercised against
+//! their analytic moments in the unit tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// The SplitMix64 golden-gamma increment.
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One SplitMix64 step: advance `x` by the golden gamma and finalize.
+/// A strong, cheap 64-bit mixer — also the hash behind the fleet's
+/// consistent-hash ring, exported so the constants live in one place.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(SPLITMIX_GAMMA);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The xoshiro256++ core generator (Blackman & Vigna). 256 bits of state,
+/// seeded by expanding a 64-bit seed through SplitMix64 as the authors
+/// recommend, so nearby seeds still yield uncorrelated streams.
+#[derive(Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full state:
+        // out_i = mix64(seed + i * gamma).
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            *slot = mix64(seed.wrapping_add((i as u64).wrapping_mul(SPLITMIX_GAMMA)));
+        }
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
 
 /// A seeded random source with the distribution samplers the simulation needs.
 ///
@@ -19,7 +65,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// assert!(dt >= 0.0);
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     /// Spare value from the Box–Muller pair, if one is buffered.
     gauss_spare: Option<f64>,
 }
@@ -34,7 +80,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
             gauss_spare: None,
         }
     }
@@ -49,7 +95,9 @@ impl SimRng {
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits scaled by 2^-53: every representable value in [0, 1)
+        // with the full double-precision resolution.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -69,7 +117,16 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the largest multiple of `n` that fits in
+        // u64, so every index is exactly equally likely.
+        let n64 = n as u64;
+        let zone = u64::MAX - (u64::MAX % n64);
+        loop {
+            let v = self.inner.next_u64();
+            if v < zone {
+                return (v % n64) as usize;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).

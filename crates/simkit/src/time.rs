@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut ts = vec![
+        let mut ts = [
             SimTime::from_secs_f64(3.0),
             SimTime::ZERO,
             SimTime::from_secs_f64(1.0),

@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert_eq!(parse_csv("not a header\n1,2,x").err(), Some(ParseTraceError::BadHeader));
+        assert_eq!(
+            parse_csv("not a header\n1,2,x").err(),
+            Some(ParseTraceError::BadHeader)
+        );
         assert_eq!(parse_csv("").err(), Some(ParseTraceError::BadHeader));
     }
 
@@ -179,6 +182,8 @@ mod tests {
     #[test]
     fn display_of_errors() {
         assert!(ParseTraceError::BadHeader.to_string().contains("header"));
-        assert!(ParseTraceError::BadLine { line: 3 }.to_string().contains("3"));
+        assert!(ParseTraceError::BadLine { line: 3 }
+            .to_string()
+            .contains("3"));
     }
 }

@@ -194,8 +194,8 @@ impl PromptFactory {
         let idx = self.rng.index(self.active.len());
         let session = &mut self.active[idx];
 
-        let verbatim = session.last_varying.is_some()
-            && self.rng.chance(self.config.verbatim_repeat_prob);
+        let verbatim =
+            session.last_varying.is_some() && self.rng.chance(self.config.verbatim_repeat_prob);
         let varying = if verbatim {
             session.last_varying.expect("checked above")
         } else {
@@ -268,10 +268,7 @@ mod tests {
 
     #[test]
     fn prompts_have_expected_token_count() {
-        let mut f = PromptFactory::new(
-            PromptFactoryConfig::diffusion_db(),
-            SimRng::seed_from(5),
-        );
+        let mut f = PromptFactory::new(PromptFactoryConfig::diffusion_db(), SimRng::seed_from(5));
         for _ in 0..50 {
             let p = f.next_prompt();
             assert_eq!(p.split(' ').count(), 10, "prompt: {p}");
@@ -281,10 +278,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let gen = |seed| {
-            let mut f = PromptFactory::new(
-                PromptFactoryConfig::diffusion_db(),
-                SimRng::seed_from(seed),
-            );
+            let mut f =
+                PromptFactory::new(PromptFactoryConfig::diffusion_db(), SimRng::seed_from(seed));
             (0..100).map(|_| f.next_prompt()).collect::<Vec<_>>()
         };
         assert_eq!(gen(9), gen(9));
@@ -293,10 +288,7 @@ mod tests {
 
     #[test]
     fn verbatim_repeats_occur_in_db_config() {
-        let mut f = PromptFactory::new(
-            PromptFactoryConfig::diffusion_db(),
-            SimRng::seed_from(11),
-        );
+        let mut f = PromptFactory::new(PromptFactoryConfig::diffusion_db(), SimRng::seed_from(11));
         let prompts: Vec<String> = (0..2_000).map(|_| f.next_prompt()).collect();
         let unique: std::collections::HashSet<_> = prompts.iter().collect();
         assert!(unique.len() < prompts.len(), "some exact repeats expected");

@@ -216,7 +216,10 @@ mod tests {
 
     #[test]
     fn dataset_metadata() {
-        assert_eq!(TraceBuilder::mjhq(1).requests(10).build().dataset(), DatasetKind::Mjhq);
+        assert_eq!(
+            TraceBuilder::mjhq(1).requests(10).build().dataset(),
+            DatasetKind::Mjhq
+        );
         assert_eq!(DatasetKind::DiffusionDb.fid_floor(), 6.29);
         assert_eq!(DatasetKind::Mjhq.name(), "MJHQ-30k");
     }

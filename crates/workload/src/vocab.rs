@@ -8,46 +8,172 @@
 
 /// Subjects a prompt can be about.
 pub const SUBJECTS: &[&str] = &[
-    "castle", "dragon", "astronaut", "forest", "samurai", "mermaid", "robot", "wizard",
-    "lighthouse", "phoenix", "garden", "pirate", "valley", "temple", "dancer", "wolf",
-    "galaxy", "submarine", "violinist", "blacksmith", "library", "waterfall", "monk",
-    "fox", "cathedral", "nomad", "orchid", "glacier", "carnival", "observatory",
-    "marketplace", "knight", "jellyfish", "airship", "vineyard", "sphinx", "comet",
-    "harbor", "golem", "falcon", "canyon", "alchemist", "treehouse", "leviathan",
-    "meadow", "clockmaker", "reef", "citadel", "shepherd", "volcano", "archer",
-    "lagoon", "automaton", "bazaar", "glade", "warship", "oracle", "tundra",
-    "gondola", "catacomb",
+    "castle",
+    "dragon",
+    "astronaut",
+    "forest",
+    "samurai",
+    "mermaid",
+    "robot",
+    "wizard",
+    "lighthouse",
+    "phoenix",
+    "garden",
+    "pirate",
+    "valley",
+    "temple",
+    "dancer",
+    "wolf",
+    "galaxy",
+    "submarine",
+    "violinist",
+    "blacksmith",
+    "library",
+    "waterfall",
+    "monk",
+    "fox",
+    "cathedral",
+    "nomad",
+    "orchid",
+    "glacier",
+    "carnival",
+    "observatory",
+    "marketplace",
+    "knight",
+    "jellyfish",
+    "airship",
+    "vineyard",
+    "sphinx",
+    "comet",
+    "harbor",
+    "golem",
+    "falcon",
+    "canyon",
+    "alchemist",
+    "treehouse",
+    "leviathan",
+    "meadow",
+    "clockmaker",
+    "reef",
+    "citadel",
+    "shepherd",
+    "volcano",
+    "archer",
+    "lagoon",
+    "automaton",
+    "bazaar",
+    "glade",
+    "warship",
+    "oracle",
+    "tundra",
+    "gondola",
+    "catacomb",
 ];
 
 /// Modifiers applied to the subject.
 pub const MODIFIERS: &[&str] = &[
-    "ancient", "neon", "crystal", "forgotten", "mechanical", "ethereal", "gilded",
-    "overgrown", "frozen", "burning", "miniature", "colossal", "haunted", "radiant",
-    "shattered", "floating", "celestial", "rusted", "luminous", "obsidian", "ivory",
-    "emerald", "spectral", "clockwork", "verdant", "desolate", "ornate", "primordial",
-    "iridescent", "weathered",
+    "ancient",
+    "neon",
+    "crystal",
+    "forgotten",
+    "mechanical",
+    "ethereal",
+    "gilded",
+    "overgrown",
+    "frozen",
+    "burning",
+    "miniature",
+    "colossal",
+    "haunted",
+    "radiant",
+    "shattered",
+    "floating",
+    "celestial",
+    "rusted",
+    "luminous",
+    "obsidian",
+    "ivory",
+    "emerald",
+    "spectral",
+    "clockwork",
+    "verdant",
+    "desolate",
+    "ornate",
+    "primordial",
+    "iridescent",
+    "weathered",
 ];
 
 /// Places where the scene unfolds.
 pub const PLACES: &[&str] = &[
-    "mountains", "desert", "ocean", "city", "tundra", "jungle", "moon", "swamp",
-    "cliffside", "underworld", "skyline", "island", "cavern", "steppe", "fjord",
-    "metropolis", "ruins", "archipelago", "badlands", "rainforest", "dunes",
-    "highlands", "marsh", "delta", "plateau",
+    "mountains",
+    "desert",
+    "ocean",
+    "city",
+    "tundra",
+    "jungle",
+    "moon",
+    "swamp",
+    "cliffside",
+    "underworld",
+    "skyline",
+    "island",
+    "cavern",
+    "steppe",
+    "fjord",
+    "metropolis",
+    "ruins",
+    "archipelago",
+    "badlands",
+    "rainforest",
+    "dunes",
+    "highlands",
+    "marsh",
+    "delta",
+    "plateau",
 ];
 
 /// Time of day / era markers.
 pub const TIMES: &[&str] = &[
-    "dawn", "dusk", "midnight", "noon", "twilight", "sunrise", "sunset", "eclipse",
-    "winter", "autumn", "spring", "monsoon", "solstice", "stormfall", "aurora",
+    "dawn",
+    "dusk",
+    "midnight",
+    "noon",
+    "twilight",
+    "sunrise",
+    "sunset",
+    "eclipse",
+    "winter",
+    "autumn",
+    "spring",
+    "monsoon",
+    "solstice",
+    "stormfall",
+    "aurora",
 ];
 
 /// Actions or dynamics in the scene.
 pub const ACTIONS: &[&str] = &[
-    "soaring", "meditating", "exploring", "battling", "drifting", "blooming",
-    "collapsing", "ascending", "wandering", "glowing", "erupting", "dissolving",
-    "awakening", "migrating", "orbiting", "harvesting", "forging", "dueling",
-    "unfurling", "resonating",
+    "soaring",
+    "meditating",
+    "exploring",
+    "battling",
+    "drifting",
+    "blooming",
+    "collapsing",
+    "ascending",
+    "wandering",
+    "glowing",
+    "erupting",
+    "dissolving",
+    "awakening",
+    "migrating",
+    "orbiting",
+    "harvesting",
+    "forging",
+    "dueling",
+    "unfurling",
+    "resonating",
 ];
 
 /// Style descriptors (each style contributes two tokens).
@@ -80,18 +206,86 @@ pub const STYLES: &[(&str, &str)] = &[
 
 /// Fine-grained detail tokens (lighting, palette, mood, lens).
 pub const DETAILS: &[&str] = &[
-    "volumetric", "bokeh", "grainy", "hdr", "backlit", "moody", "vibrant", "muted",
-    "symmetrical", "minimalist", "maximalist", "dreamy", "gritty", "polished",
-    "weightless", "dramatic", "serene", "chaotic", "golden", "silver", "crimson",
-    "azure", "amber", "violet", "teal", "monochrome", "saturated", "desaturated",
-    "softfocus", "sharpened", "panoramic", "closeup", "wideangle", "telephoto",
-    "fisheye", "tiltshift", "longexposure", "highcontrast", "lowkey", "highkey",
-    "glossy", "matte", "textured", "smooth", "layered", "fragmented", "woven",
-    "crystalline", "misty", "dusty", "smoky", "sparkling", "velvet", "metallic",
-    "organic", "geometric", "fractal", "flowing", "rigid", "delicate", "massive",
-    "intricate", "sparse", "dense", "glowing-edges", "rimlight", "ambient",
-    "spotlit", "moonlit", "sunlit", "candlelit", "neonlit", "shadowed", "luminant",
-    "prismatic", "opalescent", "gilded-frame", "vignette", "filmgrain", "pristine",
+    "volumetric",
+    "bokeh",
+    "grainy",
+    "hdr",
+    "backlit",
+    "moody",
+    "vibrant",
+    "muted",
+    "symmetrical",
+    "minimalist",
+    "maximalist",
+    "dreamy",
+    "gritty",
+    "polished",
+    "weightless",
+    "dramatic",
+    "serene",
+    "chaotic",
+    "golden",
+    "silver",
+    "crimson",
+    "azure",
+    "amber",
+    "violet",
+    "teal",
+    "monochrome",
+    "saturated",
+    "desaturated",
+    "softfocus",
+    "sharpened",
+    "panoramic",
+    "closeup",
+    "wideangle",
+    "telephoto",
+    "fisheye",
+    "tiltshift",
+    "longexposure",
+    "highcontrast",
+    "lowkey",
+    "highkey",
+    "glossy",
+    "matte",
+    "textured",
+    "smooth",
+    "layered",
+    "fragmented",
+    "woven",
+    "crystalline",
+    "misty",
+    "dusty",
+    "smoky",
+    "sparkling",
+    "velvet",
+    "metallic",
+    "organic",
+    "geometric",
+    "fractal",
+    "flowing",
+    "rigid",
+    "delicate",
+    "massive",
+    "intricate",
+    "sparse",
+    "dense",
+    "glowing-edges",
+    "rimlight",
+    "ambient",
+    "spotlit",
+    "moonlit",
+    "sunlit",
+    "candlelit",
+    "neonlit",
+    "shadowed",
+    "luminant",
+    "prismatic",
+    "opalescent",
+    "gilded-frame",
+    "vignette",
+    "filmgrain",
+    "pristine",
 ];
 
 #[cfg(test)]

@@ -28,8 +28,8 @@ fn main() {
 
     println!("allocation decisions over time:");
     println!(
-        "{:>8} {:>8} {:>8} {:>8}  {}",
-        "t(min)", "demand", "large", "small", "small model"
+        "{:>8} {:>8} {:>8} {:>8}  small model",
+        "t(min)", "demand", "large", "small"
     );
     for sample in report
         .allocation_series

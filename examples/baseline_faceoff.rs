@@ -53,7 +53,10 @@ fn main() {
     }
 
     let base_rpm = results[0].1.requests_per_minute();
-    let base_j = results[0].1.energy.joules_per_request(results[0].1.completed());
+    let base_j = results[0]
+        .1
+        .energy
+        .joules_per_request(results[0].1.completed());
     println!(
         "{:<10} {:>9} {:>7} {:>6} {:>7} {:>9}",
         "system", "req/min", "norm", "hit", "CLIP", "energy"

@@ -51,9 +51,7 @@ fn main() {
             }
             None => {
                 let img = sampler.generate(ModelId::Sd35Large, &emb, &mut rng);
-                println!(
-                    "[{i}] MISS full 50-step generation on SD3.5-Large        | {short}"
-                );
+                println!("[{i}] MISS full 50-step generation on SD3.5-Large        | {short}");
                 cache.insert(now, img);
             }
         }

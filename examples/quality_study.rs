@@ -34,12 +34,20 @@ fn main() {
     let mut gt = QualityAggregator::new();
     for req in trace.iter().skip(1_000) {
         let emb = text.encode(&req.prompt);
-        gt.record(&emb, &gt_sampler.generate_for(ModelId::Sd35Large, &emb, req.id, &mut rng));
+        gt.record(
+            &emb,
+            &gt_sampler.generate_for(ModelId::Sd35Large, &emb, req.id, &mut rng),
+        );
     }
 
     let mut rows: Vec<QualityRow> = Vec::new();
     let mut vanilla = VanillaSystem::new(ModelId::Sd35Large, gpu, n);
-    rows.push(vanilla.run_with(&trace, opts).quality.row("Vanilla (SD3.5L)", &gt));
+    rows.push(
+        vanilla
+            .run_with(&trace, opts)
+            .quality
+            .row("Vanilla (SD3.5L)", &gt),
+    );
     let mut sana = VanillaSystem::new(ModelId::Sana, gpu, n);
     rows.push(sana.run_with(&trace, opts).quality.row("SANA alone", &gt));
     let modm = ServingSystem::new(

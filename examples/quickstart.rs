@@ -31,7 +31,10 @@ fn main() {
     println!("served            : {} requests", report.completed());
     println!("cache hit rate    : {:.1}%", 100.0 * report.hit_rate());
     println!("mean steps skipped: {:.1} of 50 per hit", report.mean_k());
-    println!("throughput        : {:.1} req/min", report.requests_per_minute());
+    println!(
+        "throughput        : {:.1} req/min",
+        report.requests_per_minute()
+    );
     println!(
         "mean / p99 latency: {:.0}s / {:.0}s",
         report.latency.mean_secs(),

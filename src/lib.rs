@@ -7,11 +7,13 @@
 //! * [`embedding`] — synthetic CLIP-like semantic space and retrieval index.
 //! * [`diffusion`] — diffusion model zoo, schedules, samplers and quality model.
 //! * [`workload`] — DiffusionDB/MJHQ-like traces and arrival processes.
-//! * [`cache`] — image cache (FIFO/LRU/utility) and Nirvana's latent cache.
+//! * [`cache`] — image cache (FIFO/LRU/utility/S3-FIFO) and Nirvana's latent cache.
 //! * [`cluster`] — GPU workers, model switching and energy accounting.
 //! * [`metrics`] — CLIPScore, FID, IS, PickScore, latency/SLO/throughput.
 //! * [`core`] — the MoDM serving system (scheduler, global monitor, PID).
 //! * [`baselines`] — Vanilla, Nirvana and Pinecone baselines.
+//! * [`fleet`] — multi-node sharded serving: pluggable request routing and
+//!   a consistent-hash semantic cache.
 //!
 //! # Quickstart
 //!
@@ -29,6 +31,31 @@
 //! let report = ServingSystem::new(config).run(&trace);
 //! assert!(report.completed() == 200);
 //! ```
+//!
+//! # Fleet quickstart
+//!
+//! The same workload served by a four-node fleet: each node is a miniature
+//! MoDM deployment with its own cache shard, and the front-end [`fleet::Router`]
+//! consistent-hashes each prompt's coarse semantic cluster onto a node so
+//! similar prompts keep hitting the same shard.
+//!
+//! ```
+//! use modm::fleet::{Fleet, Router, RoutingPolicy};
+//! use modm::core::MoDMConfig;
+//! use modm::workload::TraceBuilder;
+//! use modm::cluster::GpuKind;
+//!
+//! let trace = TraceBuilder::diffusion_db(42).requests(200).rate_per_min(12.0).build();
+//! let node = MoDMConfig::builder()
+//!     .gpus(GpuKind::Mi210, 4)      // 4 GPUs per node, 16 fleet-wide
+//!     .cache_capacity(500)          // 500 images per shard, 2 000 fleet-wide
+//!     .build();
+//! let fleet = Fleet::new(node, Router::new(RoutingPolicy::CacheAffinity, 4));
+//! let report = fleet.run(&trace);
+//! assert_eq!(report.completed(), 200);
+//! assert!(report.hit_rate() > 0.0);
+//! assert_eq!(report.nodes.len(), 4);
+//! ```
 
 pub use modm_baselines as baselines;
 pub use modm_cache as cache;
@@ -36,6 +63,7 @@ pub use modm_cluster as cluster;
 pub use modm_core as core;
 pub use modm_diffusion as diffusion;
 pub use modm_embedding as embedding;
+pub use modm_fleet as fleet;
 pub use modm_metrics as metrics;
 pub use modm_numerics as numerics;
 pub use modm_simkit as simkit;

@@ -77,7 +77,10 @@ fn quality_ordering_matches_table2() {
     let mut gt = QualityAggregator::new();
     for req in t.iter().skip(800) {
         let e = text.encode(&req.prompt);
-        gt.record(&e, &sampler.generate_for(ModelId::Sd35Large, &e, req.id, &mut rng));
+        gt.record(
+            &e,
+            &sampler.generate_for(ModelId::Sd35Large, &e, req.id, &mut rng),
+        );
     }
 
     let v = VanillaSystem::new(ModelId::Sd35Large, GPU, N).run_with(&t, opts());
@@ -224,7 +227,10 @@ fn energy_savings_ordering_matches_fig18() {
 fn mjhq_gains_smaller_than_diffusiondb() {
     // Fig 7's dataset contrast: less temporal locality -> smaller speedups.
     let db = trace(8);
-    let mj = TraceBuilder::mjhq(8).requests(2_800).rate_per_min(10.0).build();
+    let mj = TraceBuilder::mjhq(8)
+        .requests(2_800)
+        .rate_per_min(10.0)
+        .build();
     let speedup = |t: &modm::workload::Trace| {
         let v = VanillaSystem::new(ModelId::Sd35Large, GPU, N).run_with(t, opts());
         let m = ServingSystem::new(

@@ -1,135 +1,365 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-style tests over the core data structures and invariants.
+//!
+//! The build runs fully offline (no `proptest`), so properties are checked
+//! over deterministic seeded case sweeps: every test draws its inputs from
+//! a fixed-seed [`SimRng`] stream, giving wide input coverage with exact
+//! reproducibility — a failing case is re-run by its printed seed.
 
-use modm::cache::{CacheConfig, ImageCache, MaintenancePolicy};
+use modm::cache::{CacheConfig, ImageCache, MaintenancePolicy, IVF_THRESHOLD};
 use modm::core::{k_decision, KDecision, PidController};
 use modm::diffusion::{forward_noise, ModelId, NoiseSchedule, QualityModel, Sampler, TOTAL_STEPS};
 use modm::embedding::{Embedding, EmbeddingIndex, IvfIndex, SemanticSpace, TextEncoder};
 use modm::numerics::{cosine_similarity, frechet_distance, GaussianStats};
 use modm::simkit::{EventQueue, Percentiles, SimRng, SimTime};
-use proptest::prelude::*;
 
-fn small_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, dim)
+const ALL_POLICIES: [MaintenancePolicy; 4] = [
+    MaintenancePolicy::Fifo,
+    MaintenancePolicy::Lru,
+    MaintenancePolicy::Utility,
+    MaintenancePolicy::S3Fifo,
+];
+
+fn random_vec(rng: &mut SimRng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.uniform_in(-10.0, 10.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+struct CacheFixture {
+    sampler: Sampler,
+    text: TextEncoder,
+    rng: SimRng,
+}
 
-    #[test]
-    fn cosine_always_in_unit_interval(a in small_vec(8), b in small_vec(8)) {
-        let c = cosine_similarity(&a, &b);
-        prop_assert!((-1.0..=1.0).contains(&c));
+impl CacheFixture {
+    fn new(seed: u64) -> Self {
+        let space = SemanticSpace::default();
+        CacheFixture {
+            sampler: Sampler::new(QualityModel::new(space.clone(), 1, 6.29)),
+            text: TextEncoder::new(space),
+            rng: SimRng::seed_from(seed),
+        }
     }
 
-    #[test]
-    fn cosine_symmetric(a in small_vec(8), b in small_vec(8)) {
+    fn image(&mut self, prompt: &str) -> modm::diffusion::GeneratedImage {
+        let e = self.text.encode(prompt);
+        self.sampler.generate(ModelId::Sd35Large, &e, &mut self.rng)
+    }
+}
+
+#[test]
+fn cosine_always_in_unit_interval_and_symmetric() {
+    let mut rng = SimRng::seed_from(101);
+    for case in 0..256 {
+        let a = random_vec(&mut rng, 8);
+        let b = random_vec(&mut rng, 8);
         let c1 = cosine_similarity(&a, &b);
         let c2 = cosine_similarity(&b, &a);
-        prop_assert!((c1 - c2).abs() < 1e-12);
+        assert!((-1.0..=1.0).contains(&c1), "case {case}: cosine {c1}");
+        assert!((c1 - c2).abs() < 1e-12, "case {case}: asymmetric");
     }
+}
 
-    #[test]
-    fn event_queue_delivers_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn event_queue_delivers_in_time_order() {
+    let mut rng = SimRng::seed_from(102);
+    for case in 0..64 {
+        let n = 1 + rng.index(200);
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_micros(t), i);
+        for i in 0..n {
+            q.schedule(SimTime::from_micros(rng.index(1_000_000) as u64), i);
         }
         let mut last = SimTime::ZERO;
         while let Some((at, _)) = q.pop() {
-            prop_assert!(at >= last);
+            assert!(at >= last, "case {case}: time went backwards");
             last = at;
         }
     }
+}
 
-    #[test]
-    fn percentiles_bounded_by_extremes(xs in prop::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..=1.0) {
+#[test]
+fn percentiles_bounded_by_extremes() {
+    let mut rng = SimRng::seed_from(103);
+    for case in 0..64 {
+        let n = 1 + rng.index(200);
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform_in(-1e6, 1e6)).collect();
+        let q = rng.uniform();
         let mut p = Percentiles::new();
-        for &x in &xs { p.record(x); }
+        for &x in &xs {
+            p.record(x);
+        }
         let v = p.quantile(q).unwrap();
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        assert!(
+            v >= lo - 1e-9 && v <= hi + 1e-9,
+            "case {case}: {v} not in [{lo}, {hi}]"
+        );
     }
+}
 
-    #[test]
-    fn schedules_monotone_and_bounded(step in 0u32..=TOTAL_STEPS) {
-        for s in [NoiseSchedule::RectifiedFlow, NoiseSchedule::Cosine, NoiseSchedule::Karras] {
+#[test]
+fn schedules_monotone_and_bounded() {
+    for step in 0..=TOTAL_STEPS {
+        for s in [
+            NoiseSchedule::RectifiedFlow,
+            NoiseSchedule::Cosine,
+            NoiseSchedule::Karras,
+        ] {
             let sigma = s.sigma_at(step, TOTAL_STEPS);
-            prop_assert!((0.0..=1.0).contains(&sigma));
+            assert!((0.0..=1.0).contains(&sigma));
             if step > 0 {
-                prop_assert!(sigma <= s.sigma_at(step - 1, TOTAL_STEPS) + 1e-12);
+                assert!(sigma <= s.sigma_at(step - 1, TOTAL_STEPS) + 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn forward_noise_preserves_length(img in small_vec(16), sigma in 0.0f64..=1.0, seed in 0u64..1000) {
-        let mut rng = SimRng::seed_from(seed);
-        let out = forward_noise(&img, sigma, &mut rng);
-        prop_assert_eq!(out.len(), img.len());
-        if sigma == 0.0 {
-            prop_assert_eq!(out, img);
-        }
+#[test]
+fn forward_noise_preserves_length() {
+    let mut rng = SimRng::seed_from(104);
+    for case in 0..128 {
+        let img = random_vec(&mut rng, 16);
+        let sigma = rng.uniform();
+        let mut noise_rng = SimRng::seed_from(case);
+        let out = forward_noise(&img, sigma, &mut noise_rng);
+        assert_eq!(out.len(), img.len());
+        let mut zero_rng = SimRng::seed_from(case);
+        assert_eq!(forward_noise(&img, 0.0, &mut zero_rng), img);
     }
+}
 
-    #[test]
-    fn k_decision_monotone_and_discrete(s1 in 0.0f64..0.5, ds in 0.0f64..0.2) {
-        let s2 = s1 + ds;
-        let k_of = |s: f64| match k_decision(s) {
-            KDecision::Miss => 0,
-            KDecision::Hit { k } => k,
-        };
-        prop_assert!(k_of(s2) >= k_of(s1));
+#[test]
+fn k_decision_monotone_and_discrete() {
+    let mut rng = SimRng::seed_from(105);
+    let k_of = |s: f64| match k_decision(s) {
+        KDecision::Miss => 0,
+        KDecision::Hit { k } => k,
+    };
+    for case in 0..512 {
+        let s1 = rng.uniform_in(0.0, 0.5);
+        let s2 = s1 + rng.uniform_in(0.0, 0.2);
+        assert!(k_of(s2) >= k_of(s1), "case {case}: k not monotone");
         let k = k_of(s1);
-        prop_assert!(k == 0 || modm::diffusion::K_CHOICES.contains(&k));
+        assert!(
+            k == 0 || modm::diffusion::K_CHOICES.contains(&k),
+            "case {case}: k = {k} off the ladder"
+        );
     }
+}
 
-    #[test]
-    fn cache_capacity_invariant(
-        capacity in 1usize..30,
-        inserts in 1usize..80,
-        policy_idx in 0usize..3,
-    ) {
-        let policy = [MaintenancePolicy::Fifo, MaintenancePolicy::Lru, MaintenancePolicy::Utility][policy_idx];
-        let space = SemanticSpace::default();
-        let text = TextEncoder::new(space.clone());
-        let sampler = Sampler::new(QualityModel::new(space, 1, 6.29));
-        let mut rng = SimRng::seed_from(9);
-        let mut cache = ImageCache::new(CacheConfig::with_policy(capacity, policy));
-        for i in 0..inserts {
-            let e = text.encode(&format!("prompt number {i}"));
-            cache.insert(
-                SimTime::from_micros(i as u64),
-                sampler.generate(ModelId::Sd35Large, &e, &mut rng),
-            );
-            prop_assert!(cache.len() <= capacity);
+#[test]
+fn cache_capacity_never_exceeded_under_any_policy() {
+    // The first cache invariant: no interleaving of inserts and
+    // retrievals pushes any policy past its configured capacity.
+    for (pi, policy) in ALL_POLICIES.into_iter().enumerate() {
+        let mut f = CacheFixture::new(9 + pi as u64);
+        let mut case_rng = SimRng::seed_from(200 + pi as u64);
+        for case in 0..8 {
+            let capacity = 1 + case_rng.index(30);
+            let inserts = 1 + case_rng.index(80);
+            let mut cache = ImageCache::new(CacheConfig::with_policy(capacity, policy));
+            for i in 0..inserts {
+                // Random interleaved retrievals exercise promotion paths
+                // (LRU recency, utility hit counts, S3-FIFO frequencies).
+                if case_rng.chance(0.3) && i > 0 {
+                    let probe = f
+                        .text
+                        .encode(&format!("prompt number {}", case_rng.index(i)));
+                    let _ = cache.retrieve(SimTime::from_micros(i as u64), &probe, 0.25);
+                }
+                let e = format!("prompt number {i}");
+                cache.insert(SimTime::from_micros(i as u64), f.image(&e));
+                assert!(
+                    cache.len() <= capacity,
+                    "{policy:?} case {case}: {} > {capacity}",
+                    cache.len()
+                );
+            }
+            assert_eq!(cache.len(), inserts.min(capacity), "{policy:?} case {case}");
         }
-        prop_assert_eq!(cache.len(), inserts.min(capacity));
     }
+}
 
-    #[test]
-    fn retrieval_respects_threshold(threshold in 0.0f64..0.32, seed in 0u64..50) {
-        let space = SemanticSpace::default();
-        let text = TextEncoder::new(space.clone());
-        let sampler = Sampler::new(QualityModel::new(space, 2, 6.29));
-        let mut rng = SimRng::seed_from(seed);
+#[test]
+fn eviction_order_matches_policy_semantics() {
+    // The second cache invariant, checked against the observable entry
+    // state: whichever entry the policy's comparator ranks lowest is the
+    // one that disappears on the next insert.
+    let mut case_rng = SimRng::seed_from(300);
+    for case in 0..12 {
+        let capacity = 3 + case_rng.index(6);
+        for policy in [
+            MaintenancePolicy::Fifo,
+            MaintenancePolicy::Lru,
+            MaintenancePolicy::Utility,
+        ] {
+            let mut f = CacheFixture::new(40 + case);
+            let mut cache = ImageCache::new(CacheConfig::with_policy(capacity, policy));
+            let mut prompts = Vec::new();
+            for i in 0..capacity {
+                let p = format!("distinct scene {case} number {i} tokens {}", i * 13);
+                cache.insert(SimTime::from_secs_f64(i as f64), f.image(&p));
+                prompts.push(p);
+            }
+            // Touch a random subset so recency/utility orders diverge
+            // from insertion order.
+            for t in 0..capacity * 2 {
+                let pick = case_rng.index(capacity);
+                let _ = cache.retrieve(
+                    SimTime::from_secs_f64(100.0 + t as f64),
+                    &f.text.encode(&prompts[pick]),
+                    0.25,
+                );
+            }
+            // Predict the victim from the public entry state.
+            let expected = match policy {
+                MaintenancePolicy::Fifo => cache
+                    .iter()
+                    .min_by_key(|e| e.cached_at)
+                    .map(|e| e.image.id.0)
+                    .unwrap(),
+                MaintenancePolicy::Lru => cache
+                    .iter()
+                    .min_by_key(|e| (e.last_used, e.image.id.0))
+                    .map(|e| e.image.id.0)
+                    .unwrap(),
+                MaintenancePolicy::Utility => cache
+                    .iter()
+                    .min_by_key(|e| (e.hit_count, e.cached_at, e.image.id.0))
+                    .map(|e| e.image.id.0)
+                    .unwrap(),
+                MaintenancePolicy::S3Fifo => unreachable!(),
+            };
+            cache.insert(
+                SimTime::from_secs_f64(1_000.0),
+                f.image(&format!("overflow trigger {case}")),
+            );
+            assert!(
+                cache.iter().all(|e| e.image.id.0 != expected),
+                "{policy:?} case {case}: expected victim {expected} survived"
+            );
+        }
+    }
+}
+
+#[test]
+fn s3fifo_evicts_cold_before_protected() {
+    // S3-FIFO's semantics: an entry retrieved while probationary is
+    // promoted and outlives any never-retrieved entry inserted alongside.
+    for case in 0..8u64 {
+        let mut f = CacheFixture::new(60 + case);
+        let capacity = 6;
+        let mut cache = ImageCache::new(CacheConfig::with_policy(
+            capacity,
+            MaintenancePolicy::S3Fifo,
+        ));
+        // Alignment jitter makes a minority of images irretrievable even
+        // by their own prompt at the 0.25 threshold; pick a hot image
+        // that is solidly above it so the test isolates eviction order.
+        let mut found = None;
+        for i in 0..64 {
+            let p = format!("protected landmark {case} citadel aurora variant {i}");
+            let img = f.image(&p);
+            let q = f.text.encode(&p);
+            let mut probe = ImageCache::new(CacheConfig::fifo(1));
+            probe.insert(SimTime::ZERO, img.clone());
+            if probe.peek(&q, 0.27).is_some() {
+                found = Some((p, img));
+                break;
+            }
+        }
+        let (hot, hot_img) = found.expect("some image retrieves its own prompt");
+        let cold = format!("cold filler {case} pebble mist");
+        cache.insert(SimTime::from_secs_f64(0.0), hot_img);
+        cache.insert(SimTime::from_secs_f64(1.0), f.image(&cold));
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(2.0), &f.text.encode(&hot), 0.25)
+            .is_some());
+        for i in 0..capacity * 3 {
+            let p = format!("flood {case} item {i} transient");
+            cache.insert(SimTime::from_secs_f64(3.0 + i as f64), f.image(&p));
+        }
+        let now = SimTime::from_secs_f64(100.0);
+        assert!(
+            cache.retrieve(now, &f.text.encode(&hot), 0.25).is_some(),
+            "case {case}: promoted entry evicted"
+        );
+        assert!(
+            cache.retrieve(now, &f.text.encode(&cold), 0.25).is_none(),
+            "case {case}: cold entry outlived the flood"
+        );
+    }
+}
+
+#[test]
+fn cache_index_selection_respects_ivf_threshold() {
+    // The third cache invariant: flat/IVF backend choice is exactly the
+    // capacity-vs-threshold comparison, for every policy.
+    for policy in ALL_POLICIES {
+        let below = ImageCache::new(CacheConfig::with_policy(IVF_THRESHOLD - 1, policy));
+        assert!(
+            !below.uses_ivf_index(),
+            "{policy:?}: capacity {} must use the flat index",
+            IVF_THRESHOLD - 1
+        );
+        let at = ImageCache::new(CacheConfig::with_policy(IVF_THRESHOLD, policy));
+        assert!(
+            at.uses_ivf_index(),
+            "{policy:?}: capacity {IVF_THRESHOLD} must use the IVF index"
+        );
+    }
+    // Both backends serve the same near-duplicate retrievals.
+    let mut f = CacheFixture::new(77);
+    let mut flat_cache = ImageCache::new(CacheConfig::fifo(IVF_THRESHOLD - 1));
+    let mut ivf_cache = ImageCache::new(CacheConfig::fifo(IVF_THRESHOLD));
+    for i in 0..40 {
+        let p = format!("indexed vista {i} basalt shoreline {}", i * 7);
+        flat_cache.insert(SimTime::ZERO, f.image(&p));
+        ivf_cache.insert(SimTime::ZERO, f.image(&p));
+    }
+    let now = SimTime::from_secs_f64(1.0);
+    for i in 0..40 {
+        let q = f
+            .text
+            .encode(&format!("indexed vista {i} basalt shoreline {}", i * 7));
+        assert!(
+            flat_cache.retrieve(now, &q, 0.2).is_some(),
+            "flat miss at {i}"
+        );
+        assert!(
+            ivf_cache.retrieve(now, &q, 0.2).is_some(),
+            "ivf miss at {i}"
+        );
+    }
+}
+
+#[test]
+fn retrieval_respects_threshold() {
+    for seed in 0..24u64 {
+        let mut f = CacheFixture::new(seed);
+        let mut case_rng = SimRng::seed_from(400 + seed);
+        let threshold = case_rng.uniform_in(0.0, 0.32);
         let mut cache = ImageCache::new(CacheConfig::fifo(16));
         for i in 0..16 {
-            let e = text.encode(&format!("cached item {i} {}", seed));
-            cache.insert(SimTime::ZERO, sampler.generate(ModelId::Sd35Large, &e, &mut rng));
+            cache.insert(SimTime::ZERO, f.image(&format!("cached item {i} {seed}")));
         }
-        let q = text.encode("a completely different query prompt");
+        let q = f.text.encode("a completely different query prompt");
         if let Some(hit) = cache.retrieve(SimTime::ZERO, &q, threshold) {
-            prop_assert!(hit.similarity >= threshold);
+            assert!(hit.similarity >= threshold, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn flat_and_ivf_agree_on_self_queries(n in 1usize..60, probe in 0usize..60) {
-        let space = SemanticSpace::default();
-        let text = TextEncoder::new(space.clone());
+#[test]
+fn flat_and_ivf_agree_on_self_queries() {
+    let space = SemanticSpace::default();
+    let text = TextEncoder::new(space.clone());
+    let mut case_rng = SimRng::seed_from(500);
+    for case in 0..32 {
+        let n = 1 + case_rng.index(60);
+        let probe = case_rng.index(60);
         let mut flat = EmbeddingIndex::new();
-        let mut ivf: IvfIndex<u64> = IvfIndex::new(space.dim(), 16, 16); // probe all lists: exact
+        // Probe all lists: exact.
+        let mut ivf: IvfIndex<u64> = IvfIndex::new(space.dim(), 16, 16);
         let embs: Vec<Embedding> = (0..n)
             .map(|i| text.encode(&format!("item {i} distinct tokens {}", i * 7)))
             .collect();
@@ -140,60 +370,81 @@ proptest! {
         let q = &embs[probe % n];
         let a = flat.nearest(q).unwrap();
         let b = ivf.nearest(q).unwrap();
-        prop_assert!((a.similarity - b.similarity).abs() < 1e-12);
+        assert!((a.similarity - b.similarity).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn pid_output_bounded_by_gain_times_error(target in -50.0f64..50.0, current in -50.0f64..50.0) {
+#[test]
+fn pid_output_bounded_by_gain_times_error() {
+    let mut rng = SimRng::seed_from(106);
+    for case in 0..256 {
+        let target = rng.uniform_in(-50.0, 50.0);
+        let current = rng.uniform_in(-50.0, 50.0);
         let mut pid = PidController::paper_tuned();
         let out = pid.compute(target, current);
         let err = (target - current).abs();
         // First step: |out| <= (kp + ki + kd) * |err|.
-        prop_assert!(out.abs() <= 0.7 * err + 1e-9);
-    }
-
-    #[test]
-    fn quality_factor_monotone_in_similarity(k_idx in 0usize..6, s in 0.05f64..0.35) {
-        let k = modm::diffusion::K_CHOICES[k_idx];
-        let q1 = QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s, k);
-        let q2 = QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s + 0.01, k);
-        prop_assert!(q2 >= q1);
-        prop_assert!(q1 > 0.0);
+        assert!(out.abs() <= 0.7 * err + 1e-9, "case {case}");
     }
 }
 
-proptest! {
-    // Heavier cases run fewer iterations.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn quality_factor_monotone_in_similarity() {
+    let mut rng = SimRng::seed_from(107);
+    for case in 0..128 {
+        let k = modm::diffusion::K_CHOICES[rng.index(6)];
+        let s = rng.uniform_in(0.05, 0.35);
+        let q1 = QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s, k);
+        let q2 =
+            QualityModel::expected_quality_factor(ModelId::Sdxl, ModelId::Sd35Large, s + 0.01, k);
+        assert!(q2 >= q1, "case {case}");
+        assert!(q1 > 0.0, "case {case}");
+    }
+}
 
-    #[test]
-    fn frechet_nonnegative_and_symmetric(seed_a in 0u64..100, seed_b in 0u64..100) {
-        let sample = |seed: u64| {
-            let mut rng = SimRng::seed_from(seed);
-            let mut g = GaussianStats::new(4);
-            for _ in 0..300 {
-                let v: Vec<f64> = (0..4).map(|_| rng.normal(seed as f64 % 3.0, 1.0 + (seed % 2) as f64)).collect();
-                g.record(&v);
-            }
-            g
-        };
+#[test]
+fn frechet_nonnegative_and_symmetric() {
+    let sample = |seed: u64| {
+        let mut rng = SimRng::seed_from(seed);
+        let mut g = GaussianStats::new(4);
+        for _ in 0..300 {
+            let v: Vec<f64> = (0..4)
+                .map(|_| rng.normal(seed as f64 % 3.0, 1.0 + (seed % 2) as f64))
+                .collect();
+            g.record(&v);
+        }
+        g
+    };
+    let mut rng = SimRng::seed_from(108);
+    for case in 0..12 {
+        let seed_a = rng.index(100) as u64;
+        let seed_b = rng.index(100) as u64;
         let a = sample(seed_a);
         let b = sample(seed_b);
         let d1 = frechet_distance(&a, &b).unwrap();
         let d2 = frechet_distance(&b, &a).unwrap();
-        prop_assert!(d1 >= 0.0);
-        prop_assert!((d1 - d2).abs() < 1e-6);
+        assert!(d1 >= 0.0, "case {case}");
+        assert!((d1 - d2).abs() < 1e-6, "case {case}");
         if seed_a == seed_b {
-            prop_assert!(d1 < 1e-6);
+            assert!(d1 < 1e-6, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn serving_conserves_requests(n in 20usize..120, rate in 2.0f64..40.0, seed in 0u64..20) {
-        use modm::cluster::GpuKind;
-        use modm::core::{MoDMConfig, ServingSystem};
-        use modm::workload::TraceBuilder;
-        let t = TraceBuilder::diffusion_db(seed).requests(n).rate_per_min(rate).build();
+#[test]
+fn serving_conserves_requests() {
+    use modm::cluster::GpuKind;
+    use modm::core::{MoDMConfig, ServingSystem};
+    use modm::workload::TraceBuilder;
+    let mut rng = SimRng::seed_from(109);
+    for case in 0..12 {
+        let n = 20 + rng.index(100);
+        let rate = rng.uniform_in(2.0, 40.0);
+        let seed = rng.index(20) as u64;
+        let t = TraceBuilder::diffusion_db(seed)
+            .requests(n)
+            .rate_per_min(rate)
+            .build();
         let r = ServingSystem::new(
             MoDMConfig::builder()
                 .gpus(GpuKind::Mi210, 4)
@@ -201,9 +452,45 @@ proptest! {
                 .build(),
         )
         .run(&t);
-        prop_assert_eq!(r.completed(), n as u64);
-        prop_assert_eq!(r.hits + r.misses, n as u64);
+        assert_eq!(r.completed(), n as u64, "case {case}");
+        assert_eq!(r.hits + r.misses, n as u64, "case {case}");
         let k_total: u64 = r.k_histogram.iter().sum();
-        prop_assert_eq!(k_total, r.hits);
+        assert_eq!(k_total, r.hits, "case {case}");
+    }
+}
+
+#[test]
+fn fleet_conserves_requests_property() {
+    use modm::cluster::GpuKind;
+    use modm::core::MoDMConfig;
+    use modm::fleet::{Fleet, Router, RoutingPolicy};
+    use modm::workload::TraceBuilder;
+    let mut rng = SimRng::seed_from(110);
+    for case in 0..6 {
+        let n = 40 + rng.index(120);
+        let nodes = 1 + rng.index(6);
+        let policy = [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::CacheAffinity,
+        ][rng.index(3)];
+        let t = TraceBuilder::diffusion_db(case)
+            .requests(n)
+            .rate_per_min(10.0)
+            .build();
+        let fleet = Fleet::new(
+            MoDMConfig::builder()
+                .gpus(GpuKind::Mi210, 2)
+                .cache_capacity(200)
+                .build(),
+            Router::new(policy, nodes),
+        );
+        let r = fleet.run(&t);
+        assert_eq!(
+            r.completed(),
+            n as u64,
+            "case {case} ({policy:?}, {nodes} nodes)"
+        );
+        assert_eq!(r.hits() + r.misses(), n as u64, "case {case}");
     }
 }
