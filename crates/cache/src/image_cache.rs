@@ -443,6 +443,64 @@ impl ImageCache {
         self.entries.values()
     }
 
+    /// Removes and returns the `n` *hottest* resident images: most
+    /// retrievals first, ties broken by most recent use, then by ascending
+    /// id (fully deterministic). The removals are not counted as evictions
+    /// — the entries live on elsewhere. This is the export half of the
+    /// drain handoff: a shard leaving the fleet sends its hottest entries
+    /// to the shards inheriting its keyspace, so scale-down does not torch
+    /// the hit rate.
+    pub fn export_hottest(&mut self, n: usize) -> Vec<GeneratedImage> {
+        let mut ranked: Vec<(u64, SimTime, u64)> = self
+            .entries
+            .values()
+            .map(|e| (e.hit_count, e.last_used, e.image.id.0))
+            .collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.0.cmp(&a.0) // hottest first
+                .then_with(|| b.1.cmp(&a.1)) // most recently used first
+                .then_with(|| a.2.cmp(&b.2)) // stable: lowest id first
+        });
+        ranked
+            .into_iter()
+            .take(n)
+            .map(|(_, _, key)| {
+                let entry = self.entries.remove(&key).expect("ranked from entries");
+                self.index.remove(&key);
+                self.remove_from_queues(key);
+                entry.image
+            })
+            .collect()
+    }
+
+    /// Removes and returns every resident image whose embedding satisfies
+    /// `pred`, in ascending id order (deterministic despite the hash-map
+    /// backing). Hit-count and recency bookkeeping of the *remaining*
+    /// entries is untouched, and the removals are not counted as
+    /// evictions. This is the selective-migration primitive: a shard
+    /// joining the fleet pulls exactly the entries whose keyspace it now
+    /// owns.
+    pub fn extract_matching(
+        &mut self,
+        mut pred: impl FnMut(&Embedding) -> bool,
+    ) -> Vec<GeneratedImage> {
+        let mut keys: Vec<u64> = self
+            .entries
+            .values()
+            .filter(|e| pred(&e.image.embedding))
+            .map(|e| e.image.id.0)
+            .collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|key| {
+                let entry = self.entries.remove(&key).expect("key from entries");
+                self.index.remove(&key);
+                self.remove_from_queues(key);
+                entry.image
+            })
+            .collect()
+    }
+
     /// Empties the cache, returning every resident image in ascending id
     /// order (so downstream re-placement is deterministic). Maintenance
     /// state (queues, ghost memory, frequencies) is reset;
@@ -688,6 +746,57 @@ mod tests {
         // Ghost memory stays bounded by capacity.
         assert!(cache.s3.ghost.len() <= 8);
         assert_eq!(cache.s3.ghost.len(), cache.s3.ghost_set.len());
+    }
+
+    #[test]
+    fn export_hottest_ranks_by_hits_then_recency() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::fifo(10));
+        let hot = "ancient lighthouse guarding archipelago dusk oil painting";
+        let warm = "gilded carousel spinning boardwalk twilight photograph";
+        let cold = "forgotten automaton rusting junkyard noon charcoal sketch";
+        let hot_img = image_for(&mut f, hot);
+        let hot_id = hot_img.id.0;
+        let warm_img = image_for(&mut f, warm);
+        let warm_id = warm_img.id.0;
+        cache.insert(SimTime::ZERO, hot_img);
+        cache.insert(SimTime::ZERO, warm_img);
+        cache.insert(SimTime::ZERO, image_for(&mut f, cold));
+        for i in 0..3 {
+            let t = SimTime::from_secs_f64(1.0 + i as f64);
+            assert!(cache.retrieve(t, &f.text.encode(hot), 0.25).is_some());
+        }
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(9.0), &f.text.encode(warm), 0.25)
+            .is_some());
+        let exported = cache.export_hottest(2);
+        assert_eq!(exported[0].id.0, hot_id, "3-hit entry first");
+        assert_eq!(exported[1].id.0, warm_id, "1-hit entry second");
+        assert_eq!(cache.len(), 1, "cold entry stays");
+        assert_eq!(cache.stats().evictions(), 0, "export is not eviction");
+        // Exported entries are gone from the index too.
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(10.0), &f.text.encode(hot), 0.25)
+            .is_none());
+    }
+
+    #[test]
+    fn export_hottest_caps_at_len_and_keeps_cache_consistent() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(CacheConfig::with_policy(6, MaintenancePolicy::S3Fifo));
+        for i in 0..6 {
+            let p = format!("orchard {i} lantern mist morning");
+            cache.insert(SimTime::from_secs_f64(i as f64), image_for(&mut f, &p));
+        }
+        let exported = cache.export_hottest(100);
+        assert_eq!(exported.len(), 6);
+        assert!(cache.is_empty());
+        // The cache still works after a full export.
+        let p = "fresh meadow after export";
+        cache.insert(SimTime::from_secs_f64(10.0), image_for(&mut f, p));
+        assert!(cache
+            .retrieve(SimTime::from_secs_f64(11.0), &f.text.encode(p), 0.25)
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Autoscaling policies: how many nodes should exist right now?
+//!
+//! The control plane calls [`Autoscaler::decide`] once per control window
+//! with a [`ScalerObservation`] of the window that just ended; the policy
+//! answers with a [`ScaleDecision`]. Two production-shaped policies ship:
+//!
+//! * [`ReactiveAutoscaler`] — hysteresis over queue depth and SLO
+//!   violations: scale up after `up_after` consecutive hot windows, down
+//!   after `down_after` consecutive cold ones, with a cooldown between
+//!   actions so the fleet never flaps.
+//! * [`PredictiveAutoscaler`] — a Holt double-exponential (level + trend)
+//!   forecast of the arrival rate, provisioned to the forecast with
+//!   headroom: it scales *before* the diurnal peak arrives instead of
+//!   after the queues already grew.
+//!
+//! Plus two harness policies: [`HoldAutoscaler`] (the static-N baseline)
+//! and [`ScheduledAutoscaler`] (a scripted plan, for tests and demos).
+
+/// What the control plane observed over the window that just ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalerObservation {
+    /// Arrival rate over the window, requests/minute.
+    pub arrival_rate_per_min: f64,
+    /// Mean outstanding backlog per active node (jobs), sampled at the
+    /// window edge.
+    pub queue_depth_per_node: f64,
+    /// Fraction of the window's completions that violated the SLO (zero
+    /// when nothing completed).
+    pub slo_violation_rate: f64,
+    /// Nodes currently accepting traffic.
+    pub active_nodes: usize,
+    /// Floor the control plane will enforce.
+    pub min_nodes: usize,
+    /// Ceiling the control plane will enforce.
+    pub max_nodes: usize,
+}
+
+/// An autoscaler's verdict for the next window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleDecision {
+    /// Keep the current node count.
+    #[default]
+    Hold,
+    /// Provision `n` more nodes.
+    Up(usize),
+    /// Drain `n` nodes.
+    Down(usize),
+}
+
+/// A policy deciding the fleet's node count, one control window at a time.
+pub trait Autoscaler {
+    /// Policy name for reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Clears internal state (streaks, forecasts) so the same policy value
+    /// can drive several independent runs. Called once at run start.
+    fn reset(&mut self);
+
+    /// One decision for the window summarized by `obs`. The control plane
+    /// clamps whatever comes back to `[min_nodes, max_nodes]`.
+    fn decide(&mut self, obs: &ScalerObservation) -> ScaleDecision;
+}
+
+/// The static-N baseline: never scales. Running the elastic fleet under
+/// `Hold` is exactly a fixed fleet, which makes the autoscaled-vs-static
+/// comparison an apples-to-apples single-harness experiment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HoldAutoscaler;
+
+impl Autoscaler for HoldAutoscaler {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn reset(&mut self) {}
+
+    fn decide(&mut self, _obs: &ScalerObservation) -> ScaleDecision {
+        ScaleDecision::Hold
+    }
+}
+
+/// A scripted plan: decision `k` fires on control window `k` (windows past
+/// the end of the plan hold). Deterministic by construction — the harness
+/// for lifecycle tests and the 4→8→4 documentation runs.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledAutoscaler {
+    plan: Vec<ScaleDecision>,
+    next: usize,
+}
+
+impl ScheduledAutoscaler {
+    /// A plan of per-window decisions.
+    pub fn new(plan: Vec<ScaleDecision>) -> Self {
+        ScheduledAutoscaler { plan, next: 0 }
+    }
+}
+
+impl Autoscaler for ScheduledAutoscaler {
+    fn name(&self) -> &'static str {
+        "scheduled"
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    fn decide(&mut self, _obs: &ScalerObservation) -> ScaleDecision {
+        let d = self.plan.get(self.next).copied().unwrap_or_default();
+        self.next += 1;
+        d
+    }
+}
+
+/// Configuration of the [`ReactiveAutoscaler`]'s hysteresis band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReactiveConfig {
+    /// Scale up when per-node backlog exceeds this (jobs).
+    pub up_queue_depth: f64,
+    /// ... or when the window's SLO violation rate exceeds this.
+    pub up_slo_violations: f64,
+    /// Scale down when per-node backlog is below this (jobs).
+    pub down_queue_depth: f64,
+    /// Consecutive hot windows required before scaling up.
+    pub up_after: u32,
+    /// Consecutive cold windows required before scaling down.
+    pub down_after: u32,
+    /// Windows to hold after any action (lets the last action take
+    /// effect before judging again).
+    pub cooldown: u32,
+}
+
+impl Default for ReactiveConfig {
+    fn default() -> Self {
+        ReactiveConfig {
+            up_queue_depth: 4.0,
+            up_slo_violations: 0.1,
+            down_queue_depth: 1.0,
+            up_after: 1,
+            down_after: 3,
+            cooldown: 1,
+        }
+    }
+}
+
+/// Queue-depth / SLO-violation hysteresis (see [`ReactiveConfig`]).
+#[derive(Debug, Clone)]
+pub struct ReactiveAutoscaler {
+    config: ReactiveConfig,
+    hot_streak: u32,
+    cold_streak: u32,
+    cooldown_left: u32,
+}
+
+impl ReactiveAutoscaler {
+    /// A reactive scaler with the given band.
+    pub fn new(config: ReactiveConfig) -> Self {
+        ReactiveAutoscaler {
+            config,
+            hot_streak: 0,
+            cold_streak: 0,
+            cooldown_left: 0,
+        }
+    }
+}
+
+impl Default for ReactiveAutoscaler {
+    fn default() -> Self {
+        Self::new(ReactiveConfig::default())
+    }
+}
+
+impl Autoscaler for ReactiveAutoscaler {
+    fn name(&self) -> &'static str {
+        "reactive"
+    }
+
+    fn reset(&mut self) {
+        self.hot_streak = 0;
+        self.cold_streak = 0;
+        self.cooldown_left = 0;
+    }
+
+    fn decide(&mut self, obs: &ScalerObservation) -> ScaleDecision {
+        let hot = obs.queue_depth_per_node > self.config.up_queue_depth
+            || obs.slo_violation_rate > self.config.up_slo_violations;
+        let cold = obs.queue_depth_per_node < self.config.down_queue_depth;
+        if hot {
+            self.hot_streak += 1;
+            self.cold_streak = 0;
+        } else if cold {
+            self.cold_streak += 1;
+            self.hot_streak = 0;
+        } else {
+            self.hot_streak = 0;
+            self.cold_streak = 0;
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return ScaleDecision::Hold;
+        }
+        if self.hot_streak >= self.config.up_after && obs.active_nodes < obs.max_nodes {
+            self.hot_streak = 0;
+            self.cooldown_left = self.config.cooldown;
+            // Escalate when the backlog is twice the trigger: one node of
+            // relief will not catch a queue that deep.
+            let step = if obs.queue_depth_per_node > 2.0 * self.config.up_queue_depth {
+                2
+            } else {
+                1
+            };
+            return ScaleDecision::Up(step);
+        }
+        if self.cold_streak >= self.config.down_after && obs.active_nodes > obs.min_nodes {
+            self.cold_streak = 0;
+            self.cooldown_left = self.config.cooldown;
+            return ScaleDecision::Down(1);
+        }
+        ScaleDecision::Hold
+    }
+}
+
+/// Configuration of the [`PredictiveAutoscaler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictiveConfig {
+    /// Sustained request rate one node absorbs, requests/minute. The
+    /// natural estimate is `num_gpus * profiled_throughput` adjusted for
+    /// the expected hit rate; the `elastic` experiment derives it from
+    /// `GpuKind::profiled_throughput_per_min`.
+    pub per_node_rate_per_min: f64,
+    /// EWMA smoothing factor for the rate level, in `(0, 1]`.
+    pub alpha: f64,
+    /// EWMA smoothing factor for the rate trend, in `(0, 1]`.
+    pub beta: f64,
+    /// Windows of lookahead the forecast projects the trend over (covers
+    /// the provision + warm cold start).
+    pub lookahead_windows: f64,
+    /// Capacity headroom multiplier (>1 over-provisions slightly).
+    pub headroom: f64,
+    /// Windows to hold after any action.
+    pub cooldown: u32,
+}
+
+impl PredictiveConfig {
+    /// Defaults around a per-node rate: 30%-of-a-window smoothing, two
+    /// windows of lookahead, 25% headroom, one window of cooldown (the
+    /// quantized target plus a cooldown keeps window-to-window rate noise
+    /// from flapping the fleet).
+    pub fn for_node_rate(per_node_rate_per_min: f64) -> Self {
+        assert!(
+            per_node_rate_per_min > 0.0,
+            "node capacity must be positive"
+        );
+        PredictiveConfig {
+            per_node_rate_per_min,
+            alpha: 0.3,
+            beta: 0.2,
+            lookahead_windows: 2.0,
+            headroom: 1.25,
+            cooldown: 1,
+        }
+    }
+}
+
+/// EWMA arrival-rate forecaster (Holt's level + trend), provisioned to
+/// `ceil(headroom * forecast / per_node_rate)` nodes.
+#[derive(Debug, Clone)]
+pub struct PredictiveAutoscaler {
+    config: PredictiveConfig,
+    level: Option<f64>,
+    trend: f64,
+    cooldown_left: u32,
+}
+
+impl PredictiveAutoscaler {
+    /// A predictive scaler with the given configuration.
+    pub fn new(config: PredictiveConfig) -> Self {
+        PredictiveAutoscaler {
+            config,
+            level: None,
+            trend: 0.0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// The current rate forecast `lookahead_windows` ahead (the last
+    /// observed rate before any observation).
+    pub fn forecast(&self) -> f64 {
+        self.level.unwrap_or(0.0) + self.trend * self.config.lookahead_windows
+    }
+}
+
+impl Autoscaler for PredictiveAutoscaler {
+    fn name(&self) -> &'static str {
+        "predictive"
+    }
+
+    fn reset(&mut self) {
+        self.level = None;
+        self.trend = 0.0;
+        self.cooldown_left = 0;
+    }
+
+    fn decide(&mut self, obs: &ScalerObservation) -> ScaleDecision {
+        // Holt update.
+        match self.level {
+            None => self.level = Some(obs.arrival_rate_per_min),
+            Some(prev) => {
+                let level =
+                    self.config.alpha * obs.arrival_rate_per_min + (1.0 - self.config.alpha) * prev;
+                self.trend =
+                    self.config.beta * (level - prev) + (1.0 - self.config.beta) * self.trend;
+                self.level = Some(level);
+            }
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return ScaleDecision::Hold;
+        }
+        let demand = (self.forecast().max(0.0) * self.config.headroom
+            / self.config.per_node_rate_per_min)
+            .ceil() as usize;
+        let target = demand.clamp(obs.min_nodes, obs.max_nodes);
+        if target > obs.active_nodes {
+            self.cooldown_left = self.config.cooldown;
+            ScaleDecision::Up(target - obs.active_nodes)
+        } else if target < obs.active_nodes {
+            self.cooldown_left = self.config.cooldown;
+            ScaleDecision::Down(obs.active_nodes - target)
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(rate: f64, queue: f64, slo: f64, active: usize) -> ScalerObservation {
+        ScalerObservation {
+            arrival_rate_per_min: rate,
+            queue_depth_per_node: queue,
+            slo_violation_rate: slo,
+            active_nodes: active,
+            min_nodes: 2,
+            max_nodes: 8,
+        }
+    }
+
+    #[test]
+    fn reactive_scales_up_on_deep_queues_with_cooldown() {
+        let mut s = ReactiveAutoscaler::default();
+        assert_eq!(s.decide(&obs(10.0, 6.0, 0.0, 4)), ScaleDecision::Up(1));
+        // Cooldown window holds even though queues are still deep.
+        assert_eq!(s.decide(&obs(10.0, 7.0, 0.0, 5)), ScaleDecision::Hold);
+        assert_eq!(s.decide(&obs(10.0, 7.0, 0.0, 5)), ScaleDecision::Up(1));
+    }
+
+    #[test]
+    fn reactive_scales_up_on_slo_violations_alone() {
+        let mut s = ReactiveAutoscaler::default();
+        assert_eq!(s.decide(&obs(10.0, 2.0, 0.4, 4)), ScaleDecision::Up(1));
+    }
+
+    #[test]
+    fn reactive_scales_down_only_after_sustained_idle() {
+        let mut s = ReactiveAutoscaler::default();
+        assert_eq!(s.decide(&obs(2.0, 0.2, 0.0, 4)), ScaleDecision::Hold);
+        assert_eq!(s.decide(&obs(2.0, 0.2, 0.0, 4)), ScaleDecision::Hold);
+        assert_eq!(s.decide(&obs(2.0, 0.2, 0.0, 4)), ScaleDecision::Down(1));
+        // A busy window in between resets the streak.
+        s.reset();
+        assert_eq!(s.decide(&obs(2.0, 0.2, 0.0, 4)), ScaleDecision::Hold);
+        assert_eq!(s.decide(&obs(2.0, 2.0, 0.0, 4)), ScaleDecision::Hold);
+        assert_eq!(s.decide(&obs(2.0, 0.2, 0.0, 4)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn reactive_respects_bounds() {
+        let mut s = ReactiveAutoscaler::default();
+        assert_eq!(
+            s.decide(&obs(10.0, 9.0, 0.5, 8)),
+            ScaleDecision::Hold,
+            "at max_nodes"
+        );
+        s.reset();
+        for _ in 0..3 {
+            let d = s.decide(&obs(0.1, 0.0, 0.0, 2));
+            assert_eq!(d, ScaleDecision::Hold, "at min_nodes");
+        }
+    }
+
+    #[test]
+    fn predictive_tracks_a_rising_rate_before_queues_grow() {
+        let mut s = PredictiveAutoscaler::new(PredictiveConfig::for_node_rate(4.0));
+        // Rate climbing 8 -> 20 req/min with empty queues: the forecast
+        // must provision ahead anyway.
+        let mut ups = 0;
+        let mut active = 3;
+        for step in 0..8 {
+            let rate = 8.0 + step as f64 * 1.7;
+            match s.decide(&obs(rate, 0.5, 0.0, active)) {
+                ScaleDecision::Up(n) => {
+                    ups += n;
+                    active += n;
+                }
+                ScaleDecision::Down(n) => active -= n,
+                ScaleDecision::Hold => {}
+            }
+        }
+        assert!(ups >= 2, "predictive must lead the ramp, got +{ups}");
+        assert!(
+            s.forecast() > 15.0,
+            "forecast {} tracks the ramp",
+            s.forecast()
+        );
+    }
+
+    #[test]
+    fn predictive_releases_capacity_in_the_trough() {
+        let mut s = PredictiveAutoscaler::new(PredictiveConfig::for_node_rate(4.0));
+        let mut active = 8;
+        for _ in 0..10 {
+            match s.decide(&obs(4.0, 0.1, 0.0, active)) {
+                ScaleDecision::Down(n) => active -= n,
+                ScaleDecision::Up(n) => active += n,
+                ScaleDecision::Hold => {}
+            }
+        }
+        assert!(
+            active <= 3,
+            "sustained 4 req/min needs ~2 nodes, kept {active}"
+        );
+        assert!(active >= 2, "floor respected");
+    }
+
+    #[test]
+    fn scheduled_replays_plan_then_holds() {
+        let mut s = ScheduledAutoscaler::new(vec![
+            ScaleDecision::Up(2),
+            ScaleDecision::Hold,
+            ScaleDecision::Down(1),
+        ]);
+        let o = obs(5.0, 1.0, 0.0, 4);
+        assert_eq!(s.decide(&o), ScaleDecision::Up(2));
+        assert_eq!(s.decide(&o), ScaleDecision::Hold);
+        assert_eq!(s.decide(&o), ScaleDecision::Down(1));
+        assert_eq!(s.decide(&o), ScaleDecision::Hold);
+        s.reset();
+        assert_eq!(s.decide(&o), ScaleDecision::Up(2), "reset replays");
+    }
+
+    #[test]
+    fn hold_never_scales() {
+        let mut s = HoldAutoscaler;
+        assert_eq!(s.decide(&obs(50.0, 50.0, 1.0, 2)), ScaleDecision::Hold);
+    }
+}

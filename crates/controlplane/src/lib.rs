@@ -1,0 +1,61 @@
+//! `modm-controlplane` — the elastic control plane above `modm-fleet`.
+//!
+//! `modm-fleet` serves a trace on a *fixed* set of nodes. In production,
+//! capacity itself is a control variable: diurnal load, bursts and
+//! failures all change how many nodes should exist. This crate drives the
+//! fleet through time:
+//!
+//! * [`Autoscaler`] — the scaling policy interface, with
+//!   [`ReactiveAutoscaler`] (queue-depth/SLO hysteresis),
+//!   [`PredictiveAutoscaler`] (EWMA level+trend forecast of the arrival
+//!   rate), the static baseline [`HoldAutoscaler`], and the scripted
+//!   [`ScheduledAutoscaler`].
+//! * [`NodeLifecycle`] — the per-node state machine
+//!   `Provisioning → Warming → Active → Draining → Decommissioned`
+//!   (plus `Failed`), with illegal transitions rejected.
+//! * **Cache handoff** — a draining node migrates its hottest shard
+//!   entries to the ring successors inheriting its keyspace, so
+//!   scale-down does not torch the fleet's hit rate.
+//! * [`FaultInjector`] — seeded node crashes and recovery, for measuring
+//!   hit-rate/SLO recovery after shard loss.
+//! * [`ElasticFleet`] — the discrete-event loop tying it together, built
+//!   on the same [`modm_core::node::ServingNode`] per-node step as the
+//!   single-node and fixed-fleet simulations.
+//!
+//! # Example: a scripted 4 → 6 → 4 run
+//!
+//! ```
+//! use modm_controlplane::{
+//!     ElasticFleet, ElasticFleetConfig, ScaleDecision, ScheduledAutoscaler,
+//! };
+//! use modm_core::MoDMConfig;
+//! use modm_cluster::GpuKind;
+//! use modm_workload::TraceBuilder;
+//!
+//! let node = MoDMConfig::builder().gpus(GpuKind::Mi210, 2).cache_capacity(400).build();
+//! let fleet = ElasticFleet::new(ElasticFleetConfig::new(node, 4, 2, 8));
+//! let trace = TraceBuilder::diffusion_db(7).requests(400).rate_per_min(16.0).build();
+//! let mut plan = ScheduledAutoscaler::new(vec![
+//!     ScaleDecision::Up(2),    // window 1: provision two nodes
+//!     ScaleDecision::Hold,     // window 2: let them warm
+//!     ScaleDecision::Down(2),  // window 3: drain two (with cache handoff)
+//! ]);
+//! let report = fleet.run(&trace, &mut plan);
+//! assert_eq!(report.completed, 400);
+//! assert_eq!(report.peak_active_nodes(), 6);
+//! ```
+
+pub mod autoscaler;
+pub mod elastic;
+pub mod fault;
+pub mod lifecycle;
+pub mod report;
+
+pub use autoscaler::{
+    Autoscaler, HoldAutoscaler, PredictiveAutoscaler, PredictiveConfig, ReactiveAutoscaler,
+    ReactiveConfig, ScaleDecision, ScalerObservation, ScheduledAutoscaler,
+};
+pub use elastic::{ElasticFleet, ElasticFleetConfig};
+pub use fault::FaultInjector;
+pub use lifecycle::{IllegalTransition, NodeLifecycle, NodeState};
+pub use report::{ElasticReport, FleetEvent, FleetEventKind, WindowSample};

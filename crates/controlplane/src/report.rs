@@ -1,0 +1,199 @@
+//! What an elastic run measured: fleet-wide serving metrics, GPU-hours,
+//! the control-plane event log and the per-window time series.
+
+use modm_fleet::HandoffReport;
+use modm_metrics::{LatencyReport, SloThresholds};
+use modm_simkit::SimTime;
+
+use crate::autoscaler::ScaleDecision;
+
+/// One control-plane action, timestamped in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetEventKind {
+    /// Scale-up started: the node began provisioning.
+    ScaleUp {
+        /// The node id.
+        node: usize,
+    },
+    /// The node finished warming and joined the active set.
+    NodeActive {
+        /// The node id.
+        node: usize,
+        /// Cache entries migrated in to pre-warm the shard (the entries
+        /// whose keyspace slice the node inherited).
+        prewarmed: usize,
+    },
+    /// Scale-down started: the node left the active set and handed its
+    /// hottest cache entries to its ring successors.
+    ScaleDown {
+        /// The node id.
+        node: usize,
+        /// What the cache handoff moved.
+        handoff: HandoffReport,
+    },
+    /// The draining node finished its backlog and released its GPUs.
+    Decommissioned {
+        /// The node id.
+        node: usize,
+    },
+    /// The node crashed: backlog re-delivered, cache shard lost.
+    Crash {
+        /// The node id.
+        node: usize,
+        /// Cache entries destroyed with the shard.
+        lost_entries: usize,
+        /// Queued + in-flight requests re-routed to survivors.
+        redelivered: usize,
+    },
+    /// A crashed node began re-provisioning.
+    RecoveryStarted {
+        /// The node id.
+        node: usize,
+    },
+}
+
+/// A timestamped control-plane event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: FleetEventKind,
+}
+
+/// One control window's summary (the autoscaler's input, kept for the
+/// record, plus what it decided).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSample {
+    /// Window end time.
+    pub end: SimTime,
+    /// Arrivals (including crash re-deliveries) per minute in the window.
+    pub arrival_rate_per_min: f64,
+    /// Completions in the window.
+    pub completions: u64,
+    /// Completions that had been cache hits.
+    pub hits: u64,
+    /// Completions that violated the SLO.
+    pub slo_violations: u64,
+    /// Nodes accepting traffic at the window edge.
+    pub active_nodes: usize,
+    /// Mean outstanding backlog per active node at the window edge.
+    pub mean_queue_depth: f64,
+    /// What the autoscaler decided at this window.
+    pub decision: ScaleDecision,
+}
+
+impl WindowSample {
+    /// Completion-based hit rate of the window (zero when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.completions as f64
+        }
+    }
+}
+
+/// Everything measured during an [`crate::ElasticFleet`] run.
+#[derive(Debug, Clone)]
+pub struct ElasticReport {
+    /// Name of the autoscaling policy that drove the run.
+    pub scaler: &'static str,
+    /// Requests served (every trace request completes exactly once, even
+    /// across crashes).
+    pub completed: u64,
+    /// Completions that were cache hits.
+    pub hits: u64,
+    /// Completions that were cache misses.
+    pub misses: u64,
+    /// Fleet-wide end-to-end latencies (crash re-deliveries keep their
+    /// original arrival time, so failures show up in the tail).
+    pub latency: LatencyReport,
+    /// The deployment's SLO reference.
+    pub slo: SloThresholds,
+    /// The SLO multiple the run was judged against.
+    pub slo_multiple: f64,
+    /// GPU-hours consumed: per-node occupancy (provisioning through
+    /// draining) × GPUs per node.
+    pub gpu_hours: f64,
+    /// The control-plane event log, in time order.
+    pub events: Vec<FleetEvent>,
+    /// Per-control-window series.
+    pub windows: Vec<WindowSample>,
+    /// Requests routed per node id.
+    pub routed_per_node: Vec<u64>,
+    /// Virtual time of the last completion.
+    pub finished_at: SimTime,
+}
+
+impl ElasticReport {
+    /// Completion-based cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.completed as f64
+        }
+    }
+
+    /// Fraction of requests meeting the SLO at the run's multiple.
+    pub fn slo_attainment(&self) -> f64 {
+        1.0 - self
+            .latency
+            .slo_violation_rate(&self.slo, self.slo_multiple)
+    }
+
+    /// Sustained throughput over the run, requests/minute.
+    pub fn requests_per_minute(&self) -> f64 {
+        let mins = self.finished_at.as_mins_f64();
+        if mins <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / mins
+        }
+    }
+
+    /// Mean active node count over the control windows.
+    pub fn mean_active_nodes(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows
+            .iter()
+            .map(|w| w.active_nodes as f64)
+            .sum::<f64>()
+            / self.windows.len() as f64
+    }
+
+    /// Largest active node count any window saw.
+    pub fn peak_active_nodes(&self) -> usize {
+        self.windows
+            .iter()
+            .map(|w| w.active_nodes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The first event matching `pred`, if any.
+    pub fn find_event(&self, mut pred: impl FnMut(&FleetEventKind) -> bool) -> Option<&FleetEvent> {
+        self.events.iter().find(|e| pred(&e.kind))
+    }
+
+    /// Completion-weighted hit rates over the `span` control windows
+    /// ending at-or-before `at` and the `span` windows after it — the
+    /// before/after probe for scale-down and crash events. (Scale events
+    /// fire at a window edge, after that window's sample closes, so the
+    /// boundary window's traffic is pre-event and belongs to the "before"
+    /// side.) `None` until both sides have at least one completion.
+    pub fn hit_rate_around(&self, at: SimTime, span: usize) -> Option<(f64, f64)> {
+        let split = self.windows.partition_point(|w| w.end <= at);
+        let agg = |ws: &[WindowSample]| {
+            let hits: u64 = ws.iter().map(|w| w.hits).sum();
+            let total: u64 = ws.iter().map(|w| w.completions).sum();
+            (total > 0).then(|| hits as f64 / total as f64)
+        };
+        let before = agg(&self.windows[split.saturating_sub(span)..split])?;
+        let after = agg(&self.windows[split..(split + span).min(self.windows.len())])?;
+        Some((before, after))
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`monitor`] — the Global Monitor: Algorithm 1's quality-optimized and
 //!   throughput-optimized allocations, smoothed by a [`pid`] controller,
 //!   plus the dynamic small-model escalation (SDXL -> SANA) of Fig 10.
+//! * [`node`] — the per-node serving step (queues, dispatch, monitor
+//!   window) shared by this crate's single-node loop and the multi-node
+//!   loops in `modm-fleet` / `modm-controlplane`.
 //! * [`system`] — the discrete-event serving loop tying scheduler, monitor,
 //!   GPU workers, cache and metrics together.
 //!
@@ -34,6 +37,7 @@
 pub mod config;
 pub mod kselect;
 pub mod monitor;
+pub mod node;
 pub mod pid;
 pub mod report;
 pub mod scheduler;
@@ -42,7 +46,8 @@ pub mod system;
 pub use config::{AdmissionPolicy, MoDMConfig, MoDMConfigBuilder, ServingMode};
 pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
 pub use monitor::{GlobalMonitor, WindowStats};
+pub use node::{NodeInFlight, ServingNode};
 pub use pid::PidController;
 pub use report::ServingReport;
-pub use scheduler::{RequestScheduler, RouteKind, RoutedRequest};
+pub use scheduler::{route_against_cache, RequestScheduler, RouteKind, RoutedRequest};
 pub use system::{RunOptions, ServingSystem};

@@ -1,0 +1,408 @@
+//! The per-node serving step, shared by every event loop that hosts a
+//! MoDM node.
+//!
+//! `modm_core::system::Run` (one node) and the fleet/control-plane event
+//! loops (`modm-fleet`, `modm-controlplane`) all advance a node the same
+//! way: enqueue a routed request, dispatch idle workers toward the
+//! monitor's desired assignment, record completions, and tick the global
+//! monitor once per period. [`ServingNode`] is that step extracted into
+//! one component, so the single-node and multi-node loops cannot diverge.
+//! The host loop keeps what genuinely differs per deployment: the event
+//! queue, the cache a request is scheduled against, and fleet-wide
+//! aggregation.
+
+use modm_cluster::{ClusterEnergy, Worker};
+use modm_diffusion::{GeneratedImage, ModelId, Sampler, K_CHOICES, TOTAL_STEPS};
+use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputReport};
+use modm_simkit::{FifoQueue, SimDuration, SimRng, SimTime};
+
+use crate::config::MoDMConfig;
+use crate::monitor::{GlobalMonitor, WindowStats};
+use crate::report::{AllocationSample, ServingReport};
+use crate::scheduler::{RouteKind, RoutedRequest};
+
+/// A request a worker is currently generating or refining.
+#[derive(Debug, Clone)]
+pub struct NodeInFlight {
+    /// The routed request being served.
+    pub routed: RoutedRequest,
+    /// The model the worker hosted when the job was assigned.
+    pub model: ModelId,
+}
+
+/// One MoDM serving node: GPU workers, hit/miss queues, the node-local
+/// global monitor, and the node's slice of the metrics.
+///
+/// The host event loop owns time: it calls [`ServingNode::enqueue`] when a
+/// request reaches the node, [`ServingNode::dispatch`] whenever the node
+/// may have an idle worker, [`ServingNode::take_finished`] +
+/// [`ServingNode::record_completion`] when a worker-free event fires, and
+/// [`ServingNode::monitor_tick`] once per monitor period.
+#[derive(Debug)]
+pub struct ServingNode {
+    monitor: GlobalMonitor,
+    desired: Vec<ModelId>,
+    workers: Vec<Worker>,
+    in_flight: Vec<Option<NodeInFlight>>,
+    hit_q: FifoQueue<RoutedRequest>,
+    miss_q: FifoQueue<RoutedRequest>,
+    // Metrics.
+    latency: LatencyReport,
+    throughput: ThroughputReport,
+    quality: QualityAggregator,
+    k_histogram: [u64; K_CHOICES.len()],
+    hits: u64,
+    misses: u64,
+    allocation_series: Vec<AllocationSample>,
+    // Monitor window counters.
+    win_arrivals: u64,
+    win_hits: u64,
+    win_misses: u64,
+    win_k: [u64; K_CHOICES.len()],
+}
+
+impl ServingNode {
+    /// Creates a node per `config`: every worker starts on the monitor's
+    /// initial assignment (all-large; cold systems favor quality).
+    pub fn new(config: &MoDMConfig) -> Self {
+        let monitor = GlobalMonitor::new(config);
+        let desired = monitor.assignment();
+        let workers: Vec<Worker> = desired
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Worker::new(i, config.gpu, *m))
+            .collect();
+        let n = workers.len();
+        ServingNode {
+            monitor,
+            desired,
+            workers,
+            in_flight: (0..n).map(|_| None).collect(),
+            hit_q: FifoQueue::new(),
+            miss_q: FifoQueue::new(),
+            latency: LatencyReport::new(),
+            throughput: ThroughputReport::new(),
+            quality: QualityAggregator::new(),
+            k_histogram: [0; K_CHOICES.len()],
+            hits: 0,
+            misses: 0,
+            allocation_series: Vec::new(),
+            win_arrivals: 0,
+            win_hits: 0,
+            win_misses: 0,
+            win_k: [0; K_CHOICES.len()],
+        }
+    }
+
+    /// Number of GPU workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Scheduler-level hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Scheduler-level misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Outstanding backlog: queued requests plus busy workers. The unit is
+    /// "jobs", which is all a load-aware router needs to compare nodes of
+    /// a homogeneous fleet.
+    pub fn load(&self) -> f64 {
+        (self.hit_q.len()
+            + self.miss_q.len()
+            + self.in_flight.iter().filter(|f| f.is_some()).count()) as f64
+    }
+
+    /// True while the node holds queued or in-flight work.
+    pub fn busy(&self) -> bool {
+        !self.hit_q.is_empty()
+            || !self.miss_q.is_empty()
+            || self.in_flight.iter().any(Option::is_some)
+    }
+
+    /// Accepts a routed request into the node's queues, updating hit/miss
+    /// accounting and the monitor window counters.
+    pub fn enqueue(&mut self, now: SimTime, routed: RoutedRequest) {
+        self.win_arrivals += 1;
+        match &routed.route {
+            RouteKind::Hit { k, .. } => {
+                self.hits += 1;
+                self.win_hits += 1;
+                let slot = k_slot(*k);
+                self.k_histogram[slot] += 1;
+                self.win_k[slot] += 1;
+                self.hit_q.push(now, routed);
+            }
+            RouteKind::Miss => {
+                self.misses += 1;
+                self.win_misses += 1;
+                self.miss_q.push(now, routed);
+            }
+        }
+    }
+
+    /// One global-monitor tick over the window that just ended: re-plans
+    /// the worker assignment from the window's rate/hit/k observations and
+    /// resets the window counters. Quiet windows (no traffic) leave the
+    /// plan untouched, as in the paper's implementation.
+    pub fn monitor_tick(&mut self, now: SimTime, period: SimDuration) {
+        let total = self.win_hits + self.win_misses;
+        if total > 0 {
+            let period_mins = period.as_mins_f64();
+            let mut k_rates = [0.0; K_CHOICES.len()];
+            if self.win_hits > 0 {
+                for (r, &c) in k_rates.iter_mut().zip(&self.win_k) {
+                    *r = c as f64 / self.win_hits as f64;
+                }
+            }
+            let stats = WindowStats {
+                rate_per_min: self.win_arrivals as f64 / period_mins,
+                hit_rate: self.win_hits as f64 / total as f64,
+                k_rates,
+            };
+            self.desired = self.monitor.tick(&stats);
+            self.allocation_series.push(AllocationSample {
+                at: now,
+                num_large: self.monitor.num_large(),
+                small_model: self.monitor.small_model(),
+            });
+        }
+        self.win_arrivals = 0;
+        self.win_hits = 0;
+        self.win_misses = 0;
+        self.win_k = [0; K_CHOICES.len()];
+    }
+
+    /// The worker dispatch loop: re-host idle workers toward the monitor's
+    /// desired assignment (paying the model-load latency), then hand out
+    /// queued jobs — large workers prefer misses and help with hits rather
+    /// than idling, small workers serve hits. Calls `schedule(done, w)`
+    /// for every worker `w` that becomes busy until virtual time `done`;
+    /// the host loop turns that into its worker-free event.
+    pub fn dispatch(&mut self, now: SimTime, mut schedule: impl FnMut(SimTime, usize)) {
+        loop {
+            let mut progress = false;
+            for w in 0..self.workers.len() {
+                if self.in_flight[w].is_some() || !self.workers[w].is_idle(now) {
+                    continue;
+                }
+                let desired = self.desired[w];
+                if self.workers[w].model() != desired {
+                    self.workers[w].switch_model(now, desired);
+                    schedule(self.workers[w].busy_until(), w);
+                    progress = true;
+                    continue;
+                }
+                let hosted = self.workers[w].model();
+                let job = if hosted.spec().is_large() {
+                    self.miss_q.pop(now).or_else(|| self.hit_q.pop(now))
+                } else {
+                    self.hit_q.pop(now)
+                };
+                let Some(queued) = job else { continue };
+                let routed = queued.item;
+                let steps = steps_for(&routed, hosted);
+                let done = self.workers[w].assign(now, hosted, steps);
+                schedule(done, w);
+                self.in_flight[w] = Some(NodeInFlight {
+                    routed,
+                    model: hosted,
+                });
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Removes and returns worker `w`'s finished job, if it was serving
+    /// one (a worker-free event after a model switch carries no job).
+    pub fn take_finished(&mut self, w: usize) -> Option<NodeInFlight> {
+        self.in_flight[w].take()
+    }
+
+    /// Records a completed request into the node's latency, throughput and
+    /// quality metrics.
+    pub fn record_completion(
+        &mut self,
+        now: SimTime,
+        routed: &RoutedRequest,
+        image: &GeneratedImage,
+    ) {
+        self.latency.record(routed.arrival, now);
+        self.throughput.record_completion(now);
+        self.quality.record(&routed.prompt_embedding, image);
+    }
+
+    /// Empties the node's queues and in-flight slots, returning every
+    /// request that had been accepted but not completed — what a crashed
+    /// node's front-end re-delivers to the survivors. Window counters are
+    /// left as-is (the node's monitor is gone with the node).
+    pub fn drain_pending(&mut self) -> Vec<RoutedRequest> {
+        let mut pending = Vec::new();
+        while let Some(q) = self.miss_q.pop_front_untimed() {
+            pending.push(q);
+        }
+        while let Some(q) = self.hit_q.pop_front_untimed() {
+            pending.push(q);
+        }
+        for slot in &mut self.in_flight {
+            if let Some(inflight) = slot.take() {
+                pending.push(inflight.routed);
+            }
+        }
+        pending
+    }
+
+    /// Finalizes the node into its [`ServingReport`]. `finished_at` is the
+    /// host loop's last-completion time (energy idles until then), and
+    /// `cache_stats` are the statistics of whatever cache the host
+    /// scheduled this node against.
+    pub fn into_report(
+        self,
+        finished_at: SimTime,
+        slo: SloThresholds,
+        cache_stats: modm_cache::CacheStats,
+    ) -> ServingReport {
+        let energy = ClusterEnergy::aggregate(
+            self.workers.iter().map(|w| (w.energy(), w.gpu())),
+            SimTime::ZERO,
+            finished_at,
+        );
+        ServingReport {
+            latency: self.latency,
+            throughput: self.throughput,
+            quality: self.quality,
+            energy,
+            slo,
+            cache_stats,
+            hits: self.hits,
+            misses: self.misses,
+            k_histogram: self.k_histogram,
+            allocation_series: self.allocation_series,
+            model_switches: self.workers.iter().map(Worker::switches).sum(),
+            finished_at,
+        }
+    }
+}
+
+/// Denoising steps a job costs on `model`: full generation for misses, the
+/// `(T - k)/T` remainder for hits (at least one step).
+pub fn steps_for(routed: &RoutedRequest, model: ModelId) -> u32 {
+    match &routed.route {
+        RouteKind::Miss => model.spec().default_steps,
+        RouteKind::Hit { k, .. } => {
+            let frac = (TOTAL_STEPS - k) as f64 / TOTAL_STEPS as f64;
+            ((model.spec().default_steps as f64 * frac).round() as u32).max(1)
+        }
+    }
+}
+
+/// Produces the finished image for a completed job: a full generation for
+/// misses, a k-step refinement of the retrieved image for hits.
+pub fn render_completion(
+    sampler: &Sampler,
+    routed: &RoutedRequest,
+    model: ModelId,
+    rng: &mut SimRng,
+) -> GeneratedImage {
+    match &routed.route {
+        RouteKind::Miss => {
+            sampler.generate_for(model, &routed.prompt_embedding, routed.request_id, rng)
+        }
+        RouteKind::Hit { retrieved, k } => sampler.refine_for(
+            model,
+            &retrieved.image,
+            &routed.prompt_embedding,
+            routed.request_id,
+            *k,
+            rng,
+        ),
+    }
+}
+
+fn k_slot(k: u32) -> usize {
+    K_CHOICES
+        .iter()
+        .position(|&c| c == k)
+        .expect("k from the discrete ladder")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_cluster::GpuKind;
+    use modm_embedding::{SemanticSpace, TextEncoder};
+
+    fn config(gpus: usize) -> MoDMConfig {
+        MoDMConfig::builder()
+            .gpus(GpuKind::Mi210, gpus)
+            .cache_capacity(100)
+            .build()
+    }
+
+    fn miss_request(id: u64, prompt: &str) -> RoutedRequest {
+        let enc = TextEncoder::new(SemanticSpace::default());
+        RoutedRequest {
+            request_id: id,
+            arrival: SimTime::ZERO,
+            prompt_embedding: enc.encode(prompt),
+            route: RouteKind::Miss,
+        }
+    }
+
+    #[test]
+    fn dispatch_assigns_idle_workers_and_schedules_completions() {
+        let mut node = ServingNode::new(&config(2));
+        node.enqueue(SimTime::ZERO, miss_request(0, "amber lighthouse storm"));
+        node.enqueue(SimTime::ZERO, miss_request(1, "cobalt orchard frost"));
+        assert_eq!(node.load(), 2.0);
+        let mut scheduled = Vec::new();
+        node.dispatch(SimTime::ZERO, |done, w| scheduled.push((done, w)));
+        assert_eq!(scheduled.len(), 2, "both workers took a job");
+        assert!(node.busy());
+        assert_eq!(node.load(), 2.0, "queued became in-flight");
+        // Completing both empties the node.
+        for (_, w) in scheduled {
+            let inflight = node.take_finished(w).expect("had a job");
+            assert!(matches!(inflight.routed.route, RouteKind::Miss));
+        }
+        assert!(!node.busy());
+    }
+
+    #[test]
+    fn drain_pending_returns_queued_and_in_flight_work() {
+        let mut node = ServingNode::new(&config(1));
+        for i in 0..3 {
+            node.enqueue(SimTime::ZERO, miss_request(i, "slate canyon dusk"));
+        }
+        node.dispatch(SimTime::ZERO, |_, _| {});
+        let pending = node.drain_pending();
+        assert_eq!(pending.len(), 3, "1 in-flight + 2 queued");
+        assert!(!node.busy());
+        assert_eq!(node.load(), 0.0);
+    }
+
+    #[test]
+    fn monitor_tick_resets_window_and_records_allocation() {
+        let mut node = ServingNode::new(&config(4));
+        node.enqueue(SimTime::ZERO, miss_request(0, "ivory comet meadow"));
+        node.monitor_tick(
+            SimTime::from_secs_f64(60.0),
+            SimDuration::from_secs_f64(60.0),
+        );
+        assert_eq!(node.allocation_series.len(), 1);
+        // A quiet window leaves the plan untouched and records nothing.
+        node.monitor_tick(
+            SimTime::from_secs_f64(120.0),
+            SimDuration::from_secs_f64(60.0),
+        );
+        assert_eq!(node.allocation_series.len(), 1);
+    }
+}

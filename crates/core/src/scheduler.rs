@@ -43,6 +43,29 @@ impl RoutedRequest {
     }
 }
 
+/// The hit/miss decision against one cache: retrieve at the (possibly
+/// shifted) hit threshold and pick `k` from the similarity ladder. This is
+/// the single routing rule every serving loop applies — the monolithic
+/// scheduler below, the fleet's per-shard front-end, and the elastic
+/// fleet's re-delivery path all call it, so the decision cannot diverge.
+pub fn route_against_cache(
+    cache: &mut ImageCache,
+    now: SimTime,
+    embedding: &Embedding,
+    threshold_shift: f64,
+) -> RouteKind {
+    let threshold = crate::kselect::HIT_THRESHOLD + threshold_shift;
+    match cache.retrieve(now, embedding, threshold) {
+        Some(retrieved) => match k_decision_shifted(retrieved.similarity, threshold_shift) {
+            KDecision::Hit { k } => RouteKind::Hit { retrieved, k },
+            // Defensive: the retrieval threshold equals the ladder's first
+            // rung, so this cannot fire; treat as miss.
+            KDecision::Miss => RouteKind::Miss,
+        },
+        None => RouteKind::Miss,
+    }
+}
+
 /// The scheduler: owns the text encoder and the image cache.
 #[derive(Debug)]
 pub struct RequestScheduler {
@@ -72,27 +95,11 @@ impl RequestScheduler {
     /// Routes one request at time `now`: embed, retrieve, decide `k`.
     pub fn route(&mut self, now: SimTime, request: &Request) -> RoutedRequest {
         let embedding = self.encoder.encode(&request.prompt);
-        let threshold = crate::kselect::HIT_THRESHOLD + self.threshold_shift;
-        let route = match self.cache.retrieve(now, &embedding, threshold) {
-            Some(retrieved) => {
-                match k_decision_shifted(retrieved.similarity, self.threshold_shift) {
-                    KDecision::Hit { k } => {
-                        self.hits += 1;
-                        RouteKind::Hit { retrieved, k }
-                    }
-                    // Defensive: retrieval threshold equals the ladder's
-                    // first rung, so this cannot fire; treat as miss.
-                    KDecision::Miss => {
-                        self.misses += 1;
-                        RouteKind::Miss
-                    }
-                }
-            }
-            None => {
-                self.misses += 1;
-                RouteKind::Miss
-            }
-        };
+        let route = route_against_cache(&mut self.cache, now, &embedding, self.threshold_shift);
+        match route {
+            RouteKind::Hit { .. } => self.hits += 1,
+            RouteKind::Miss => self.misses += 1,
+        }
         RoutedRequest {
             request_id: request.id,
             arrival: request.arrival,

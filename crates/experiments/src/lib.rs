@@ -15,6 +15,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod elastic;
 pub mod fig11;
 pub mod fig14;
 pub mod fig15;

@@ -37,6 +37,7 @@ EXPERIMENTS
   maintenance ablation: FIFO vs LRU vs utility vs S3-FIFO maintenance
   modes       ablation: quality- vs throughput-optimized allocation
   fleet       fleet scaling: sharded-cache hit rate vs routing policy
+  elastic     elastic control plane: static-N vs autoscaled fleets + crash recovery
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -65,12 +66,13 @@ fn run_one(name: &str) -> bool {
         "maintenance" => exp::ablations::run_maintenance(),
         "modes" => exp::ablations::run_modes(),
         "fleet" => exp::fleet_scaling::run(),
+        "elastic" => exp::elastic::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 24] = [
+const ALL: [&str; 25] = [
     "fig2",
     "fig5",
     "fig6",
@@ -95,6 +97,7 @@ const ALL: [&str; 24] = [
     "maintenance",
     "modes",
     "fleet",
+    "elastic",
 ];
 
 fn main() {

@@ -3,22 +3,20 @@
 //!
 //! Each node is a full MoDM deployment in miniature — its own GPU workers,
 //! global monitor, hit/miss queues and cache shard — while arrivals,
-//! routing and completions interleave on one shared virtual clock. This is
-//! the same structure as `modm_core::ServingSystem`'s event loop, lifted to
+//! routing and completions interleave on one shared virtual clock. The
+//! per-node mechanics are [`modm_core::node::ServingNode`], the same
+//! component `modm_core::ServingSystem`'s event loop runs, lifted to
 //! `(node, event)` pairs, so fleet runs remain exactly deterministic under
 //! a fixed seed.
 
 use modm_cache::CacheConfig;
-use modm_cluster::{ClusterEnergy, Worker};
 use modm_core::config::{AdmissionPolicy, MoDMConfig};
-use modm_core::kselect::{k_decision_shifted, KDecision, HIT_THRESHOLD};
-use modm_core::monitor::{GlobalMonitor, WindowStats};
-use modm_core::report::{AllocationSample, ServingReport};
-use modm_core::scheduler::{RouteKind, RoutedRequest};
-use modm_diffusion::{ModelId, QualityModel, Sampler, K_CHOICES, TOTAL_STEPS};
+use modm_core::node::{render_completion, NodeInFlight, ServingNode};
+use modm_core::scheduler::{route_against_cache, RoutedRequest};
+use modm_diffusion::{QualityModel, Sampler};
 use modm_embedding::{SemanticSpace, TextEncoder};
-use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputReport};
-use modm_simkit::{EventQueue, FifoQueue, SimRng, SimTime};
+use modm_metrics::{LatencyReport, SloThresholds, ThroughputReport};
+use modm_simkit::{EventQueue, SimRng, SimTime};
 use modm_workload::{Request, Trace};
 
 use crate::report::{FleetReport, NodeReport};
@@ -48,81 +46,6 @@ enum Event {
     WorkerFree { node: usize, worker: usize },
     /// Node-local global-monitor tick.
     MonitorTick(usize),
-}
-
-struct InFlight {
-    routed: RoutedRequest,
-    model: ModelId,
-}
-
-/// Per-node serving state: a miniature MoDM deployment.
-struct Node {
-    monitor: GlobalMonitor,
-    desired: Vec<ModelId>,
-    workers: Vec<Worker>,
-    in_flight: Vec<Option<InFlight>>,
-    hit_q: FifoQueue<RoutedRequest>,
-    miss_q: FifoQueue<RoutedRequest>,
-    // Metrics.
-    latency: LatencyReport,
-    throughput: ThroughputReport,
-    quality: QualityAggregator,
-    k_histogram: [u64; K_CHOICES.len()],
-    hits: u64,
-    misses: u64,
-    allocation_series: Vec<AllocationSample>,
-    // Monitor window counters.
-    win_arrivals: u64,
-    win_hits: u64,
-    win_misses: u64,
-    win_k: [u64; K_CHOICES.len()],
-}
-
-impl Node {
-    fn new(config: &MoDMConfig) -> Self {
-        let monitor = GlobalMonitor::new(config);
-        let desired = monitor.assignment();
-        let workers: Vec<Worker> = desired
-            .iter()
-            .enumerate()
-            .map(|(i, m)| Worker::new(i, config.gpu, *m))
-            .collect();
-        let n = workers.len();
-        Node {
-            monitor,
-            desired,
-            workers,
-            in_flight: (0..n).map(|_| None).collect(),
-            hit_q: FifoQueue::new(),
-            miss_q: FifoQueue::new(),
-            latency: LatencyReport::new(),
-            throughput: ThroughputReport::new(),
-            quality: QualityAggregator::new(),
-            k_histogram: [0; K_CHOICES.len()],
-            hits: 0,
-            misses: 0,
-            allocation_series: Vec::new(),
-            win_arrivals: 0,
-            win_hits: 0,
-            win_misses: 0,
-            win_k: [0; K_CHOICES.len()],
-        }
-    }
-
-    /// Outstanding backlog: queued requests plus busy workers. The unit is
-    /// "jobs", which is all the LeastLoaded policy needs to compare nodes
-    /// of a homogeneous fleet.
-    fn load(&self) -> f64 {
-        (self.hit_q.len()
-            + self.miss_q.len()
-            + self.in_flight.iter().filter(|f| f.is_some()).count()) as f64
-    }
-
-    fn busy(&self) -> bool {
-        !self.hit_q.is_empty()
-            || !self.miss_q.is_empty()
-            || self.in_flight.iter().any(Option::is_some)
-    }
 }
 
 /// A simulated fleet of MoDM nodes behind a request router.
@@ -205,7 +128,7 @@ impl Fleet {
 struct FleetRun<'a> {
     config: &'a MoDMConfig,
     router: Router,
-    nodes: Vec<Node>,
+    nodes: Vec<ServingNode>,
     cache: ShardedCache,
     requests: Vec<Request>,
     encoder: TextEncoder,
@@ -263,7 +186,7 @@ impl<'a> FleetRun<'a> {
             })
             .collect();
 
-        let nodes: Vec<Node> = (0..n_nodes).map(|_| Node::new(config)).collect();
+        let nodes: Vec<ServingNode> = (0..n_nodes).map(|_| ServingNode::new(config)).collect();
         let total_workers = n_nodes * config.num_gpus;
 
         let mut events = EventQueue::new();
@@ -331,84 +254,36 @@ impl<'a> FleetRun<'a> {
     fn on_arrival(&mut self, now: SimTime, idx: usize) -> usize {
         let request = self.requests[idx].clone();
         let embedding = self.encoder.encode(&request.prompt);
-        let loads: Vec<f64> = self.nodes.iter().map(Node::load).collect();
+        let loads: Vec<f64> = self.nodes.iter().map(ServingNode::load).collect();
         let node_idx = self.router.route(&embedding, &loads);
 
-        // Node-local scheduling: consult the node's shard, pick k.
-        let threshold = HIT_THRESHOLD + self.config.threshold_shift;
-        let shard = self.cache.shard_mut(node_idx);
-        let route = match shard.retrieve(now, &embedding, threshold) {
-            Some(retrieved) => {
-                match k_decision_shifted(retrieved.similarity, self.config.threshold_shift) {
-                    KDecision::Hit { k } => RouteKind::Hit { retrieved, k },
-                    // Defensive: the retrieval threshold equals the
-                    // ladder's first rung, so this cannot fire.
-                    KDecision::Miss => RouteKind::Miss,
-                }
-            }
-            None => RouteKind::Miss,
-        };
+        // Node-local scheduling: consult the node's shard, pick k (the
+        // same decision rule as the monolithic scheduler).
+        let route = route_against_cache(
+            self.cache.shard_mut(node_idx),
+            now,
+            &embedding,
+            self.config.threshold_shift,
+        );
         let routed = RoutedRequest {
             request_id: request.id,
             arrival: request.arrival,
             prompt_embedding: embedding,
             route,
         };
-
-        let node = &mut self.nodes[node_idx];
-        node.win_arrivals += 1;
-        match &routed.route {
-            RouteKind::Hit { k, .. } => {
-                node.hits += 1;
-                node.win_hits += 1;
-                let slot = k_slot(*k);
-                node.k_histogram[slot] += 1;
-                node.win_k[slot] += 1;
-                node.hit_q.push(now, routed);
-            }
-            RouteKind::Miss => {
-                node.misses += 1;
-                node.win_misses += 1;
-                node.miss_q.push(now, routed);
-            }
-        }
+        self.nodes[node_idx].enqueue(now, routed);
         self.arrivals_pending -= 1;
         node_idx
     }
 
     fn on_worker_free(&mut self, now: SimTime, node: usize, worker: usize) {
-        if let Some(inflight) = self.nodes[node].in_flight[worker].take() {
+        if let Some(inflight) = self.nodes[node].take_finished(worker) {
             self.complete(now, node, inflight);
         }
     }
 
     fn on_monitor_tick(&mut self, now: SimTime, node_idx: usize) {
-        let node = &mut self.nodes[node_idx];
-        let total = node.win_hits + node.win_misses;
-        if total > 0 {
-            let period_mins = self.config.monitor_period.as_mins_f64();
-            let mut k_rates = [0.0; K_CHOICES.len()];
-            if node.win_hits > 0 {
-                for (r, &c) in k_rates.iter_mut().zip(&node.win_k) {
-                    *r = c as f64 / node.win_hits as f64;
-                }
-            }
-            let stats = WindowStats {
-                rate_per_min: node.win_arrivals as f64 / period_mins,
-                hit_rate: node.win_hits as f64 / total as f64,
-                k_rates,
-            };
-            node.desired = node.monitor.tick(&stats);
-            node.allocation_series.push(AllocationSample {
-                at: now,
-                num_large: node.monitor.num_large(),
-                small_model: node.monitor.small_model(),
-            });
-        }
-        node.win_arrivals = 0;
-        node.win_hits = 0;
-        node.win_misses = 0;
-        node.win_k = [0; K_CHOICES.len()];
+        self.nodes[node_idx].monitor_tick(now, self.config.monitor_period);
         // Keep ticking while this node may still see work: requests are
         // still arriving fleet-wide (any of them could route here) or the
         // node itself is draining.
@@ -420,29 +295,15 @@ impl<'a> FleetRun<'a> {
         }
     }
 
-    fn complete(&mut self, now: SimTime, node_idx: usize, inflight: InFlight) {
-        let routed = inflight.routed;
-        let image = match &routed.route {
-            RouteKind::Miss => self.sampler.generate_for(
-                inflight.model,
-                &routed.prompt_embedding,
-                routed.request_id,
-                &mut self.rng,
-            ),
-            RouteKind::Hit { retrieved, k } => self.sampler.refine_for(
-                inflight.model,
-                &retrieved.image,
-                &routed.prompt_embedding,
-                routed.request_id,
-                *k,
-                &mut self.rng,
-            ),
-        };
-        let node = &mut self.nodes[node_idx];
-        node.latency.record(routed.arrival, now);
-        node.throughput.record_completion(now);
-        node.quality.record(&routed.prompt_embedding, &image);
-        self.latency.record(routed.arrival, now);
+    fn complete(&mut self, now: SimTime, node_idx: usize, inflight: NodeInFlight) {
+        let image = render_completion(
+            &self.sampler,
+            &inflight.routed,
+            inflight.model,
+            &mut self.rng,
+        );
+        self.nodes[node_idx].record_completion(now, &inflight.routed, &image);
+        self.latency.record(inflight.routed.arrival, now);
         self.throughput.record_completion(now);
         self.finished_at = self.finished_at.max(now);
         let admit = match self.config.admission {
@@ -461,69 +322,19 @@ impl<'a> FleetRun<'a> {
         }
     }
 
-    fn steps_for(routed: &RoutedRequest, model: ModelId) -> u32 {
-        match &routed.route {
-            RouteKind::Miss => model.spec().default_steps,
-            RouteKind::Hit { k, .. } => {
-                let frac = (TOTAL_STEPS - k) as f64 / TOTAL_STEPS as f64;
-                ((model.spec().default_steps as f64 * frac).round() as u32).max(1)
-            }
-        }
-    }
-
-    /// The per-node worker dispatch loop (same policy as the single-node
-    /// system: re-host toward the monitor's assignment, large workers
-    /// prefer misses, small workers serve hits).
+    /// Runs the shared per-node dispatch step for `node_idx`, wiring its
+    /// completions back into the fleet's event queue.
     fn dispatch(&mut self, now: SimTime, node_idx: usize) {
-        let node = &mut self.nodes[node_idx];
-        loop {
-            let mut progress = false;
-            for w in 0..node.workers.len() {
-                if node.in_flight[w].is_some() || !node.workers[w].is_idle(now) {
-                    continue;
-                }
-                let desired = node.desired[w];
-                if node.workers[w].model() != desired {
-                    node.workers[w].switch_model(now, desired);
-                    self.events.schedule(
-                        node.workers[w].busy_until(),
-                        Event::WorkerFree {
-                            node: node_idx,
-                            worker: w,
-                        },
-                    );
-                    progress = true;
-                    continue;
-                }
-                let hosted = node.workers[w].model();
-                let job = if hosted.spec().is_large() {
-                    // Large workers prioritize misses, then help with hits
-                    // rather than idling (both serving modes).
-                    node.miss_q.pop(now).or_else(|| node.hit_q.pop(now))
-                } else {
-                    node.hit_q.pop(now)
-                };
-                let Some(queued) = job else { continue };
-                let routed = queued.item;
-                let steps = Self::steps_for(&routed, hosted);
-                let done = node.workers[w].assign(now, hosted, steps);
-                self.events.schedule(
-                    done,
-                    Event::WorkerFree {
-                        node: node_idx,
-                        worker: w,
-                    },
-                );
-                node.in_flight[w] = Some(InFlight {
-                    routed,
-                    model: hosted,
-                });
-                progress = true;
-            }
-            if !progress {
-                break;
-            }
-        }
+        let events = &mut self.events;
+        self.nodes[node_idx].dispatch(now, |done, worker| {
+            events.schedule(
+                done,
+                Event::WorkerFree {
+                    node: node_idx,
+                    worker,
+                },
+            );
+        });
     }
 
     fn finish(self) -> FleetReport {
@@ -532,38 +343,19 @@ impl<'a> FleetRun<'a> {
         let routed = self.router.routed_per_node().to_vec();
         let cache_summary = self.cache.summary();
         let mut cache = self.cache;
+        let policy = self.router.policy();
         let nodes: Vec<NodeReport> = self
             .nodes
             .into_iter()
             .enumerate()
-            .map(|(i, node)| {
-                let energy = ClusterEnergy::aggregate(
-                    node.workers.iter().map(|w| (w.energy(), w.gpu())),
-                    SimTime::ZERO,
-                    finished_at,
-                );
-                NodeReport {
-                    node: i,
-                    routed: routed[i],
-                    report: ServingReport {
-                        latency: node.latency,
-                        throughput: node.throughput,
-                        quality: node.quality,
-                        energy,
-                        slo,
-                        cache_stats: cache.shard_mut(i).stats().clone(),
-                        hits: node.hits,
-                        misses: node.misses,
-                        k_histogram: node.k_histogram,
-                        allocation_series: node.allocation_series,
-                        model_switches: node.workers.iter().map(Worker::switches).sum(),
-                        finished_at,
-                    },
-                }
+            .map(|(i, node)| NodeReport {
+                node: i,
+                routed: routed[i],
+                report: node.into_report(finished_at, slo, cache.shard_mut(i).stats().clone()),
             })
             .collect();
         FleetReport {
-            policy: self.router.policy(),
+            policy,
             nodes,
             latency: self.latency,
             throughput: self.throughput,
@@ -571,13 +363,6 @@ impl<'a> FleetRun<'a> {
             finished_at,
         }
     }
-}
-
-fn k_slot(k: u32) -> usize {
-    K_CHOICES
-        .iter()
-        .position(|&c| c == k)
-        .expect("k from the discrete ladder")
 }
 
 #[cfg(test)]
@@ -608,6 +393,7 @@ mod tests {
             RoutingPolicy::RoundRobin,
             RoutingPolicy::LeastLoaded,
             RoutingPolicy::CacheAffinity,
+            RoutingPolicy::HybridAffinity,
         ] {
             let report = fleet(policy, 4).run(&trace);
             assert_eq!(report.completed(), 200, "{policy:?}");
@@ -671,6 +457,45 @@ mod tests {
             ca.hit_rate() > rr.hit_rate(),
             "affinity {} vs round-robin {}",
             ca.hit_rate(),
+            rr.hit_rate()
+        );
+    }
+
+    #[test]
+    fn hybrid_affinity_keeps_affinity_hit_rate_with_less_skew() {
+        // The ROADMAP item: at high node counts CacheAffinity trades hit
+        // rate for load skew; the hybrid policy spills the primary shard's
+        // overflow to its ring successor, cutting max/mean while keeping
+        // most of the locality win.
+        let trace = TraceBuilder::diffusion_db(31)
+            .requests(1_200)
+            .rate_per_min(40.0)
+            .build();
+        let ca = Fleet::new(
+            node_config(2, 500),
+            Router::new(RoutingPolicy::CacheAffinity, 8),
+        )
+        .run(&trace);
+        let hy = Fleet::new(
+            node_config(2, 500),
+            Router::new(RoutingPolicy::HybridAffinity, 8),
+        )
+        .run(&trace);
+        let rr = Fleet::new(
+            node_config(2, 500),
+            Router::new(RoutingPolicy::RoundRobin, 8),
+        )
+        .run(&trace);
+        assert!(
+            hy.load_imbalance() < ca.load_imbalance(),
+            "hybrid skew {} must beat pure affinity {}",
+            hy.load_imbalance(),
+            ca.load_imbalance()
+        );
+        assert!(
+            hy.hit_rate() > rr.hit_rate(),
+            "hybrid keeps the locality win: {} vs round-robin {}",
+            hy.hit_rate(),
             rr.hit_rate()
         );
     }

@@ -48,4 +48,4 @@ pub use fleet::{Fleet, FleetRunOptions};
 pub use report::{FleetReport, NodeReport};
 pub use ring::HashRing;
 pub use router::{Router, RoutingPolicy};
-pub use shard::{RebalanceReport, ShardSummary, ShardedCache};
+pub use shard::{HandoffReport, RebalanceReport, ShardSummary, ShardedCache};

@@ -1,7 +1,8 @@
-//! The fleet front-end: pluggable request-to-node routing policies.
+//! The fleet front-end: pluggable request-to-node routing policies over a
+//! dynamic node set.
 //!
 //! The router sees every request before any node does, exactly like the
-//! front-end load balancer of a production deployment. Three policies:
+//! front-end load balancer of a production deployment. Four policies:
 //!
 //! * [`RoutingPolicy::RoundRobin`] — classic rotation; ignores both load
 //!   and semantics.
@@ -13,6 +14,16 @@
 //!   prompts land on the same shard and its cache keeps the session's
 //!   images. This is the fleet-level analogue of MoDM's single-node cache
 //!   locality argument.
+//! * [`RoutingPolicy::HybridAffinity`] — cache-affinity with load-aware
+//!   spill: when the primary shard's backlog exceeds
+//!   [`Router::DEFAULT_SPILL_THRESHOLD`] × the mean and the ring successor
+//!   is less loaded, the request goes to the successor instead. Trades a
+//!   sliver of hit rate for bounded skew at high node counts.
+//!
+//! Membership is dynamic: a control plane can [`Router::add_node`] /
+//! [`Router::remove_node`] mid-run, and every policy immediately routes
+//! over the new active set — the primitive behind elastic scale-out,
+//! draining and crash handling in `modm-controlplane`.
 
 use modm_embedding::Embedding;
 
@@ -29,6 +40,8 @@ pub enum RoutingPolicy {
     /// Consistent-hash the prompt's coarse semantic cluster to a node.
     #[default]
     CacheAffinity,
+    /// Cache-affinity with load-aware spill to the second ring choice.
+    HybridAffinity,
 }
 
 impl RoutingPolicy {
@@ -38,11 +51,17 @@ impl RoutingPolicy {
             RoutingPolicy::RoundRobin => "round-robin",
             RoutingPolicy::LeastLoaded => "least-loaded",
             RoutingPolicy::CacheAffinity => "cache-affinity",
+            RoutingPolicy::HybridAffinity => "hybrid-affinity",
         }
     }
 }
 
-/// The front-end router: assigns each request to one of `nodes` nodes.
+/// The front-end router: assigns each request to one of the active nodes.
+///
+/// Node ids are stable identifiers (they double as shard indexes); the
+/// *active* set — the nodes receiving new traffic — can change over time.
+/// `loads` slices passed to [`Router::route`] are indexed by node id and
+/// must cover every active id.
 ///
 /// # Example
 ///
@@ -60,15 +79,25 @@ impl RoutingPolicy {
 #[derive(Debug, Clone)]
 pub struct Router {
     policy: RoutingPolicy,
-    nodes: usize,
+    /// Active node ids, sorted ascending.
+    active: Vec<usize>,
+    /// Monotone rotation counter for round-robin.
     rr_next: usize,
     clusterer: SemanticClusterer,
     ring: HashRing,
+    /// Requests routed per node id (grows as nodes are added).
     routed: Vec<u64>,
+    spill_threshold: f64,
 }
 
 impl Router {
-    /// Creates a router over `nodes` nodes with default affinity
+    /// Hybrid-affinity spill point: the primary shard spills to its ring
+    /// successor once its backlog exceeds this multiple of the mean active
+    /// backlog. 1.5 keeps spills rare enough that the hit rate stays near
+    /// pure affinity while capping the worst-case skew.
+    pub const DEFAULT_SPILL_THRESHOLD: f64 = 1.5;
+
+    /// Creates a router over nodes `0..nodes` with default affinity
     /// parameters ([`SemanticClusterer::DEFAULT_THRESHOLD`] join
     /// threshold, [`HashRing::DEFAULT_VNODES`] virtual nodes).
     ///
@@ -98,12 +127,29 @@ impl Router {
         assert!(nodes > 0, "fleet needs at least one node");
         Router {
             policy,
-            nodes,
+            active: (0..nodes).collect(),
             rr_next: 0,
             clusterer,
             ring: HashRing::new(nodes, vnodes),
             routed: vec![0; nodes],
+            spill_threshold: Self::DEFAULT_SPILL_THRESHOLD,
         }
+    }
+
+    /// Overrides the hybrid-affinity spill threshold (multiple of the mean
+    /// active backlog above which the primary spills).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold < 1.0` (spilling below the mean would invert
+    /// the policy).
+    pub fn with_spill_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold >= 1.0,
+            "spill threshold below the mean: {threshold}"
+        );
+        self.spill_threshold = threshold;
+        self
     }
 
     /// The routing policy.
@@ -111,65 +157,131 @@ impl Router {
         self.policy
     }
 
-    /// Number of nodes routed over.
+    /// Number of nodes currently receiving traffic.
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.active.len()
     }
 
-    /// Requests routed to each node so far.
+    /// Active node ids, ascending.
+    pub fn active_nodes(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// True when `node` is in the active set.
+    pub fn is_active(&self, node: usize) -> bool {
+        self.active.binary_search(&node).is_ok()
+    }
+
+    /// Admits `node` into the active set (and onto the affinity ring) —
+    /// the control plane calls this when a node finishes warming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already active.
+    pub fn add_node(&mut self, node: usize) {
+        let pos = self
+            .active
+            .binary_search(&node)
+            .expect_err("node already active");
+        self.active.insert(pos, node);
+        if !self.ring.contains(node) {
+            self.ring.add_node(node);
+        }
+        if self.routed.len() <= node {
+            self.routed.resize(node + 1, 0);
+        }
+    }
+
+    /// Removes `node` from the active set and the affinity ring: no new
+    /// requests will route to it, and its keyspace slice falls to its ring
+    /// successors — the first step of draining or crash handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not active, or if it is the last active node.
+    pub fn remove_node(&mut self, node: usize) {
+        assert!(self.active.len() > 1, "cannot remove the last active node");
+        let pos = self.active.binary_search(&node).expect("node is active");
+        self.active.remove(pos);
+        self.ring.remove_node(node);
+    }
+
+    /// Requests routed to each node id so far.
     pub fn routed_per_node(&self) -> &[u64] {
         &self.routed
     }
 
-    /// Max-over-mean of the per-node routed counts (1.0 = perfectly even).
-    /// Zero before any request was routed.
+    /// Max-over-mean of the per-node routed counts over nodes that saw
+    /// any traffic-eligible id (1.0 = perfectly even). Zero before any
+    /// request was routed.
     pub fn imbalance(&self) -> f64 {
         let total: u64 = self.routed.iter().sum();
         if total == 0 {
             return 0.0;
         }
         let max = *self.routed.iter().max().expect("non-empty") as f64;
-        max / (total as f64 / self.nodes as f64)
+        max / (total as f64 / self.active.len() as f64)
     }
 
     /// The shard the affinity mapping assigns to `embedding`, independent
     /// of the active policy. This is the placement function shard
-    /// rebalancing uses. (Mutable because the online clusterer may mint a
-    /// new leader for a first-seen semantic neighborhood.)
+    /// rebalancing and drain handoff use. (Mutable because the online
+    /// clusterer may mint a new leader for a first-seen semantic
+    /// neighborhood.)
     pub fn shard_for(&mut self, embedding: &Embedding) -> usize {
         self.ring.node_for(self.clusterer.cluster_of(embedding))
     }
 
-    /// Routes one request. `loads` is the per-node outstanding backlog
-    /// (queued plus in-flight work, in any consistent unit); only
-    /// [`RoutingPolicy::LeastLoaded`] consults it.
+    /// Routes one request. `loads` is the per-node-id outstanding backlog
+    /// (queued plus in-flight work, in any consistent unit); the
+    /// load-aware policies consult it.
     ///
     /// # Panics
     ///
-    /// Panics if `loads.len()` differs from the node count.
+    /// Panics if `loads` does not cover every active node id.
     pub fn route(&mut self, embedding: &Embedding, loads: &[f64]) -> usize {
-        assert_eq!(loads.len(), self.nodes, "one load figure per node");
+        assert!(
+            self.active.last().is_none_or(|&max| max < loads.len()),
+            "loads must cover every active node id"
+        );
         let node = match self.policy {
             RoutingPolicy::RoundRobin => {
-                let n = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % self.nodes;
+                let n = self.active[self.rr_next % self.active.len()];
+                self.rr_next = (self.rr_next + 1) % self.active.len();
                 n
             }
             RoutingPolicy::LeastLoaded => {
-                let mut best = 0usize;
+                let mut best = self.active[0];
                 let mut best_load = f64::INFINITY;
-                for (i, &l) in loads.iter().enumerate() {
-                    if l < best_load {
-                        best_load = l;
+                for &i in &self.active {
+                    if loads[i] < best_load {
+                        best_load = loads[i];
                         best = i;
                     }
                 }
                 best
             }
             RoutingPolicy::CacheAffinity => self.shard_for(embedding),
+            RoutingPolicy::HybridAffinity => {
+                let cluster = self.clusterer.cluster_of(embedding);
+                let (primary, second) = self.ring.two_for(cluster);
+                match second {
+                    Some(second) if self.should_spill(loads, primary, second) => second,
+                    _ => primary,
+                }
+            }
         };
         self.routed[node] += 1;
         node
+    }
+
+    /// Hybrid-affinity spill test: the primary is hot relative to the
+    /// active mean *and* the successor is actually less loaded. The
+    /// `max(1.0)` floor keeps a near-idle fleet on pure affinity, where
+    /// skew is harmless and locality is everything.
+    fn should_spill(&self, loads: &[f64], primary: usize, second: usize) -> bool {
+        let mean = self.active.iter().map(|&i| loads[i]).sum::<f64>() / self.active.len() as f64;
+        loads[primary] > self.spill_threshold * mean.max(1.0) && loads[second] < loads[primary]
     }
 }
 
@@ -234,5 +346,81 @@ mod tests {
             "every node sees traffic: {:?}",
             r.routed_per_node()
         );
+    }
+
+    #[test]
+    fn hybrid_stays_on_primary_when_balanced() {
+        let enc = encoder();
+        let mut affinity = Router::new(RoutingPolicy::CacheAffinity, 8);
+        let mut hybrid = Router::new(RoutingPolicy::HybridAffinity, 8);
+        for i in 0..200 {
+            let e = enc.encode(&format!("steady scene {i} tokens {}", i * 13));
+            // Balanced, near-idle fleet: hybrid must match pure affinity.
+            assert_eq!(hybrid.route(&e, &[0.5; 8]), affinity.route(&e, &[0.5; 8]));
+        }
+    }
+
+    #[test]
+    fn hybrid_spills_from_overloaded_primary() {
+        let enc = encoder();
+        let mut probe = Router::new(RoutingPolicy::CacheAffinity, 8);
+        let mut hybrid = Router::new(RoutingPolicy::HybridAffinity, 8);
+        let e = enc.encode("volcanic archipelago sunrise fresco");
+        let primary = probe.route(&e, &[0.0; 8]);
+        // Load the primary far above the mean: hybrid must divert, and to
+        // a consistent successor (so the spilled session still co-locates).
+        let mut loads = [1.0; 8];
+        loads[primary] = 40.0;
+        let spill = hybrid.route(&e, &loads);
+        assert_ne!(spill, primary, "hot primary must spill");
+        assert_eq!(hybrid.route(&e, &loads), spill, "spill target is stable");
+        // Relieve the primary: traffic returns home.
+        loads[primary] = 1.0;
+        assert_eq!(hybrid.route(&e, &loads), primary);
+    }
+
+    #[test]
+    fn membership_changes_reroute_traffic() {
+        let enc = encoder();
+        let mut r = Router::new(RoutingPolicy::CacheAffinity, 4);
+        let e = enc.encode("lighthouse keeper stormy night etching");
+        let home = r.route(&e, &[0.0; 4]);
+        r.remove_node(home);
+        assert!(!r.is_active(home));
+        let fallback = r.route(&e, &[0.0; 4]);
+        assert_ne!(fallback, home, "removed node receives nothing");
+        // Re-adding restores the original placement (ring points are
+        // id-deterministic).
+        r.add_node(home);
+        assert_eq!(r.route(&e, &[0.0; 4]), home);
+    }
+
+    #[test]
+    fn round_robin_skips_removed_nodes() {
+        let enc = encoder();
+        let e = enc.encode("any prompt");
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 3);
+        r.remove_node(1);
+        let seq: Vec<usize> = (0..4).map(|_| r.route(&e, &[0.0; 3])).collect();
+        assert!(seq.iter().all(|&n| n != 1), "{seq:?}");
+    }
+
+    #[test]
+    fn add_node_grows_routed_counters() {
+        let enc = encoder();
+        let e = enc.encode("prompt");
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 2);
+        r.add_node(5);
+        for _ in 0..6 {
+            r.route(&e, &[0.0; 6]);
+        }
+        assert_eq!(r.routed_per_node()[5], 2, "new id is rotated in");
+    }
+
+    #[test]
+    #[should_panic(expected = "last active node")]
+    fn removing_last_node_rejected() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 1);
+        r.remove_node(0);
     }
 }

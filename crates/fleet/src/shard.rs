@@ -49,6 +49,20 @@ pub struct RebalanceReport {
     pub moved: usize,
 }
 
+/// Outcome of a [`ShardedCache::handoff`] from a draining shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HandoffReport {
+    /// Hot images exported from the draining shard.
+    pub exported: usize,
+    /// Images accepted by successor shards (always equals `exported`;
+    /// successors may then evict per their own policy to stay within
+    /// capacity).
+    pub migrated: usize,
+    /// Cold images left behind on the draining shard (lost when the shard
+    /// is decommissioned).
+    pub abandoned: usize,
+}
+
 /// The image cache partitioned across fleet nodes.
 ///
 /// # Example
@@ -64,6 +78,7 @@ pub struct RebalanceReport {
 #[derive(Debug, Clone)]
 pub struct ShardedCache {
     shards: Vec<ImageCache>,
+    config: CacheConfig,
 }
 
 impl ShardedCache {
@@ -78,7 +93,15 @@ impl ShardedCache {
             shards: (0..nodes)
                 .map(|_| ImageCache::new(config.clone()))
                 .collect(),
+            config,
         }
+    }
+
+    /// Appends a fresh (empty) shard with the same per-shard config,
+    /// returning its index — the storage half of elastic scale-out.
+    pub fn add_shard(&mut self) -> usize {
+        self.shards.push(ImageCache::new(self.config.clone()));
+        self.shards.len() - 1
     }
 
     /// Number of shards.
@@ -172,6 +195,66 @@ impl ShardedCache {
         }
         report
     }
+
+    /// Pre-warms shard `to` (a node joining the fleet): every entry
+    /// resident on another shard whose embedding `assign`s to `to`
+    /// migrates in, so the newcomer can hit on the keyspace slice it just
+    /// inherited instead of starting cold. The donors' remaining entries
+    /// keep their hit-count/recency bookkeeping; returns how many entries
+    /// moved.
+    pub fn pull_owned(
+        &mut self,
+        now: SimTime,
+        to: usize,
+        mut assign: impl FnMut(&Embedding) -> usize,
+    ) -> usize {
+        let mut moved = 0;
+        for from in 0..self.shards.len() {
+            if from == to {
+                continue;
+            }
+            let pulled = self.shards[from].extract_matching(|emb| assign(emb) == to);
+            moved += pulled.len();
+            for image in pulled {
+                self.shards[to].insert(now, image);
+            }
+        }
+        moved
+    }
+
+    /// Migrates the hottest `count` images off the draining shard `from`
+    /// onto the shards `assign` chooses (normally the affinity map over
+    /// the ring *without* `from`, i.e. each image's ring successor). The
+    /// remaining cold entries stay behind and die with the shard —
+    /// deliberately: migrating the whole shard would evict the survivors'
+    /// own hot entries. Successor shards admit through their normal insert
+    /// path, so per-shard capacity invariants hold throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range or `assign` points an image back
+    /// at the draining shard.
+    pub fn handoff(
+        &mut self,
+        now: SimTime,
+        from: usize,
+        count: usize,
+        mut assign: impl FnMut(&Embedding) -> usize,
+    ) -> HandoffReport {
+        let hot = self.shards[from].export_hottest(count);
+        let mut report = HandoffReport {
+            exported: hot.len(),
+            migrated: 0,
+            abandoned: self.shards[from].len(),
+        };
+        for image in hot {
+            let to = assign(&image.embedding) % self.shards.len();
+            assert_ne!(to, from, "handoff target is the draining shard");
+            self.shards[to].insert(now, image);
+            report.migrated += 1;
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +330,64 @@ mod tests {
             .shard_mut(3)
             .retrieve(SimTime::from_secs_f64(2.0), &q, 0.25)
             .is_some());
+    }
+
+    #[test]
+    fn handoff_migrates_hottest_and_respects_capacity() {
+        let mut f = fixture();
+        let mut cache = ShardedCache::new(3, CacheConfig::fifo(10));
+        // Shard 0 holds 8 entries; 3 of them are hot (retrieved).
+        let mut hot_prompts = Vec::new();
+        for i in 0..8 {
+            let p = format!("harbor scene {i} copper dusk engraving");
+            cache
+                .shard_mut(0)
+                .insert(SimTime::ZERO, image_for(&mut f, &p));
+            if i < 3 {
+                hot_prompts.push(p);
+            }
+        }
+        for p in &hot_prompts {
+            assert!(cache
+                .shard_mut(0)
+                .retrieve(SimTime::from_secs_f64(1.0), &f.text.encode(p), 0.25)
+                .is_some());
+        }
+        // Fill shard 1 to capacity so the handoff forces evictions there
+        // rather than overflow.
+        for i in 0..10 {
+            let p = format!("resident vista {i} jade cliffs");
+            cache
+                .shard_mut(1)
+                .insert(SimTime::ZERO, image_for(&mut f, &p));
+        }
+        let report = cache.handoff(SimTime::from_secs_f64(2.0), 0, 3, |_| 1);
+        assert_eq!(report.exported, 3);
+        assert_eq!(report.migrated, 3);
+        assert_eq!(report.abandoned, 5, "cold tail stays behind");
+        assert!(cache.shard(1).len() <= 10, "capacity invariant holds");
+        assert_eq!(cache.shard(0).len(), 5);
+        // The hot entries are retrievable on the successor shard.
+        for p in &hot_prompts {
+            assert!(
+                cache
+                    .shard_mut(1)
+                    .retrieve(SimTime::from_secs_f64(3.0), &f.text.encode(p), 0.25)
+                    .is_some(),
+                "hot entry survived the handoff"
+            );
+        }
+    }
+
+    #[test]
+    fn add_shard_extends_capacity_with_same_config() {
+        let mut cache = ShardedCache::new(2, CacheConfig::fifo(25));
+        assert_eq!(cache.total_capacity(), 50);
+        let idx = cache.add_shard();
+        assert_eq!(idx, 2);
+        assert_eq!(cache.num_shards(), 3);
+        assert_eq!(cache.total_capacity(), 75);
+        assert!(cache.shard(2).is_empty());
     }
 
     #[test]

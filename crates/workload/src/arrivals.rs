@@ -1,10 +1,17 @@
-//! Arrival processes: homogeneous Poisson and piecewise-rate schedules.
+//! Arrival processes: homogeneous Poisson, piecewise-rate schedules, and
+//! the control-plane stressors — diurnal cycles and Markov-modulated
+//! bursts.
 //!
 //! The paper models request arrivals as a homogeneous Poisson process with
 //! varying rates (§6). Figures 10 and 17 additionally drive the system with
-//! ramping and fluctuating rates; [`RateSchedule`] expresses all three.
+//! ramping and fluctuating rates; [`RateSchedule`] expresses all of these,
+//! plus two shapes an elastic fleet must chase: a `sin`-modulated
+//! [`RateSchedule::Diurnal`] day/night cycle and a seeded on/off burst
+//! process ([`RateSchedule::bursty`]).
 
 use modm_simkit::{SimDuration, SimRng, SimTime};
+
+use std::f64::consts::TAU;
 
 /// A (possibly time-varying) request rate, in requests per minute.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +21,20 @@ pub enum RateSchedule {
     /// Piecewise-constant segments `(duration_minutes, rate_per_min)`,
     /// repeating the last segment forever.
     Piecewise(Vec<(f64, f64)>),
+    /// A smooth day/night cycle:
+    /// `rate(t) = base * (1 + amplitude * sin(TAU * (t/period + phase)))`.
+    /// The mean rate over a full period is `base`; the peak-to-trough
+    /// ratio is `(1+amplitude)/(1-amplitude)`.
+    Diurnal {
+        /// Mean rate, requests per minute.
+        base: f64,
+        /// Modulation depth in `[0, 1)`.
+        amplitude: f64,
+        /// Cycle length in minutes.
+        period_mins: f64,
+        /// Phase offset in cycles (`0.25` starts at the peak).
+        phase: f64,
+    },
 }
 
 impl RateSchedule {
@@ -42,6 +63,64 @@ impl RateSchedule {
         RateSchedule::Piecewise(segs)
     }
 
+    /// A diurnal cycle starting at the mean and rising toward the peak.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0`, `0 <= amplitude < 1`, `period_mins > 0`.
+    pub fn diurnal(base: f64, amplitude: f64, period_mins: f64) -> RateSchedule {
+        assert!(base > 0.0, "base rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1): {amplitude}"
+        );
+        assert!(period_mins > 0.0, "period must be positive");
+        RateSchedule::Diurnal {
+            base,
+            amplitude,
+            period_mins,
+            phase: 0.0,
+        }
+    }
+
+    /// A Markov-modulated on/off burst process: the rate alternates
+    /// between `low` and `high`, with exponentially distributed sojourns
+    /// (means `mean_low_mins` / `mean_high_mins`) sampled from `seed`.
+    /// The realized two-state chain is materialized as a deterministic
+    /// [`RateSchedule::Piecewise`] of `cycles` low/high pairs, so two
+    /// schedules from the same seed drive identical experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < low < high`, sojourn means are positive, and
+    /// `cycles > 0`.
+    pub fn bursty(
+        low: f64,
+        high: f64,
+        mean_low_mins: f64,
+        mean_high_mins: f64,
+        cycles: usize,
+        seed: u64,
+    ) -> RateSchedule {
+        assert!(low > 0.0 && high > low, "need 0 < low < high");
+        assert!(
+            mean_low_mins > 0.0 && mean_high_mins > 0.0,
+            "sojourn means must be positive"
+        );
+        assert!(cycles > 0, "need at least one burst cycle");
+        let mut rng = SimRng::seed_from(seed ^ 0x4255_5253_5459); // "BURSTY"
+        let mut segs = Vec::with_capacity(2 * cycles + 1);
+        for _ in 0..cycles {
+            // Clamp sojourns away from zero so no segment is degenerate.
+            let off = rng.exponential(1.0 / mean_low_mins).max(0.1);
+            let on = rng.exponential(1.0 / mean_high_mins).max(0.1);
+            segs.push((off, low));
+            segs.push((on, high));
+        }
+        segs.push((mean_low_mins, low));
+        RateSchedule::Piecewise(segs)
+    }
+
     /// The instantaneous rate (requests/minute) at time `t`.
     ///
     /// # Panics
@@ -65,17 +144,24 @@ impl RateSchedule {
                 }
                 segs.last().expect("non-empty").1
             }
+            RateSchedule::Diurnal {
+                base,
+                amplitude,
+                period_mins,
+                phase,
+            } => base * (1.0 + amplitude * (TAU * (t.as_mins_f64() / period_mins + phase)).sin()),
         }
     }
 
-    /// Total scheduled duration before the terminal rate holds forever
-    /// (zero for constant schedules).
+    /// Total scheduled duration before the schedule repeats or holds
+    /// (zero for constant schedules, one full cycle for diurnal).
     pub fn horizon(&self) -> SimDuration {
         match self {
             RateSchedule::Constant(_) => SimDuration::ZERO,
             RateSchedule::Piecewise(segs) => {
                 SimDuration::from_mins_f64(segs.iter().map(|(d, _)| d).sum())
             }
+            RateSchedule::Diurnal { period_mins, .. } => SimDuration::from_mins_f64(*period_mins),
         }
     }
 
@@ -87,8 +173,9 @@ impl RateSchedule {
         while out.len() < n {
             let rate_per_sec = self.rate_at(t) / 60.0;
             let gap = rng.exponential(rate_per_sec);
-            // Cap a single gap at one minute so segment boundaries are
-            // respected even at very low rates (thinning-style correction).
+            // Cap a single gap at one minute so rate changes (segment
+            // boundaries, the diurnal slope) are respected even at very
+            // low rates (thinning-style correction).
             let gap = gap.min(60.0);
             t += SimDuration::from_secs_f64(gap);
             // Only emit if a whole exponential gap fit before moving on.
@@ -162,5 +249,134 @@ mod tests {
         let s = RateSchedule::fluctuating(5.0, 20.0, 10.0, 2);
         assert_eq!(s.horizon().as_mins_f64(), 50.0);
         assert_eq!(RateSchedule::Constant(3.0).horizon(), SimDuration::ZERO);
+        assert_eq!(
+            RateSchedule::diurnal(10.0, 0.5, 120.0)
+                .horizon()
+                .as_mins_f64(),
+            120.0
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_peaks_and_troughs_where_expected() {
+        let s = RateSchedule::diurnal(12.0, 0.75, 60.0);
+        // Starts at the mean, peaks a quarter-period in, troughs at 3/4.
+        assert!((s.rate_at(SimTime::ZERO) - 12.0).abs() < 1e-9);
+        assert!((s.rate_at(SimTime::from_secs_f64(15.0 * 60.0)) - 21.0).abs() < 1e-9);
+        assert!((s.rate_at(SimTime::from_secs_f64(45.0 * 60.0)) - 3.0).abs() < 1e-9);
+        // Periodicity.
+        assert!(
+            (s.rate_at(SimTime::from_secs_f64(75.0 * 60.0)) - 21.0).abs() < 1e-9,
+            "next period peaks again"
+        );
+    }
+
+    #[test]
+    fn diurnal_arrivals_track_the_cycle_across_seeds() {
+        // Seeded sweep: for every seed, the realized process must carry
+        // the diurnal signal (peak quarters busier than trough quarters)
+        // and its overall mean must stay near `base`.
+        let s = RateSchedule::diurnal(12.0, 0.6, 60.0);
+        for seed in 0..12u64 {
+            let mut rng = SimRng::seed_from(seed);
+            let arr = s.sample_arrivals(3_000, &mut rng);
+            let total_mins = arr.last().unwrap().as_mins_f64();
+            let whole_periods = (total_mins / 60.0).floor().max(1.0);
+            let mut peak = 0usize; // minutes 0..30 of each hour (sin >= 0)
+            let mut trough = 0usize; // minutes 30..60 (sin <= 0)
+            for t in &arr {
+                if t.as_mins_f64() >= whole_periods * 60.0 {
+                    break; // only whole cycles, to keep halves comparable
+                }
+                if t.as_mins_f64() % 60.0 < 30.0 {
+                    peak += 1;
+                } else {
+                    trough += 1;
+                }
+            }
+            assert!(
+                peak as f64 > 1.3 * trough as f64,
+                "seed {seed}: peak half {peak} vs trough half {trough}"
+            );
+            let mean = arr.len() as f64 / total_mins;
+            assert!(
+                (mean - 12.0).abs() < 2.0,
+                "seed {seed}: mean rate {mean} drifted from base"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_is_deterministic_per_seed_and_alternates() {
+        let a = RateSchedule::bursty(4.0, 24.0, 12.0, 4.0, 6, 77);
+        let b = RateSchedule::bursty(4.0, 24.0, 12.0, 4.0, 6, 77);
+        let c = RateSchedule::bursty(4.0, 24.0, 12.0, 4.0, 6, 78);
+        assert_eq!(a, b, "same seed, same realization");
+        assert_ne!(a, c, "different seed, different realization");
+        let RateSchedule::Piecewise(segs) = &a else {
+            panic!("bursty materializes as piecewise")
+        };
+        assert_eq!(segs.len(), 13, "6 off/on pairs + terminal low");
+        for (i, (dur, rate)) in segs.iter().enumerate() {
+            assert!(*dur > 0.0);
+            let expect = if i % 2 == 0 { 4.0 } else { 24.0 };
+            assert_eq!(*rate, expect, "segment {i} alternates low/high");
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_match_segment_rates_across_seeds() {
+        // Seeded sweep: within the realized high segments the empirical
+        // rate must be near `high`, and near `low` within low segments.
+        for seed in 0..10u64 {
+            let s = RateSchedule::bursty(5.0, 30.0, 20.0, 10.0, 8, seed);
+            let RateSchedule::Piecewise(segs) = &s else {
+                unreachable!()
+            };
+            let mut rng = SimRng::seed_from(1_000 + seed);
+            let arr = s.sample_arrivals(6_000, &mut rng);
+            // Classify each arrival by the segment rate at its instant.
+            let (mut high_n, mut low_n) = (0usize, 0usize);
+            for t in &arr {
+                if s.rate_at(*t) > 17.0 {
+                    high_n += 1;
+                } else {
+                    low_n += 1;
+                }
+            }
+            // Realized time in each regime over the sampled span.
+            let span = arr.last().unwrap().as_mins_f64();
+            let (mut high_mins, mut low_mins) = (0.0f64, 0.0f64);
+            let mut acc = 0.0;
+            for (dur, rate) in segs {
+                let take = (span - acc).clamp(0.0, *dur);
+                if *rate > 17.0 {
+                    high_mins += take;
+                } else {
+                    low_mins += take;
+                }
+                acc += dur;
+                if acc >= span {
+                    break;
+                }
+            }
+            if acc < span {
+                low_mins += span - acc; // terminal low segment holds
+            }
+            if high_mins > 5.0 {
+                let rate = high_n as f64 / high_mins;
+                assert!(
+                    (rate - 30.0).abs() < 6.0,
+                    "seed {seed}: high-regime rate {rate}"
+                );
+            }
+            if low_mins > 5.0 {
+                let rate = low_n as f64 / low_mins;
+                assert!(
+                    (rate - 5.0).abs() < 2.5,
+                    "seed {seed}: low-regime rate {rate}"
+                );
+            }
+        }
     }
 }

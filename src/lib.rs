@@ -14,6 +14,8 @@
 //! * [`baselines`] — Vanilla, Nirvana and Pinecone baselines.
 //! * [`fleet`] — multi-node sharded serving: pluggable request routing and
 //!   a consistent-hash semantic cache.
+//! * [`controlplane`] — elastic autoscaling above the fleet: node
+//!   lifecycle, cache handoff, fault injection.
 //!
 //! # Quickstart
 //!
@@ -56,10 +58,48 @@
 //! assert!(report.hit_rate() > 0.0);
 //! assert_eq!(report.nodes.len(), 4);
 //! ```
+//!
+//! # Elastic quickstart
+//!
+//! The control plane makes the node count itself dynamic: a scripted
+//! 4 → 8 → 4 run provisions four extra nodes (each walking
+//! `Provisioning → Warming → Active` through its cold start), then drains
+//! them again — every drain handing the shard's hottest images to its
+//! ring successors so the hit rate survives the scale-down. Swap the
+//! script for a [`controlplane::ReactiveAutoscaler`] or
+//! [`controlplane::PredictiveAutoscaler`] to let load drive it.
+//!
+//! ```
+//! use modm::controlplane::{
+//!     ElasticFleet, ElasticFleetConfig, ScaleDecision, ScheduledAutoscaler,
+//! };
+//! use modm::core::MoDMConfig;
+//! use modm::cluster::GpuKind;
+//! use modm::workload::{RateSchedule, TraceBuilder};
+//!
+//! let trace = TraceBuilder::diffusion_db(42)
+//!     .requests(600)
+//!     .rate_schedule(RateSchedule::diurnal(16.0, 0.5, 30.0))
+//!     .build();
+//! let node = MoDMConfig::builder().gpus(GpuKind::Mi210, 2).cache_capacity(400).build();
+//! let fleet = ElasticFleet::new(ElasticFleetConfig::new(node, 4, 2, 8));
+//! let mut plan = ScheduledAutoscaler::new(vec![
+//!     ScaleDecision::Up(4),    // 4 -> 8 for the approaching peak
+//!     ScaleDecision::Hold,
+//!     ScaleDecision::Hold,
+//!     ScaleDecision::Hold,
+//!     ScaleDecision::Down(4),  // 8 -> 4 into the trough, with cache handoff
+//! ]);
+//! let report = fleet.run(&trace, &mut plan);
+//! assert_eq!(report.completed, 600);
+//! assert_eq!(report.peak_active_nodes(), 8);
+//! assert!(report.gpu_hours > 0.0);
+//! ```
 
 pub use modm_baselines as baselines;
 pub use modm_cache as cache;
 pub use modm_cluster as cluster;
+pub use modm_controlplane as controlplane;
 pub use modm_core as core;
 pub use modm_diffusion as diffusion;
 pub use modm_embedding as embedding;
