@@ -1,24 +1,48 @@
 //! End-to-end simulation speed: virtual requests served per wall-clock
-//! second for MoDM and the baselines.
+//! second for MoDM and the baselines, plus the observer-overhead check —
+//! the `BENCH_serving.json` trajectory point records the with/without
+//! observer delta so the "zero-cost when unused" property of the typed
+//! event stream stays measured, not assumed.
+//!
+//! Pass `--smoke` for a down-scaled run that still writes the JSON.
 
 use modm_baselines::VanillaSystem;
-use modm_bench::Bench;
+use modm_bench::{write_json, Bench, Json};
 use modm_cluster::GpuKind;
+use modm_core::events::{Observer, SimEvent};
 use modm_core::{MoDMConfig, RunOptions, ServingSystem};
 use modm_diffusion::ModelId;
+use modm_simkit::SimTime;
 use modm_workload::TraceBuilder;
 
+/// The cheapest real observer: counts events, nothing else. Measures the
+/// per-event dispatch cost without any observer-side work drowning it.
+#[derive(Default)]
+struct CountingObserver {
+    events: u64,
+}
+
+impl Observer for CountingObserver {
+    fn on_event(&mut self, _at: SimTime, _event: &SimEvent) {
+        self.events += 1;
+    }
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "smoke");
+    let (requests, sample_secs) = if smoke { (200, 0.05) } else { (600, 0.5) };
+
     let trace = TraceBuilder::diffusion_db(5)
-        .requests(600)
+        .requests(requests)
         .rate_per_min(10.0)
         .build();
     let opts = RunOptions {
-        warmup: 100,
+        warmup: requests / 6,
         saturate: true,
     };
+    let served = (requests - requests / 6) as f64;
 
-    let mut bench = Bench::new("end_to_end").with_sample_secs(0.5);
+    let mut bench = Bench::new("end_to_end").with_sample_secs(sample_secs);
     let system = ServingSystem::new(
         MoDMConfig::builder()
             .gpus(GpuKind::Mi210, 16)
@@ -28,8 +52,49 @@ fn main() {
     bench.measure("system/modm", || {
         std::hint::black_box(system.run_with(&trace, opts))
     });
+    let plain_ns = bench.results().last().expect("just measured").median_ns;
+
+    bench.measure("system/modm-observed", || {
+        let mut counter = CountingObserver::default();
+        std::hint::black_box(system.run_observed(&trace, opts, &mut counter))
+    });
+    let observed_ns = bench.results().last().expect("just measured").median_ns;
+
     bench.measure("system/vanilla", || {
         let mut v = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
         std::hint::black_box(v.run_with(&trace, opts))
     });
+
+    // One verification run for the event tally and the report cross-check.
+    let mut counter = CountingObserver::default();
+    let report = system.run_observed(&trace, opts, &mut counter);
+    assert_eq!(
+        report.completed() as f64,
+        served,
+        "observer changes nothing"
+    );
+
+    let overhead = observed_ns / plain_ns - 1.0;
+    println!(
+        "\nobserver overhead: {:+.2}% ({} events/run)",
+        overhead * 100.0,
+        counter.events
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("serving".into())),
+        ("smoke".into(), Json::Num(if smoke { 1.0 } else { 0.0 })),
+        ("trace_requests".into(), Json::Num(requests as f64)),
+        ("modm_ns".into(), Json::Num(plain_ns)),
+        ("modm_observed_ns".into(), Json::Num(observed_ns)),
+        ("observer_overhead_frac".into(), Json::Num(overhead)),
+        ("events_per_run".into(), Json::Num(counter.events as f64)),
+        (
+            "sim_requests_per_wall_sec".into(),
+            Json::Num(served / (plain_ns / 1e9)),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    write_json(path, &doc).expect("write BENCH_serving.json");
+    println!("wrote {path}");
 }

@@ -16,6 +16,28 @@
 //! Plus two harness policies: [`HoldAutoscaler`] (the static-N baseline)
 //! and [`ScheduledAutoscaler`] (a scripted plan, for tests and demos).
 
+use std::fmt;
+
+/// Why an autoscaler configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ScalerConfigError {
+    /// The per-node capacity estimate was not positive.
+    NonPositiveNodeRate(f64),
+}
+
+impl fmt::Display for ScalerConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalerConfigError::NonPositiveNodeRate(v) => {
+                write!(f, "node capacity must be positive, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScalerConfigError {}
+
 /// What the control plane observed over the window that just ended.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalerObservation {
@@ -246,18 +268,32 @@ impl PredictiveConfig {
     /// quantized target plus a cooldown keeps window-to-window rate noise
     /// from flapping the fleet).
     pub fn for_node_rate(per_node_rate_per_min: f64) -> Self {
-        assert!(
-            per_node_rate_per_min > 0.0,
-            "node capacity must be positive"
-        );
-        PredictiveConfig {
+        match Self::try_for_node_rate(per_node_rate_per_min) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`PredictiveConfig::for_node_rate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerConfigError::NonPositiveNodeRate`] unless
+    /// `per_node_rate_per_min > 0`.
+    pub fn try_for_node_rate(per_node_rate_per_min: f64) -> Result<Self, ScalerConfigError> {
+        if per_node_rate_per_min <= 0.0 {
+            return Err(ScalerConfigError::NonPositiveNodeRate(
+                per_node_rate_per_min,
+            ));
+        }
+        Ok(PredictiveConfig {
             per_node_rate_per_min,
             alpha: 0.3,
             beta: 0.2,
             lookahead_windows: 2.0,
             headroom: 1.25,
             cooldown: 1,
-        }
+        })
     }
 }
 

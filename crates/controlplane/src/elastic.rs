@@ -21,8 +21,11 @@
 //! reports both *how well* it served (SLO attainment, hit rate) and *what
 //! it paid* — the autoscaling trade-off the `elastic` experiment plots.
 
+use std::fmt;
+
 use modm_cache::CacheConfig;
 use modm_core::config::{AdmissionPolicy, MoDMConfig};
+use modm_core::events::{emit, Obs, Observer, SimEvent};
 use modm_core::node::{render_completion, NodeInFlight, ServingNode};
 use modm_core::scheduler::{route_against_cache, RouteKind, RoutedRequest};
 use modm_diffusion::{QualityModel, Sampler};
@@ -36,6 +39,54 @@ use crate::autoscaler::{Autoscaler, ScaleDecision, ScalerObservation};
 use crate::fault::FaultInjector;
 use crate::lifecycle::{NodeLifecycle, NodeState};
 use crate::report::{ElasticReport, FleetEvent, FleetEventKind, WindowSample};
+
+/// Why [`ElasticFleet::try_new`] rejected its configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ElasticConfigError {
+    /// `min_nodes` was zero — the fleet needs at least one permanent node.
+    NoPermanentNodes,
+    /// The node bounds violated `min <= initial <= max`.
+    BadNodeBounds {
+        /// Configured floor.
+        min: usize,
+        /// Configured starting count.
+        initial: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// The drain handoff fraction was outside `[0, 1]`.
+    HandoffFractionOutOfRange(f64),
+    /// The control period was zero.
+    ZeroControlPeriod,
+    /// The SLO multiple was not positive.
+    NonPositiveSloMultiple(f64),
+}
+
+impl fmt::Display for ElasticConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElasticConfigError::NoPermanentNodes => {
+                write!(f, "need at least one permanent node")
+            }
+            ElasticConfigError::BadNodeBounds { min, initial, max } => {
+                write!(
+                    f,
+                    "need min <= initial <= max, got {min} <= {initial} <= {max}"
+                )
+            }
+            ElasticConfigError::HandoffFractionOutOfRange(v) => {
+                write!(f, "handoff fraction must be in [0, 1], got {v}")
+            }
+            ElasticConfigError::ZeroControlPeriod => write!(f, "control period must be positive"),
+            ElasticConfigError::NonPositiveSloMultiple(v) => {
+                write!(f, "SLO multiple must be positive, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElasticConfigError {}
 
 /// Configuration of an [`ElasticFleet`].
 #[derive(Debug, Clone)]
@@ -114,28 +165,47 @@ impl ElasticFleet {
     ///
     /// # Panics
     ///
-    /// Panics unless `1 <= min_nodes <= initial_nodes <= max_nodes`, the
-    /// handoff fraction is in `[0, 1]`, and the delays/periods are
-    /// positive.
+    /// Panics on the same invariants [`ElasticFleet::try_new`] reports as
+    /// errors.
     pub fn new(config: ElasticFleetConfig) -> Self {
-        assert!(config.min_nodes >= 1, "need at least one permanent node");
-        assert!(
-            config.min_nodes <= config.initial_nodes && config.initial_nodes <= config.max_nodes,
-            "need min <= initial <= max, got {} <= {} <= {}",
-            config.min_nodes,
-            config.initial_nodes,
-            config.max_nodes
-        );
-        assert!(
-            (0.0..=1.0).contains(&config.handoff_fraction),
-            "handoff fraction must be in [0, 1]"
-        );
-        assert!(
-            !config.control_period.is_zero(),
-            "control period must be positive"
-        );
-        assert!(config.slo_multiple > 0.0, "SLO multiple must be positive");
-        ElasticFleet { config }
+        match Self::try_new(config) {
+            Ok(fleet) => fleet,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`ElasticFleet::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= min_nodes <= initial_nodes <=
+    /// max_nodes`, the handoff fraction is in `[0, 1]`, the control
+    /// period is non-zero, and the SLO multiple is positive.
+    pub fn try_new(config: ElasticFleetConfig) -> Result<Self, ElasticConfigError> {
+        if config.min_nodes < 1 {
+            return Err(ElasticConfigError::NoPermanentNodes);
+        }
+        if config.min_nodes > config.initial_nodes || config.initial_nodes > config.max_nodes {
+            return Err(ElasticConfigError::BadNodeBounds {
+                min: config.min_nodes,
+                initial: config.initial_nodes,
+                max: config.max_nodes,
+            });
+        }
+        if !(0.0..=1.0).contains(&config.handoff_fraction) {
+            return Err(ElasticConfigError::HandoffFractionOutOfRange(
+                config.handoff_fraction,
+            ));
+        }
+        if config.control_period.is_zero() {
+            return Err(ElasticConfigError::ZeroControlPeriod);
+        }
+        if config.slo_multiple <= 0.0 {
+            return Err(ElasticConfigError::NonPositiveSloMultiple(
+                config.slo_multiple,
+            ));
+        }
+        Ok(ElasticFleet { config })
     }
 
     /// The configuration.
@@ -157,7 +227,24 @@ impl ElasticFleet {
         faults: &FaultInjector,
     ) -> ElasticReport {
         scaler.reset();
-        ElasticRun::new(&self.config, trace, scaler, faults).execute()
+        ElasticRun::new(&self.config, trace, scaler, faults, None).execute()
+    }
+
+    /// Serves `trace` under `scaler` and `faults` while streaming every
+    /// [`SimEvent`] to `observer`: the
+    /// request-level stream the nodes emit *plus* the control-plane
+    /// transitions (scale-up/down, activation, decommission, crash,
+    /// recovery). Identical results to [`ElasticFleet::run_with_faults`]:
+    /// observation never perturbs the simulation.
+    pub fn run_observed(
+        &self,
+        trace: &Trace,
+        scaler: &mut dyn Autoscaler,
+        faults: &FaultInjector,
+        observer: &mut dyn Observer,
+    ) -> ElasticReport {
+        scaler.reset();
+        ElasticRun::new(&self.config, trace, scaler, faults, Some(observer)).execute()
     }
 }
 
@@ -234,6 +321,7 @@ struct ElasticRun<'a> {
     // Logs.
     log: Vec<FleetEvent>,
     windows: Vec<WindowSample>,
+    obs: Obs<'a, 'a>,
 }
 
 impl<'a> ElasticRun<'a> {
@@ -242,6 +330,7 @@ impl<'a> ElasticRun<'a> {
         trace: &Trace,
         scaler: &'a mut dyn Autoscaler,
         faults: &'a FaultInjector,
+        obs: Obs<'a, 'a>,
     ) -> Self {
         let node_config = &config.node_config;
         let space = SemanticSpace::default();
@@ -276,7 +365,7 @@ impl<'a> ElasticRun<'a> {
         let mut gpu_since = vec![None; config.max_nodes];
         for id in 0..config.max_nodes {
             if id < config.initial_nodes {
-                nodes[id] = Some(ServingNode::new(node_config));
+                nodes[id] = Some(ServingNode::new(node_config, id));
                 lifecycle.push(NodeLifecycle::new(NodeState::Active, SimTime::ZERO));
                 gpu_since[id] = Some(SimTime::ZERO);
             } else {
@@ -333,6 +422,7 @@ impl<'a> ElasticRun<'a> {
             gpu_secs: vec![0.0; config.max_nodes],
             log: Vec::new(),
             windows: Vec::new(),
+            obs,
         }
     }
 
@@ -406,6 +496,7 @@ impl<'a> ElasticRun<'a> {
                         at: now,
                         kind: FleetEventKind::RecoveryStarted { node },
                     });
+                    emit(&mut self.obs, now, || SimEvent::RecoveryStarted { node });
                     self.provision(now, node);
                 }
             }
@@ -454,7 +545,7 @@ impl<'a> ElasticRun<'a> {
         self.nodes[node_idx]
             .as_mut()
             .expect("active node exists")
-            .enqueue(now, routed);
+            .enqueue(now, routed, self.obs.as_deref_mut());
         node_idx
     }
 
@@ -466,7 +557,7 @@ impl<'a> ElasticRun<'a> {
             &mut self.rng,
         );
         let node = self.nodes[node_idx].as_mut().expect("completing node");
-        node.record_completion(now, &inflight.routed, &image);
+        node.record_completion(now, &inflight.routed, &image, self.obs.as_deref_mut());
         self.latency.record(inflight.routed.arrival, now);
         self.completed += 1;
         self.win_completions += 1;
@@ -496,16 +587,20 @@ impl<'a> ElasticRun<'a> {
         };
         let epoch = self.epoch[node_idx];
         let events = &mut self.events;
-        node.dispatch(now, |done, worker| {
-            events.schedule(
-                done,
-                Event::WorkerFree {
-                    node: node_idx,
-                    worker,
-                    epoch,
-                },
-            );
-        });
+        node.dispatch(
+            now,
+            |done, worker| {
+                events.schedule(
+                    done,
+                    Event::WorkerFree {
+                        node: node_idx,
+                        worker,
+                        epoch,
+                    },
+                );
+            },
+            self.obs.as_deref_mut(),
+        );
     }
 
     /// A draining node that just went idle releases its GPUs.
@@ -602,6 +697,7 @@ impl<'a> ElasticRun<'a> {
                 at: now,
                 kind: FleetEventKind::ScaleUp { node: spare },
             });
+            emit(&mut self.obs, now, || SimEvent::ScaleUp { node: spare });
             self.provision(now, spare);
         }
     }
@@ -629,7 +725,7 @@ impl<'a> ElasticRun<'a> {
     /// donors' other entries keep their hotness bookkeeping untouched.
     fn activate(&mut self, now: SimTime, node: usize, epoch: u64) {
         self.transition(node, NodeState::Active, now);
-        self.nodes[node] = Some(ServingNode::new(&self.config.node_config));
+        self.nodes[node] = Some(ServingNode::new(&self.config.node_config, node));
         self.router.add_node(node);
         let router = &mut self.router;
         let prewarmed = self
@@ -642,6 +738,10 @@ impl<'a> ElasticRun<'a> {
         self.log.push(FleetEvent {
             at: now,
             kind: FleetEventKind::NodeActive { node, prewarmed },
+        });
+        emit(&mut self.obs, now, || SimEvent::NodeActive {
+            node,
+            prewarmed,
         });
     }
 
@@ -680,6 +780,7 @@ impl<'a> ElasticRun<'a> {
                     handoff,
                 },
             });
+            emit(&mut self.obs, now, || SimEvent::ScaleDown { node: victim });
             self.maybe_finish_drain(now, victim);
         }
     }
@@ -695,6 +796,7 @@ impl<'a> ElasticRun<'a> {
             at: now,
             kind: FleetEventKind::Decommissioned { node },
         });
+        emit(&mut self.obs, now, || SimEvent::Decommissioned { node });
     }
 
     fn on_crash(&mut self, now: SimTime, k: usize) {
@@ -732,6 +834,11 @@ impl<'a> ElasticRun<'a> {
                 lost_entries: lost,
                 redelivered,
             },
+        });
+        emit(&mut self.obs, now, || SimEvent::Crash {
+            node: victim,
+            redelivered,
+            lost_entries: lost,
         });
         self.events.schedule(
             now + self.faults.recovery_delay(),

@@ -53,9 +53,9 @@ pub mod report;
 
 pub use autoscaler::{
     Autoscaler, HoldAutoscaler, PredictiveAutoscaler, PredictiveConfig, ReactiveAutoscaler,
-    ReactiveConfig, ScaleDecision, ScalerObservation, ScheduledAutoscaler,
+    ReactiveConfig, ScaleDecision, ScalerConfigError, ScalerObservation, ScheduledAutoscaler,
 };
-pub use elastic::{ElasticFleet, ElasticFleetConfig};
+pub use elastic::{ElasticConfigError, ElasticFleet, ElasticFleetConfig};
 pub use fault::FaultInjector;
 pub use lifecycle::{IllegalTransition, NodeLifecycle, NodeState};
 pub use report::{ElasticReport, FleetEvent, FleetEventKind, WindowSample};

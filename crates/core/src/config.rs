@@ -1,9 +1,54 @@
 //! MoDM system configuration.
 
+use std::fmt;
+
 use modm_cache::MaintenancePolicy;
 use modm_cluster::GpuKind;
 use modm_diffusion::ModelId;
 use modm_simkit::SimDuration;
+
+/// Why a [`MoDMConfigBuilder`] rejected its configuration.
+///
+/// Returned by [`MoDMConfigBuilder::try_build`]; the panicking
+/// [`MoDMConfigBuilder::build`] formats the same messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `num_gpus` was zero.
+    NoGpus,
+    /// The small-model escalation ladder was empty.
+    NoSmallModels,
+    /// `cache_capacity` was zero.
+    ZeroCacheCapacity,
+    /// The configured large model is not actually a large model.
+    NotALargeModel(ModelId),
+    /// The large model also appears in the small-model ladder.
+    LargeModelInSmallLadder(ModelId),
+    /// `threshold_shift` was negative.
+    NegativeThresholdShift(f64),
+    /// `monitor_period` was zero.
+    ZeroMonitorPeriod,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoGpus => write!(f, "need at least one GPU"),
+            ConfigError::NoSmallModels => write!(f, "need at least one small model"),
+            ConfigError::ZeroCacheCapacity => write!(f, "cache capacity must be positive"),
+            ConfigError::NotALargeModel(m) => write!(f, "{m} is not a large model"),
+            ConfigError::LargeModelInSmallLadder(m) => {
+                write!(f, "large model {m} cannot also be a small model")
+            }
+            ConfigError::NegativeThresholdShift(v) => {
+                write!(f, "threshold shift must be >= 0, got {v}")
+            }
+            ConfigError::ZeroMonitorPeriod => write!(f, "monitor period must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which images enter the cache (paper §5.4 / Fig 9's two configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -162,32 +207,51 @@ impl MoDMConfigBuilder {
         self
     }
 
+    /// Validates and produces the config, reporting the first violated
+    /// invariant as a typed [`ConfigError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no GPUs, no small models, a zero
+    /// cache, a large model in the small ladder, a non-large "large
+    /// model", a negative threshold shift, or a zero monitor period.
+    pub fn try_build(self) -> Result<MoDMConfig, ConfigError> {
+        let c = &self.config;
+        if c.num_gpus == 0 {
+            return Err(ConfigError::NoGpus);
+        }
+        if c.small_models.is_empty() {
+            return Err(ConfigError::NoSmallModels);
+        }
+        if c.cache_capacity == 0 {
+            return Err(ConfigError::ZeroCacheCapacity);
+        }
+        if !c.large_model.spec().is_large() {
+            return Err(ConfigError::NotALargeModel(c.large_model));
+        }
+        if c.small_models.contains(&c.large_model) {
+            return Err(ConfigError::LargeModelInSmallLadder(c.large_model));
+        }
+        if c.threshold_shift < 0.0 {
+            return Err(ConfigError::NegativeThresholdShift(c.threshold_shift));
+        }
+        if c.monitor_period.is_zero() {
+            return Err(ConfigError::ZeroMonitorPeriod);
+        }
+        Ok(self.config)
+    }
+
     /// Validates and produces the config.
     ///
     /// # Panics
     ///
-    /// Panics if there are no GPUs, no small models, a zero cache, a large
-    /// model in the small ladder, or a non-large "large model".
+    /// Panics on the same invariants [`MoDMConfigBuilder::try_build`]
+    /// reports as errors.
     pub fn build(self) -> MoDMConfig {
-        let c = &self.config;
-        assert!(c.num_gpus > 0, "need at least one GPU");
-        assert!(!c.small_models.is_empty(), "need at least one small model");
-        assert!(c.cache_capacity > 0, "cache capacity must be positive");
-        assert!(
-            c.large_model.spec().is_large(),
-            "{} is not a large model",
-            c.large_model
-        );
-        assert!(
-            c.small_models.iter().all(|m| *m != c.large_model),
-            "large model cannot also be a small model"
-        );
-        assert!(c.threshold_shift >= 0.0, "threshold shift must be >= 0");
-        assert!(
-            !c.monitor_period.is_zero(),
-            "monitor period must be positive"
-        );
-        self.config
+        match self.try_build() {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -236,5 +300,52 @@ mod tests {
     #[should_panic(expected = "need at least one GPU")]
     fn zero_gpus_rejected() {
         let _ = MoDMConfig::builder().gpus(GpuKind::A40, 0).build();
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        assert_eq!(
+            MoDMConfig::builder().gpus(GpuKind::A40, 0).try_build(),
+            Err(ConfigError::NoGpus)
+        );
+        assert_eq!(
+            MoDMConfig::builder().small_models(vec![]).try_build(),
+            Err(ConfigError::NoSmallModels)
+        );
+        assert_eq!(
+            MoDMConfig::builder().cache_capacity(0).try_build(),
+            Err(ConfigError::ZeroCacheCapacity)
+        );
+        assert_eq!(
+            MoDMConfig::builder().large_model(ModelId::Sana).try_build(),
+            Err(ConfigError::NotALargeModel(ModelId::Sana))
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .small_models(vec![ModelId::Sdxl, ModelId::Sd35Large])
+                .try_build(),
+            Err(ConfigError::LargeModelInSmallLadder(ModelId::Sd35Large))
+        );
+        assert_eq!(
+            MoDMConfig::builder().threshold_shift(-0.5).try_build(),
+            Err(ConfigError::NegativeThresholdShift(-0.5))
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .monitor_period(SimDuration::from_secs_f64(0.0))
+                .try_build(),
+            Err(ConfigError::ZeroMonitorPeriod)
+        );
+        assert!(MoDMConfig::builder().try_build().is_ok());
+    }
+
+    #[test]
+    fn config_error_messages_are_stable() {
+        // `build()` panics with these exact messages; downstream tests pin
+        // substrings of them.
+        assert_eq!(ConfigError::NoGpus.to_string(), "need at least one GPU");
+        assert!(ConfigError::NotALargeModel(ModelId::Sana)
+            .to_string()
+            .contains("not a large model"));
     }
 }

@@ -16,6 +16,9 @@
 //!   loops in `modm-fleet` / `modm-controlplane`.
 //! * [`system`] — the discrete-event serving loop tying scheduler, monitor,
 //!   GPU workers, cache and metrics together.
+//! * [`events`] — the typed event stream ([`SimEvent`] / [`Observer`])
+//!   every serving loop can narrate its run to; the foundation of the
+//!   `modm-deploy` observer API.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod config;
+pub mod events;
 pub mod kselect;
 pub mod monitor;
 pub mod node;
@@ -43,7 +47,8 @@ pub mod report;
 pub mod scheduler;
 pub mod system;
 
-pub use config::{AdmissionPolicy, MoDMConfig, MoDMConfigBuilder, ServingMode};
+pub use config::{AdmissionPolicy, ConfigError, MoDMConfig, MoDMConfigBuilder, ServingMode};
+pub use events::{NullObserver, Obs, Observer, SimEvent};
 pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
 pub use monitor::{GlobalMonitor, WindowStats};
 pub use node::{NodeInFlight, ServingNode};

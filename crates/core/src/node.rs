@@ -17,6 +17,7 @@ use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputRe
 use modm_simkit::{FifoQueue, SimDuration, SimRng, SimTime};
 
 use crate::config::MoDMConfig;
+use crate::events::{emit, Obs, SimEvent};
 use crate::monitor::{GlobalMonitor, WindowStats};
 use crate::report::{AllocationSample, ServingReport};
 use crate::scheduler::{RouteKind, RoutedRequest};
@@ -40,6 +41,9 @@ pub struct NodeInFlight {
 /// [`ServingNode::monitor_tick`] once per monitor period.
 #[derive(Debug)]
 pub struct ServingNode {
+    /// Node id the host assigned (0 for single-node deployments); tags
+    /// every event this node emits.
+    id: usize,
     monitor: GlobalMonitor,
     desired: Vec<ModelId>,
     workers: Vec<Worker>,
@@ -62,9 +66,11 @@ pub struct ServingNode {
 }
 
 impl ServingNode {
-    /// Creates a node per `config`: every worker starts on the monitor's
-    /// initial assignment (all-large; cold systems favor quality).
-    pub fn new(config: &MoDMConfig) -> Self {
+    /// Creates node `id` per `config`: every worker starts on the
+    /// monitor's initial assignment (all-large; cold systems favor
+    /// quality). `id` is the host's stable node identifier — 0 for
+    /// single-node deployments — and tags every event the node emits.
+    pub fn new(config: &MoDMConfig, id: usize) -> Self {
         let monitor = GlobalMonitor::new(config);
         let desired = monitor.assignment();
         let workers: Vec<Worker> = desired
@@ -74,6 +80,7 @@ impl ServingNode {
             .collect();
         let n = workers.len();
         ServingNode {
+            id,
             monitor,
             desired,
             workers,
@@ -92,6 +99,11 @@ impl ServingNode {
             win_misses: 0,
             win_k: [0; K_CHOICES.len()],
         }
+    }
+
+    /// The host-assigned node id.
+    pub fn id(&self) -> usize {
+        self.id
     }
 
     /// Number of GPU workers.
@@ -126,9 +138,15 @@ impl ServingNode {
     }
 
     /// Accepts a routed request into the node's queues, updating hit/miss
-    /// accounting and the monitor window counters.
-    pub fn enqueue(&mut self, now: SimTime, routed: RoutedRequest) {
+    /// accounting and the monitor window counters. Emits
+    /// [`SimEvent::Admitted`] followed by the cache decision
+    /// ([`SimEvent::CacheHit`] / [`SimEvent::CacheMiss`]) to `obs`.
+    pub fn enqueue(&mut self, now: SimTime, routed: RoutedRequest, mut obs: Obs<'_, '_>) {
         self.win_arrivals += 1;
+        emit(&mut obs, now, || SimEvent::Admitted {
+            node: self.id,
+            request_id: routed.request_id,
+        });
         match &routed.route {
             RouteKind::Hit { k, .. } => {
                 self.hits += 1;
@@ -136,11 +154,20 @@ impl ServingNode {
                 let slot = k_slot(*k);
                 self.k_histogram[slot] += 1;
                 self.win_k[slot] += 1;
+                emit(&mut obs, now, || SimEvent::CacheHit {
+                    node: self.id,
+                    request_id: routed.request_id,
+                    k: *k,
+                });
                 self.hit_q.push(now, routed);
             }
             RouteKind::Miss => {
                 self.misses += 1;
                 self.win_misses += 1;
+                emit(&mut obs, now, || SimEvent::CacheMiss {
+                    node: self.id,
+                    request_id: routed.request_id,
+                });
                 self.miss_q.push(now, routed);
             }
         }
@@ -183,8 +210,15 @@ impl ServingNode {
     /// queued jobs — large workers prefer misses and help with hits rather
     /// than idling, small workers serve hits. Calls `schedule(done, w)`
     /// for every worker `w` that becomes busy until virtual time `done`;
-    /// the host loop turns that into its worker-free event.
-    pub fn dispatch(&mut self, now: SimTime, mut schedule: impl FnMut(SimTime, usize)) {
+    /// the host loop turns that into its worker-free event. Emits one
+    /// [`SimEvent::Dispatched`] per job handed to a worker (model
+    /// switches are not dispatches).
+    pub fn dispatch(
+        &mut self,
+        now: SimTime,
+        mut schedule: impl FnMut(SimTime, usize),
+        mut obs: Obs<'_, '_>,
+    ) {
         loop {
             let mut progress = false;
             for w in 0..self.workers.len() {
@@ -209,6 +243,12 @@ impl ServingNode {
                 let steps = steps_for(&routed, hosted);
                 let done = self.workers[w].assign(now, hosted, steps);
                 schedule(done, w);
+                emit(&mut obs, now, || SimEvent::Dispatched {
+                    node: self.id,
+                    worker: w,
+                    request_id: routed.request_id,
+                    model: hosted,
+                });
                 self.in_flight[w] = Some(NodeInFlight {
                     routed,
                     model: hosted,
@@ -228,16 +268,23 @@ impl ServingNode {
     }
 
     /// Records a completed request into the node's latency, throughput and
-    /// quality metrics.
+    /// quality metrics, emitting [`SimEvent::Completed`] to `obs`.
     pub fn record_completion(
         &mut self,
         now: SimTime,
         routed: &RoutedRequest,
         image: &GeneratedImage,
+        mut obs: Obs<'_, '_>,
     ) {
         self.latency.record(routed.arrival, now);
         self.throughput.record_completion(now);
         self.quality.record(&routed.prompt_embedding, image);
+        emit(&mut obs, now, || SimEvent::Completed {
+            node: self.id,
+            request_id: routed.request_id,
+            latency_secs: now.saturating_since(routed.arrival).as_secs_f64(),
+            hit: matches!(routed.route, RouteKind::Hit { .. }),
+        });
     }
 
     /// Empties the node's queues and in-flight slots, returning every
@@ -359,12 +406,16 @@ mod tests {
 
     #[test]
     fn dispatch_assigns_idle_workers_and_schedules_completions() {
-        let mut node = ServingNode::new(&config(2));
-        node.enqueue(SimTime::ZERO, miss_request(0, "amber lighthouse storm"));
-        node.enqueue(SimTime::ZERO, miss_request(1, "cobalt orchard frost"));
+        let mut node = ServingNode::new(&config(2), 0);
+        node.enqueue(
+            SimTime::ZERO,
+            miss_request(0, "amber lighthouse storm"),
+            None,
+        );
+        node.enqueue(SimTime::ZERO, miss_request(1, "cobalt orchard frost"), None);
         assert_eq!(node.load(), 2.0);
         let mut scheduled = Vec::new();
-        node.dispatch(SimTime::ZERO, |done, w| scheduled.push((done, w)));
+        node.dispatch(SimTime::ZERO, |done, w| scheduled.push((done, w)), None);
         assert_eq!(scheduled.len(), 2, "both workers took a job");
         assert!(node.busy());
         assert_eq!(node.load(), 2.0, "queued became in-flight");
@@ -378,11 +429,11 @@ mod tests {
 
     #[test]
     fn drain_pending_returns_queued_and_in_flight_work() {
-        let mut node = ServingNode::new(&config(1));
+        let mut node = ServingNode::new(&config(1), 0);
         for i in 0..3 {
-            node.enqueue(SimTime::ZERO, miss_request(i, "slate canyon dusk"));
+            node.enqueue(SimTime::ZERO, miss_request(i, "slate canyon dusk"), None);
         }
-        node.dispatch(SimTime::ZERO, |_, _| {});
+        node.dispatch(SimTime::ZERO, |_, _| {}, None);
         let pending = node.drain_pending();
         assert_eq!(pending.len(), 3, "1 in-flight + 2 queued");
         assert!(!node.busy());
@@ -390,9 +441,33 @@ mod tests {
     }
 
     #[test]
+    fn node_step_emits_typed_events() {
+        use crate::events::Observer;
+
+        #[derive(Default)]
+        struct Kinds(Vec<&'static str>);
+        impl Observer for Kinds {
+            fn on_event(&mut self, _at: SimTime, event: &SimEvent) {
+                assert_eq!(event.node(), 7, "events carry the node id");
+                self.0.push(event.kind());
+            }
+        }
+
+        let mut node = ServingNode::new(&config(1), 7);
+        let mut obs = Kinds::default();
+        node.enqueue(
+            SimTime::ZERO,
+            miss_request(0, "opal tundra night"),
+            Some(&mut obs),
+        );
+        node.dispatch(SimTime::ZERO, |_, _| {}, Some(&mut obs));
+        assert_eq!(obs.0, vec!["admitted", "cache_miss", "dispatched"]);
+    }
+
+    #[test]
     fn monitor_tick_resets_window_and_records_allocation() {
-        let mut node = ServingNode::new(&config(4));
-        node.enqueue(SimTime::ZERO, miss_request(0, "ivory comet meadow"));
+        let mut node = ServingNode::new(&config(4), 0);
+        node.enqueue(SimTime::ZERO, miss_request(0, "ivory comet meadow"), None);
         node.monitor_tick(
             SimTime::from_secs_f64(60.0),
             SimDuration::from_secs_f64(60.0),

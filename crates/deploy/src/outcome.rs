@@ -1,0 +1,394 @@
+//! The unified result layer: one accessor surface over the three tier
+//! reports, so cross-tier comparison tables are generic code.
+//!
+//! A [`RunOutcome`] wraps whichever report the tier produced
+//! ([`ServingReport`], [`FleetReport`] or [`ElasticReport`]) and answers
+//! the questions every experiment asks — completions, hit rate,
+//! throughput, tail latency, SLO attainment, GPU-hours, per-node
+//! breakdown — identically across tiers. [`RunOutcome::summary`] flattens
+//! those answers into a plain [`Summary`] value that derives `PartialEq`,
+//! which is what the cross-tier equivalence tests compare and what the
+//! generic table printers render.
+
+use modm_controlplane::ElasticReport;
+use modm_core::report::ServingReport;
+use modm_fleet::FleetReport;
+use modm_simkit::SimTime;
+
+/// Which serving tier produced an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierKind {
+    /// One MoDM node with a monolithic cache (`modm_core::ServingSystem`).
+    Single,
+    /// A fixed fleet of nodes behind a router (`modm_fleet::Fleet`).
+    Fleet,
+    /// An autoscaled fleet under a control plane
+    /// (`modm_controlplane::ElasticFleet`).
+    Elastic,
+}
+
+impl TierKind {
+    /// Short display name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierKind::Single => "single",
+            TierKind::Fleet => "fleet",
+            TierKind::Elastic => "elastic",
+        }
+    }
+}
+
+/// One node's slice of an outcome, where the tier tracks it.
+///
+/// Fleets report full per-node serving detail; elastic runs only keep
+/// per-node routing counts (their nodes come and go, and the serving
+/// state dies with each incarnation), so the detail fields are optional.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSlice {
+    /// Stable node id.
+    pub node: usize,
+    /// Requests the front-end routed to this node.
+    pub routed: u64,
+    /// Requests the node completed (`None` for elastic tiers).
+    pub completed: Option<u64>,
+    /// The node's cache hit rate (`None` for elastic tiers).
+    pub hit_rate: Option<f64>,
+}
+
+/// The tier-specific report inside a [`RunOutcome`].
+///
+/// Reports are boxed: a `ServingReport` alone is half a kilobyte, and
+/// outcomes move through generic experiment code by value.
+#[derive(Debug, Clone)]
+pub enum TierReport {
+    /// A single-node serving report.
+    Single(Box<ServingReport>),
+    /// A fixed-fleet report.
+    Fleet(Box<FleetReport>),
+    /// An elastic-fleet report.
+    Elastic(Box<ElasticReport>),
+}
+
+/// What a deployment run produced: the tier's own report behind one
+/// accessor surface.
+///
+/// Tier-specific detail stays reachable through [`RunOutcome::as_single`]
+/// / [`RunOutcome::as_fleet`] / [`RunOutcome::as_elastic`] (and the
+/// consuming `into_*` variants), so porting an experiment to the unified
+/// API never loses information.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    report: TierReport,
+    /// Nodes the deployment ran (peak active count for elastic tiers).
+    nodes: usize,
+    /// Total GPUs across those nodes.
+    total_gpus: usize,
+}
+
+impl RunOutcome {
+    /// Wraps a single-node [`ServingReport`]. `total_gpus` is the
+    /// cluster's worker count (the report itself does not store it).
+    pub fn from_single(report: ServingReport, total_gpus: usize) -> Self {
+        RunOutcome {
+            report: TierReport::Single(Box::new(report)),
+            nodes: 1,
+            total_gpus,
+        }
+    }
+
+    /// Wraps a [`FleetReport`]. `gpus_per_node` is each node's worker
+    /// count (fleets are homogeneous).
+    pub fn from_fleet(report: FleetReport, gpus_per_node: usize) -> Self {
+        let nodes = report.nodes.len();
+        RunOutcome {
+            report: TierReport::Fleet(Box::new(report)),
+            nodes,
+            total_gpus: nodes * gpus_per_node,
+        }
+    }
+
+    /// Wraps an [`ElasticReport`]. `gpus_per_node` is each node's worker
+    /// count; the node count is the run's peak active set.
+    pub fn from_elastic(report: ElasticReport, gpus_per_node: usize) -> Self {
+        let nodes = report.peak_active_nodes();
+        RunOutcome {
+            report: TierReport::Elastic(Box::new(report)),
+            nodes,
+            total_gpus: nodes * gpus_per_node,
+        }
+    }
+
+    /// Which tier produced this outcome.
+    pub fn tier(&self) -> TierKind {
+        match &self.report {
+            TierReport::Single(_) => TierKind::Single,
+            TierReport::Fleet(_) => TierKind::Fleet,
+            TierReport::Elastic(_) => TierKind::Elastic,
+        }
+    }
+
+    /// Nodes the deployment ran (peak active count for elastic tiers).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total GPUs across those nodes.
+    pub fn total_gpus(&self) -> usize {
+        self.total_gpus
+    }
+
+    /// Requests served.
+    pub fn completed(&self) -> u64 {
+        match &self.report {
+            TierReport::Single(r) => r.completed(),
+            TierReport::Fleet(r) => r.completed(),
+            TierReport::Elastic(r) => r.completed,
+        }
+    }
+
+    /// Requests served from cache.
+    pub fn hits(&self) -> u64 {
+        match &self.report {
+            TierReport::Single(r) => r.hits,
+            TierReport::Fleet(r) => r.hits(),
+            TierReport::Elastic(r) => r.hits,
+        }
+    }
+
+    /// Requests requiring full generation.
+    pub fn misses(&self) -> u64 {
+        match &self.report {
+            TierReport::Single(r) => r.misses,
+            TierReport::Fleet(r) => r.misses(),
+            TierReport::Elastic(r) => r.misses,
+        }
+    }
+
+    /// Cache hit rate over the run.
+    pub fn hit_rate(&self) -> f64 {
+        match &self.report {
+            TierReport::Single(r) => r.hit_rate(),
+            TierReport::Fleet(r) => r.hit_rate(),
+            TierReport::Elastic(r) => r.hit_rate(),
+        }
+    }
+
+    /// Sustained throughput, requests/minute.
+    pub fn requests_per_minute(&self) -> f64 {
+        match &self.report {
+            TierReport::Single(r) => r.requests_per_minute(),
+            TierReport::Fleet(r) => r.requests_per_minute(),
+            TierReport::Elastic(r) => r.requests_per_minute(),
+        }
+    }
+
+    /// P99 end-to-end latency, seconds (`None` before any completion).
+    pub fn p99_secs(&mut self) -> Option<f64> {
+        match &mut self.report {
+            TierReport::Single(r) => r.p99_secs(),
+            TierReport::Fleet(r) => r.p99_secs(),
+            TierReport::Elastic(r) => r.latency.p99_secs(),
+        }
+    }
+
+    /// Fraction of requests meeting the SLO at `multiple` × the
+    /// large-model latency.
+    pub fn slo_attainment(&self, multiple: f64) -> f64 {
+        match &self.report {
+            TierReport::Single(r) => 1.0 - r.slo_violation_rate(multiple),
+            TierReport::Fleet(r) => 1.0 - r.slo_violation_rate(multiple),
+            TierReport::Elastic(r) => 1.0 - r.latency.slo_violation_rate(&r.slo, multiple),
+        }
+    }
+
+    /// GPU-hours the run consumed. Static tiers occupy all their GPUs
+    /// for the whole run; elastic tiers meter per-node occupancy from
+    /// provisioning to release.
+    pub fn gpu_hours(&self) -> f64 {
+        match &self.report {
+            TierReport::Single(r) => self.total_gpus as f64 * r.finished_at.as_secs_f64() / 3600.0,
+            TierReport::Fleet(r) => self.total_gpus as f64 * r.finished_at.as_secs_f64() / 3600.0,
+            TierReport::Elastic(r) => r.gpu_hours,
+        }
+    }
+
+    /// Virtual time of the last completion.
+    pub fn finished_at(&self) -> SimTime {
+        match &self.report {
+            TierReport::Single(r) => r.finished_at,
+            TierReport::Fleet(r) => r.finished_at,
+            TierReport::Elastic(r) => r.finished_at,
+        }
+    }
+
+    /// Max-over-mean of per-node routed counts, where the tier routes
+    /// (`None` for single-node deployments).
+    pub fn load_imbalance(&self) -> Option<f64> {
+        match &self.report {
+            TierReport::Single(_) => None,
+            TierReport::Fleet(r) => Some(r.load_imbalance()),
+            TierReport::Elastic(_) => None,
+        }
+    }
+
+    /// Per-node breakdown, in node order. Single-node deployments report
+    /// one slice; elastic tiers report routing counts only (see
+    /// [`NodeSlice`]).
+    pub fn per_node(&self) -> Vec<NodeSlice> {
+        match &self.report {
+            TierReport::Single(r) => vec![NodeSlice {
+                node: 0,
+                routed: r.completed(),
+                completed: Some(r.completed()),
+                hit_rate: Some(r.hit_rate()),
+            }],
+            TierReport::Fleet(r) => r
+                .nodes
+                .iter()
+                .map(|n| NodeSlice {
+                    node: n.node,
+                    routed: n.routed,
+                    completed: Some(n.report.completed()),
+                    hit_rate: Some(n.report.hit_rate()),
+                })
+                .collect(),
+            TierReport::Elastic(r) => r
+                .routed_per_node
+                .iter()
+                .enumerate()
+                .map(|(node, &routed)| NodeSlice {
+                    node,
+                    routed,
+                    completed: None,
+                    hit_rate: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// The single-node report, if this is a single-tier outcome.
+    pub fn as_single(&self) -> Option<&ServingReport> {
+        match &self.report {
+            TierReport::Single(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The fleet report, if this is a fleet-tier outcome.
+    pub fn as_fleet(&self) -> Option<&FleetReport> {
+        match &self.report {
+            TierReport::Fleet(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The elastic report, if this is an elastic-tier outcome.
+    pub fn as_elastic(&self) -> Option<&ElasticReport> {
+        match &self.report {
+            TierReport::Elastic(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its single-node report, if applicable.
+    pub fn into_single(self) -> Option<ServingReport> {
+        match self.report {
+            TierReport::Single(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its fleet report, if applicable.
+    pub fn into_fleet(self) -> Option<FleetReport> {
+        match self.report {
+            TierReport::Fleet(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its elastic report, if applicable.
+    pub fn into_elastic(self) -> Option<ElasticReport> {
+        match self.report {
+            TierReport::Elastic(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Flattens the outcome into a comparable [`Summary`], judging SLO
+    /// attainment at `slo_multiple` × the large-model latency.
+    pub fn summary(&mut self, slo_multiple: f64) -> Summary {
+        Summary {
+            tier: self.tier(),
+            nodes: self.nodes,
+            total_gpus: self.total_gpus,
+            completed: self.completed(),
+            hits: self.hits(),
+            misses: self.misses(),
+            hit_rate: self.hit_rate(),
+            requests_per_minute: self.requests_per_minute(),
+            p99_secs: self.p99_secs(),
+            slo_multiple,
+            slo_attainment: self.slo_attainment(slo_multiple),
+            gpu_hours: self.gpu_hours(),
+            finished_mins: self.finished_at().as_mins_f64(),
+        }
+    }
+}
+
+/// The flattened, tier-agnostic view of a run — every column a
+/// cross-tier comparison table needs, in one `PartialEq` value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Which tier produced the run.
+    pub tier: TierKind,
+    /// Nodes the deployment ran (peak active count for elastic tiers).
+    pub nodes: usize,
+    /// Total GPUs across those nodes.
+    pub total_gpus: usize,
+    /// Requests served.
+    pub completed: u64,
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests requiring full generation.
+    pub misses: u64,
+    /// Cache hit rate.
+    pub hit_rate: f64,
+    /// Sustained throughput, requests/minute.
+    pub requests_per_minute: f64,
+    /// P99 end-to-end latency, seconds (`None` before any completion).
+    pub p99_secs: Option<f64>,
+    /// The SLO multiple the attainment was judged at.
+    pub slo_multiple: f64,
+    /// Fraction of requests meeting that SLO.
+    pub slo_attainment: f64,
+    /// GPU-hours consumed.
+    pub gpu_hours: f64,
+    /// Virtual run length, minutes.
+    pub finished_mins: f64,
+}
+
+impl Summary {
+    /// Header row matching [`Summary::row`], for generic tables.
+    pub fn table_header() -> String {
+        format!(
+            "{:<24} {:>8} {:>6} {:>7} {:>9} {:>8} {:>8} {:>9}",
+            "deployment", "tier", "req", "hit", "req/min", "p99(s)", "slo", "gpu-hrs"
+        )
+    }
+
+    /// One table row labeled `label`, aligned with
+    /// [`Summary::table_header`].
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{:<24} {:>8} {:>6} {:>7.3} {:>9.2} {:>8.1} {:>8.3} {:>9.2}",
+            label,
+            self.tier.name(),
+            self.completed,
+            self.hit_rate,
+            self.requests_per_minute,
+            self.p99_secs.unwrap_or(f64::NAN),
+            self.slo_attainment,
+            self.gpu_hours,
+        )
+    }
+}

@@ -80,7 +80,7 @@ pub struct ModelSpec {
     /// seconds.
     pub load_secs: f64,
     /// Text-image alignment strength (the `alpha` of the image encoder);
-    /// calibrated so CLIPScore = 100 x E[cos] matches Tables 2-3.
+    /// calibrated so CLIPScore = 100 x E\[cos\] matches Tables 2-3.
     pub alignment: f64,
     /// Magnitude of the model's fidelity-feature bias; drives FID against
     /// the large-model ground truth (see `quality` module).

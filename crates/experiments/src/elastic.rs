@@ -12,10 +12,11 @@
 
 use modm_cluster::GpuKind;
 use modm_controlplane::{
-    ElasticFleet, ElasticFleetConfig, FaultInjector, FleetEventKind, HoldAutoscaler,
+    Autoscaler, ElasticFleet, ElasticFleetConfig, FaultInjector, FleetEventKind, HoldAutoscaler,
     PredictiveAutoscaler, PredictiveConfig, ReactiveAutoscaler, ReactiveConfig,
 };
 use modm_core::MoDMConfig;
+use modm_deploy::{Deployment, LifecyclePlan, RunOutcome, ServingBackend};
 use modm_workload::{RateSchedule, Trace, TraceBuilder};
 
 use crate::common::banner;
@@ -50,9 +51,26 @@ pub fn diurnal_trace(seed: u64, requests: usize) -> Trace {
         .build()
 }
 
-/// An elastic fleet between `min` and `max` nodes, starting at `initial`.
+/// An elastic fleet between `min` and `max` nodes, starting at `initial`
+/// (legacy entry point; the experiment itself drives [`deployment`]).
 pub fn elastic_fleet(initial: usize, min: usize, max: usize) -> ElasticFleet {
     ElasticFleet::new(ElasticFleetConfig::new(node_config(), initial, min, max))
+}
+
+/// The same fleet as [`elastic_fleet`], wrapped as a fault-free unified
+/// [`Deployment`] under `scaler`.
+pub fn deployment(
+    initial: usize,
+    min: usize,
+    max: usize,
+    scaler: impl Autoscaler + 'static,
+) -> Deployment {
+    Deployment::elastic(
+        node_config(),
+        scaler,
+        LifecyclePlan::new(initial, min, max),
+        FaultInjector::none(),
+    )
 }
 
 /// The study's reactive scaler: eager up (shallow trigger, escalating
@@ -87,19 +105,22 @@ pub fn predictive() -> PredictiveAutoscaler {
     PredictiveAutoscaler::new(config)
 }
 
-fn row(label: &str, r: &modm_controlplane::ElasticReport) {
+fn row(label: &str, outcome: &RunOutcome) {
+    let r = outcome.as_elastic().expect("elastic outcome");
     println!(
         "{label:<22} {:>5.0} {:>8.3} {:>8.3} {:>9.2} {:>10.1} {:>7.2}",
-        r.completed,
-        r.hit_rate(),
-        r.slo_attainment(),
-        r.gpu_hours,
-        r.requests_per_minute(),
+        outcome.completed(),
+        outcome.hit_rate(),
+        outcome.slo_attainment(2.0),
+        outcome.gpu_hours(),
+        outcome.requests_per_minute(),
         r.mean_active_nodes(),
     );
 }
 
-/// Runs the elastic autoscaling study.
+/// Runs the elastic autoscaling study (through the unified
+/// [`Deployment::elastic`] API — the legacy `ElasticFleet` entry point
+/// stays pinned by `tests/elastic.rs`).
 pub fn run() {
     banner("Elastic control plane: static-N vs autoscaled fleets (diurnal trace)");
     let trace = diurnal_trace(2_024, 1_600);
@@ -109,22 +130,23 @@ pub fn run() {
     );
 
     // Static baselines: provisioned for the peak and for the mean.
-    let peak = elastic_fleet(8, 8, 8).run(&trace, &mut HoldAutoscaler);
+    let peak = deployment(8, 8, 8, HoldAutoscaler).run(&trace);
     row("static-8 (peak)", &peak);
-    let mean = elastic_fleet(4, 4, 4).run(&trace, &mut HoldAutoscaler);
+    let mean = deployment(4, 4, 4, HoldAutoscaler).run(&trace);
     row("static-4 (mean)", &mean);
 
     // Autoscaled fleets: start peak-provisioned (matching static-8's
     // cold-cache first cycle) and let the scaler trim the troughs.
-    let mut re = reactive();
-    let r = elastic_fleet(8, 3, 8).run(&trace, &mut re);
+    let r = deployment(8, 3, 8, reactive()).run(&trace);
     row("autoscaled reactive", &r);
-    let mut pre = predictive();
-    let p = elastic_fleet(8, 3, 8).run(&trace, &mut pre);
+    let p = deployment(8, 3, 8, predictive()).run(&trace);
     row("autoscaled predictive", &p);
 
-    let scale_events = |r: &modm_controlplane::ElasticReport| {
-        r.events
+    let scale_events = |outcome: &RunOutcome| {
+        outcome
+            .as_elastic()
+            .expect("elastic outcome")
+            .events
             .iter()
             .filter(|e| {
                 matches!(
@@ -145,9 +167,15 @@ pub fn run() {
 
     banner("Crash recovery: fault injection mid-cycle (hit rate around the crash)");
     let faults = FaultInjector::at(&[55.0], 5.0);
-    let mut hold = HoldAutoscaler;
-    let crashed = elastic_fleet(6, 2, 8).run_with_faults(&trace, &mut hold, &faults);
+    let crashed = Deployment::elastic(
+        node_config(),
+        HoldAutoscaler,
+        LifecyclePlan::new(6, 2, 8),
+        faults,
+    )
+    .run(&trace);
     row("static-6 + crash", &crashed);
+    let crashed = crashed.into_elastic().expect("elastic outcome");
     if let Some(e) = crashed.find_event(|k| matches!(k, FleetEventKind::Crash { .. })) {
         let FleetEventKind::Crash {
             node,

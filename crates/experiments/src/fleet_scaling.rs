@@ -17,7 +17,8 @@
 
 use modm_cluster::GpuKind;
 use modm_core::MoDMConfig;
-use modm_fleet::{Fleet, FleetReport, Router, RoutingPolicy};
+use modm_deploy::{Deployment, RunOutcome, ServingBackend};
+use modm_fleet::{Router, RoutingPolicy};
 use modm_workload::{Trace, TraceBuilder};
 
 use crate::common::banner;
@@ -35,13 +36,14 @@ fn study_trace() -> Trace {
         .build()
 }
 
-/// Runs one fleet configuration on the study trace.
-pub fn run_fleet(nodes: usize, policy: RoutingPolicy, trace: &Trace) -> FleetReport {
+/// Runs one fleet configuration on the study trace, through the unified
+/// deployment API.
+pub fn run_fleet(nodes: usize, policy: RoutingPolicy, trace: &Trace) -> RunOutcome {
     let node_config = MoDMConfig::builder()
         .gpus(GpuKind::Mi210, (TOTAL_GPUS / nodes).max(1))
         .cache_capacity((TOTAL_CACHE / nodes).max(1))
         .build();
-    Fleet::new(node_config, Router::new(policy, nodes)).run(trace)
+    Deployment::fleet(node_config, Router::new(policy, nodes)).run(trace)
 }
 
 /// Runs the fleet scaling study.
@@ -66,7 +68,7 @@ pub fn run() {
                 r.hit_rate(),
                 r.requests_per_minute(),
                 r.p99_secs().unwrap_or(0.0),
-                r.load_imbalance()
+                r.load_imbalance().unwrap_or(1.0)
             );
         }
     }

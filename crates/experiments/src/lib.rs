@@ -30,3 +30,4 @@ pub mod quality_tables;
 pub mod retrieval_perf;
 pub mod slo;
 pub mod throughput;
+pub mod tiers;

@@ -38,6 +38,7 @@ EXPERIMENTS
   modes       ablation: quality- vs throughput-optimized allocation
   fleet       fleet scaling: sharded-cache hit rate vs routing policy
   elastic     elastic control plane: static-N vs autoscaled fleets + crash recovery
+  tiers       cross-tier comparison: one trace through single/fleet/elastic deployments
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -67,12 +68,13 @@ fn run_one(name: &str) -> bool {
         "modes" => exp::ablations::run_modes(),
         "fleet" => exp::fleet_scaling::run(),
         "elastic" => exp::elastic::run(),
+        "tiers" => exp::tiers::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 25] = [
+const ALL: [&str; 26] = [
     "fig2",
     "fig5",
     "fig6",
@@ -98,6 +100,7 @@ const ALL: [&str; 25] = [
     "modes",
     "fleet",
     "elastic",
+    "tiers",
 ];
 
 fn main() {

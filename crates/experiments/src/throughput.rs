@@ -15,14 +15,14 @@ pub fn run_fig7() {
     for (name, trace) in [("DiffusionDB", db_trace(71)), ("MJHQ", mjhq_trace(72))] {
         println!("\n{name}:");
         let results = run_fig7_suite(&trace, ModelId::Sd35Large);
-        let base = results[0].1.requests_per_minute();
+        let base = results[0].1.requests_per_minute;
         for (label, r) in &results {
             println!(
                 "  {:<10} {:>5.2}x  ({:.2} req/min, hit rate {:.2})",
                 label,
-                r.requests_per_minute() / base,
-                r.requests_per_minute(),
-                r.hit_rate(),
+                r.requests_per_minute / base,
+                r.requests_per_minute,
+                r.hit_rate,
             );
         }
     }
@@ -34,14 +34,14 @@ pub fn run_fig8() {
     banner("Fig 8: normalized throughput (Vanilla = FLUX)");
     let trace = db_trace(81);
     let results = run_fig7_suite(&trace, ModelId::Flux);
-    let base = results[0].1.requests_per_minute();
+    let base = results[0].1.requests_per_minute;
     for (label, r) in &results {
         println!(
             "  {:<10} {:>5.2}x  ({:.2} req/min, hit rate {:.2})",
             label,
-            r.requests_per_minute() / base,
-            r.requests_per_minute(),
-            r.hit_rate(),
+            r.requests_per_minute / base,
+            r.requests_per_minute,
+            r.hit_rate,
         );
     }
     println!("\n(paper: 1.0/1.2/2.0/2.4/2.9)");

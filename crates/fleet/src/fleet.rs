@@ -11,6 +11,7 @@
 
 use modm_cache::CacheConfig;
 use modm_core::config::{AdmissionPolicy, MoDMConfig};
+use modm_core::events::{Obs, Observer};
 use modm_core::node::{render_completion, NodeInFlight, ServingNode};
 use modm_core::scheduler::{route_against_cache, RoutedRequest};
 use modm_diffusion::{QualityModel, Sampler};
@@ -121,7 +122,29 @@ impl Fleet {
             options.warmup < trace.len(),
             "warmup consumes the whole trace"
         );
-        FleetRun::new(self, trace, options).execute()
+        FleetRun::new(self, trace, options, None).execute()
+    }
+
+    /// Serves the trace while streaming every
+    /// [`SimEvent`](modm_core::events::SimEvent) — admissions, per-shard
+    /// cache decisions, dispatches and completions, tagged with the node
+    /// that produced them — to `observer`. Identical results to
+    /// [`Fleet::run_with`]: observation never perturbs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.warmup >= trace.len()`.
+    pub fn run_observed(
+        &self,
+        trace: &Trace,
+        options: FleetRunOptions,
+        observer: &mut dyn Observer,
+    ) -> FleetReport {
+        assert!(
+            options.warmup < trace.len(),
+            "warmup consumes the whole trace"
+        );
+        FleetRun::new(self, trace, options, Some(observer)).execute()
     }
 }
 
@@ -142,10 +165,11 @@ struct FleetRun<'a> {
     arrivals_pending: usize,
     saturate: bool,
     next_admission: usize,
+    obs: Obs<'a, 'a>,
 }
 
 impl<'a> FleetRun<'a> {
-    fn new(fleet: &'a Fleet, trace: &Trace, options: FleetRunOptions) -> Self {
+    fn new(fleet: &'a Fleet, trace: &Trace, options: FleetRunOptions, obs: Obs<'a, 'a>) -> Self {
         let config = &fleet.node_config;
         let n_nodes = fleet.nodes();
         let space = SemanticSpace::default();
@@ -186,7 +210,9 @@ impl<'a> FleetRun<'a> {
             })
             .collect();
 
-        let nodes: Vec<ServingNode> = (0..n_nodes).map(|_| ServingNode::new(config)).collect();
+        let nodes: Vec<ServingNode> = (0..n_nodes)
+            .map(|id| ServingNode::new(config, id))
+            .collect();
         let total_workers = n_nodes * config.num_gpus;
 
         let mut events = EventQueue::new();
@@ -226,6 +252,7 @@ impl<'a> FleetRun<'a> {
             arrivals_pending,
             saturate: options.saturate,
             next_admission: admitted,
+            obs,
         }
     }
 
@@ -271,7 +298,7 @@ impl<'a> FleetRun<'a> {
             prompt_embedding: embedding,
             route,
         };
-        self.nodes[node_idx].enqueue(now, routed);
+        self.nodes[node_idx].enqueue(now, routed, self.obs.as_deref_mut());
         self.arrivals_pending -= 1;
         node_idx
     }
@@ -302,7 +329,12 @@ impl<'a> FleetRun<'a> {
             inflight.model,
             &mut self.rng,
         );
-        self.nodes[node_idx].record_completion(now, &inflight.routed, &image);
+        self.nodes[node_idx].record_completion(
+            now,
+            &inflight.routed,
+            &image,
+            self.obs.as_deref_mut(),
+        );
         self.latency.record(inflight.routed.arrival, now);
         self.throughput.record_completion(now);
         self.finished_at = self.finished_at.max(now);
@@ -326,15 +358,19 @@ impl<'a> FleetRun<'a> {
     /// completions back into the fleet's event queue.
     fn dispatch(&mut self, now: SimTime, node_idx: usize) {
         let events = &mut self.events;
-        self.nodes[node_idx].dispatch(now, |done, worker| {
-            events.schedule(
-                done,
-                Event::WorkerFree {
-                    node: node_idx,
-                    worker,
-                },
-            );
-        });
+        self.nodes[node_idx].dispatch(
+            now,
+            |done, worker| {
+                events.schedule(
+                    done,
+                    Event::WorkerFree {
+                        node: node_idx,
+                        worker,
+                    },
+                );
+            },
+            self.obs.as_deref_mut(),
+        );
     }
 
     fn finish(self) -> FleetReport {

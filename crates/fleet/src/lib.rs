@@ -47,5 +47,5 @@ pub use affinity::SemanticClusterer;
 pub use fleet::{Fleet, FleetRunOptions};
 pub use report::{FleetReport, NodeReport};
 pub use ring::HashRing;
-pub use router::{Router, RoutingPolicy};
+pub use router::{Router, RouterConfigError, RoutingPolicy};
 pub use shard::{HandoffReport, RebalanceReport, ShardSummary, ShardedCache};

@@ -25,10 +25,42 @@
 //! over the new active set — the primitive behind elastic scale-out,
 //! draining and crash handling in `modm-controlplane`.
 
+use std::fmt;
+
 use modm_embedding::Embedding;
 
 use crate::affinity::SemanticClusterer;
 use crate::ring::HashRing;
+
+/// Why a [`Router`] constructor rejected its configuration.
+///
+/// Returned by the `try_*` constructors; the panicking variants format
+/// the same messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum RouterConfigError {
+    /// The fleet had zero nodes.
+    NoNodes,
+    /// The consistent-hash ring had zero virtual nodes per node.
+    NoVnodes,
+    /// The hybrid-affinity spill threshold was below 1.0 (spilling below
+    /// the mean would invert the policy).
+    SpillThresholdBelowMean(f64),
+}
+
+impl fmt::Display for RouterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterConfigError::NoNodes => write!(f, "fleet needs at least one node"),
+            RouterConfigError::NoVnodes => write!(f, "ring needs at least one virtual node"),
+            RouterConfigError::SpillThresholdBelowMean(t) => {
+                write!(f, "spill threshold below the mean: {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterConfigError {}
 
 /// Which routing policy the fleet front-end runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -113,6 +145,20 @@ impl Router {
         )
     }
 
+    /// Fallible variant of [`Router::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterConfigError::NoNodes`] if `nodes` is zero.
+    pub fn try_new(policy: RoutingPolicy, nodes: usize) -> Result<Self, RouterConfigError> {
+        Self::try_with_affinity(
+            policy,
+            nodes,
+            SemanticClusterer::default_config(),
+            HashRing::DEFAULT_VNODES,
+        )
+    }
+
     /// Creates a router with an explicit clusterer and virtual-node count.
     ///
     /// # Panics
@@ -124,8 +170,30 @@ impl Router {
         clusterer: SemanticClusterer,
         vnodes: usize,
     ) -> Self {
-        assert!(nodes > 0, "fleet needs at least one node");
-        Router {
+        match Self::try_with_affinity(policy, nodes, clusterer, vnodes) {
+            Ok(router) => router,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Router::with_affinity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `nodes` or `vnodes` is zero.
+    pub fn try_with_affinity(
+        policy: RoutingPolicy,
+        nodes: usize,
+        clusterer: SemanticClusterer,
+        vnodes: usize,
+    ) -> Result<Self, RouterConfigError> {
+        if nodes == 0 {
+            return Err(RouterConfigError::NoNodes);
+        }
+        if vnodes == 0 {
+            return Err(RouterConfigError::NoVnodes);
+        }
+        Ok(Router {
             policy,
             active: (0..nodes).collect(),
             rr_next: 0,
@@ -133,7 +201,7 @@ impl Router {
             ring: HashRing::new(nodes, vnodes),
             routed: vec![0; nodes],
             spill_threshold: Self::DEFAULT_SPILL_THRESHOLD,
-        }
+        })
     }
 
     /// Overrides the hybrid-affinity spill threshold (multiple of the mean
@@ -143,13 +211,25 @@ impl Router {
     ///
     /// Panics if `threshold < 1.0` (spilling below the mean would invert
     /// the policy).
-    pub fn with_spill_threshold(mut self, threshold: f64) -> Self {
-        assert!(
-            threshold >= 1.0,
-            "spill threshold below the mean: {threshold}"
-        );
+    pub fn with_spill_threshold(self, threshold: f64) -> Self {
+        match self.try_spill_threshold(threshold) {
+            Ok(router) => router,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Router::with_spill_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterConfigError::SpillThresholdBelowMean`] if
+    /// `threshold < 1.0`.
+    pub fn try_spill_threshold(mut self, threshold: f64) -> Result<Self, RouterConfigError> {
+        if threshold < 1.0 {
+            return Err(RouterConfigError::SpillThresholdBelowMean(threshold));
+        }
         self.spill_threshold = threshold;
-        self
+        Ok(self)
     }
 
     /// The routing policy.
@@ -422,5 +502,30 @@ mod tests {
     fn removing_last_node_rejected() {
         let mut r = Router::new(RoutingPolicy::RoundRobin, 1);
         r.remove_node(0);
+    }
+
+    #[test]
+    fn try_constructors_report_typed_errors() {
+        assert_eq!(
+            Router::try_new(RoutingPolicy::RoundRobin, 0).unwrap_err(),
+            RouterConfigError::NoNodes
+        );
+        assert_eq!(
+            Router::try_with_affinity(
+                RoutingPolicy::CacheAffinity,
+                4,
+                SemanticClusterer::default_config(),
+                0
+            )
+            .unwrap_err(),
+            RouterConfigError::NoVnodes
+        );
+        assert_eq!(
+            Router::new(RoutingPolicy::HybridAffinity, 4)
+                .try_spill_threshold(0.5)
+                .unwrap_err(),
+            RouterConfigError::SpillThresholdBelowMean(0.5)
+        );
+        assert!(Router::try_new(RoutingPolicy::CacheAffinity, 4).is_ok());
     }
 }

@@ -10,17 +10,26 @@
 //! * [`cache`] — image cache (FIFO/LRU/utility/S3-FIFO) and Nirvana's latent cache.
 //! * [`cluster`] — GPU workers, model switching and energy accounting.
 //! * [`metrics`] — CLIPScore, FID, IS, PickScore, latency/SLO/throughput.
-//! * [`core`] — the MoDM serving system (scheduler, global monitor, PID).
+//! * [`core`] — the MoDM serving system (scheduler, global monitor, PID)
+//!   and the typed [`core::events`] stream.
 //! * [`baselines`] — Vanilla, Nirvana and Pinecone baselines.
 //! * [`fleet`] — multi-node sharded serving: pluggable request routing and
 //!   a consistent-hash semantic cache.
 //! * [`controlplane`] — elastic autoscaling above the fleet: node
 //!   lifecycle, cache handoff, fault injection.
+//! * [`deploy`] — **the front door**: one [`deploy::Deployment`] builder
+//!   across all three tiers, the unified [`deploy::RunOutcome`] /
+//!   [`deploy::Summary`] result layer, and the [`deploy::Observer`] API.
 //!
 //! # Quickstart
 //!
+//! Every serving tier is built through [`deploy::Deployment`] and run
+//! through [`deploy::ServingBackend`]; one node with a monolithic cache
+//! is the paper's deployment:
+//!
 //! ```
-//! use modm::core::{MoDMConfig, ServingSystem};
+//! use modm::deploy::{Deployment, ServingBackend};
+//! use modm::core::MoDMConfig;
 //! use modm::workload::TraceBuilder;
 //! use modm::cluster::GpuKind;
 //!
@@ -30,19 +39,23 @@
 //!     .gpus(GpuKind::Mi210, 16)
 //!     .cache_capacity(2_000)
 //!     .build();
-//! let report = ServingSystem::new(config).run(&trace);
-//! assert!(report.completed() == 200);
+//! let mut outcome = Deployment::single(config).run(&trace);
+//! let summary = outcome.summary(2.0);
+//! assert_eq!(summary.completed, 200);
+//! assert!(summary.hit_rate > 0.0);
 //! ```
 //!
 //! # Fleet quickstart
 //!
 //! The same workload served by a four-node fleet: each node is a miniature
-//! MoDM deployment with its own cache shard, and the front-end [`fleet::Router`]
-//! consistent-hashes each prompt's coarse semantic cluster onto a node so
-//! similar prompts keep hitting the same shard.
+//! MoDM deployment with its own cache shard, and the front-end
+//! [`fleet::Router`] consistent-hashes each prompt's coarse semantic
+//! cluster onto a node so similar prompts keep hitting the same shard.
+//! The run is the same one-liner — only the builder changes:
 //!
 //! ```
-//! use modm::fleet::{Fleet, Router, RoutingPolicy};
+//! use modm::deploy::{Deployment, ServingBackend};
+//! use modm::fleet::{Router, RoutingPolicy};
 //! use modm::core::MoDMConfig;
 //! use modm::workload::TraceBuilder;
 //! use modm::cluster::GpuKind;
@@ -52,27 +65,31 @@
 //!     .gpus(GpuKind::Mi210, 4)      // 4 GPUs per node, 16 fleet-wide
 //!     .cache_capacity(500)          // 500 images per shard, 2 000 fleet-wide
 //!     .build();
-//! let fleet = Fleet::new(node, Router::new(RoutingPolicy::CacheAffinity, 4));
-//! let report = fleet.run(&trace);
-//! assert_eq!(report.completed(), 200);
-//! assert!(report.hit_rate() > 0.0);
-//! assert_eq!(report.nodes.len(), 4);
+//! let mut deployment = Deployment::fleet(node, Router::new(RoutingPolicy::CacheAffinity, 4));
+//! let outcome = deployment.run(&trace);
+//! assert_eq!(outcome.completed(), 200);
+//! assert!(outcome.hit_rate() > 0.0);
+//! assert_eq!(outcome.per_node().len(), 4);
 //! ```
 //!
-//! # Elastic quickstart
+//! # Elastic quickstart, with the typed event stream
 //!
 //! The control plane makes the node count itself dynamic: a scripted
 //! 4 → 8 → 4 run provisions four extra nodes (each walking
 //! `Provisioning → Warming → Active` through its cold start), then drains
 //! them again — every drain handing the shard's hottest images to its
-//! ring successors so the hit rate survives the scale-down. Swap the
-//! script for a [`controlplane::ReactiveAutoscaler`] or
+//! ring successors so the hit rate survives the scale-down. Attach an
+//! observer to watch it happen: every admission, cache decision,
+//! dispatch, completion and scale event arrives as a typed
+//! [`deploy::SimEvent`]. Swap the script for a
+//! [`controlplane::ReactiveAutoscaler`] or
 //! [`controlplane::PredictiveAutoscaler`] to let load drive it.
 //!
 //! ```
-//! use modm::controlplane::{
-//!     ElasticFleet, ElasticFleetConfig, ScaleDecision, ScheduledAutoscaler,
+//! use modm::deploy::{
+//!     DeployOptions, Deployment, EventLogObserver, LifecyclePlan, ServingBackend, SimEvent,
 //! };
+//! use modm::controlplane::{FaultInjector, ScaleDecision, ScheduledAutoscaler};
 //! use modm::core::MoDMConfig;
 //! use modm::cluster::GpuKind;
 //! use modm::workload::{RateSchedule, TraceBuilder};
@@ -82,18 +99,26 @@
 //!     .rate_schedule(RateSchedule::diurnal(16.0, 0.5, 30.0))
 //!     .build();
 //! let node = MoDMConfig::builder().gpus(GpuKind::Mi210, 2).cache_capacity(400).build();
-//! let fleet = ElasticFleet::new(ElasticFleetConfig::new(node, 4, 2, 8));
-//! let mut plan = ScheduledAutoscaler::new(vec![
+//! let plan = ScheduledAutoscaler::new(vec![
 //!     ScaleDecision::Up(4),    // 4 -> 8 for the approaching peak
 //!     ScaleDecision::Hold,
 //!     ScaleDecision::Hold,
 //!     ScaleDecision::Hold,
 //!     ScaleDecision::Down(4),  // 8 -> 4 into the trough, with cache handoff
 //! ]);
-//! let report = fleet.run(&trace, &mut plan);
-//! assert_eq!(report.completed, 600);
-//! assert_eq!(report.peak_active_nodes(), 8);
-//! assert!(report.gpu_hours > 0.0);
+//! let mut deployment = Deployment::elastic(
+//!     node,
+//!     plan,
+//!     LifecyclePlan::new(4, 2, 8),
+//!     FaultInjector::none(),
+//! );
+//! let mut log = EventLogObserver::new();
+//! let outcome = deployment.run_observed(&trace, DeployOptions::default(), &mut log);
+//! assert_eq!(outcome.completed(), 600);
+//! assert_eq!(outcome.nodes(), 8, "peak active set");
+//! assert!(outcome.gpu_hours() > 0.0);
+//! assert_eq!(log.count(|e| matches!(e, SimEvent::ScaleUp { .. })), 4);
+//! assert_eq!(log.count(|e| matches!(e, SimEvent::Completed { .. })), 600);
 //! ```
 
 pub use modm_baselines as baselines;
@@ -101,6 +126,7 @@ pub use modm_cache as cache;
 pub use modm_cluster as cluster;
 pub use modm_controlplane as controlplane;
 pub use modm_core as core;
+pub use modm_deploy as deploy;
 pub use modm_diffusion as diffusion;
 pub use modm_embedding as embedding;
 pub use modm_fleet as fleet;
