@@ -266,6 +266,15 @@ impl<P: BaselinePolicy> BaselineEngine<P> {
             SimTime::ZERO,
             finished_at,
         );
+        // Baselines are tenant-blind: everything lands on one aggregate
+        // default-tenant slice.
+        let aggregate = modm_core::report::TenantSlice {
+            completed: throughput.completed(),
+            hits,
+            misses,
+            latency: latency.clone(),
+            ..Default::default()
+        };
         ServingReport {
             latency,
             throughput,
@@ -277,6 +286,7 @@ impl<P: BaselinePolicy> BaselineEngine<P> {
             misses,
             k_histogram,
             allocation_series: Vec::new(),
+            tenant_slices: vec![aggregate],
             model_switches: 0,
             finished_at,
         }

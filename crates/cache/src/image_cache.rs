@@ -1,12 +1,22 @@
 //! MoDM's final-image cache: capacity-bounded, similarity-retrievable,
 //! maintained by FIFO (the paper's choice), LRU, utility or S3-FIFO
-//! policies.
+//! policies — with optional per-tenant reserves for multi-tenant serving.
+//!
+//! # Tenant reserves
+//!
+//! Under a shared cache, one tenant's flood can evict everyone else's
+//! working set. A [`CacheConfig`] may therefore reserve a slice of the
+//! capacity per tenant: eviction never lets one tenant push *another*
+//! tenant below its reserve (a tenant may always displace its own
+//! entries). With no reserves configured — the default — victim selection
+//! is exactly the untenanted policy behavior.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use modm_diffusion::GeneratedImage;
 use modm_embedding::{Embedding, EmbeddingIndex, IvfIndex, Neighbor};
 use modm_simkit::SimTime;
+use modm_workload::TenantId;
 
 use crate::stats::CacheStats;
 
@@ -96,6 +106,10 @@ pub struct CacheConfig {
     pub capacity: usize,
     /// Eviction policy.
     pub policy: MaintenancePolicy,
+    /// Per-tenant reserved capacity: eviction never lets one tenant push
+    /// another below its reserve. Empty (the default) disables tenant
+    /// protection entirely.
+    pub tenant_reserves: Vec<(TenantId, usize)>,
 }
 
 impl CacheConfig {
@@ -109,6 +123,7 @@ impl CacheConfig {
         CacheConfig {
             capacity,
             policy: MaintenancePolicy::Fifo,
+            tenant_reserves: Vec::new(),
         }
     }
 
@@ -119,7 +134,41 @@ impl CacheConfig {
     /// Panics if `capacity == 0`.
     pub fn with_policy(capacity: usize, policy: MaintenancePolicy) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        CacheConfig { capacity, policy }
+        CacheConfig {
+            capacity,
+            policy,
+            tenant_reserves: Vec::new(),
+        }
+    }
+
+    /// Adds per-tenant reserved capacity (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tenant appears twice or the reserves together exceed
+    /// the capacity (reserves must be satisfiable simultaneously).
+    #[must_use]
+    pub fn with_reserves(mut self, reserves: Vec<(TenantId, usize)>) -> Self {
+        let mut ids: Vec<TenantId> = reserves.iter().map(|(t, _)| *t).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reserves.len(), "duplicate tenant reserve");
+        let total: usize = reserves.iter().map(|(_, r)| r).sum();
+        assert!(
+            total <= self.capacity,
+            "tenant reserves ({total}) exceed cache capacity ({})",
+            self.capacity
+        );
+        self.tenant_reserves = reserves;
+        self
+    }
+
+    /// The reserve configured for `tenant` (zero if none).
+    pub fn reserve_of(&self, tenant: TenantId) -> usize {
+        self.tenant_reserves
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map_or(0, |(_, r)| *r)
     }
 }
 
@@ -128,6 +177,8 @@ impl CacheConfig {
 pub struct CachedImage {
     /// The stored image.
     pub image: GeneratedImage,
+    /// The tenant whose request produced it (quota accounting).
+    pub tenant: TenantId,
     /// When it entered the cache.
     pub cached_at: SimTime,
     /// Last retrieval time (LRU bookkeeping).
@@ -234,6 +285,7 @@ pub struct ImageCache {
     index: CacheIndex,
     fifo: VecDeque<u64>,
     s3: S3State,
+    tenant_counts: HashMap<TenantId, usize>,
     stats: CacheStats,
 }
 
@@ -247,6 +299,7 @@ impl ImageCache {
             index,
             fifo: VecDeque::new(),
             s3: S3State::default(),
+            tenant_counts: HashMap::new(),
             stats: CacheStats::new(),
         }
     }
@@ -289,37 +342,133 @@ impl ImageCache {
         images + self.index.storage_bytes()
     }
 
-    fn evict_victim(&mut self) -> Option<u64> {
+    /// Number of resident entries belonging to `tenant`.
+    pub fn tenant_len(&self, tenant: TenantId) -> usize {
+        self.tenant_counts.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// True when evicting an entry of `tenant` on behalf of `inserter`
+    /// would violate the tenant's reserve: another tenant may never push
+    /// it at-or-below its reserved residency (a tenant can always displace
+    /// its own entries).
+    fn protected_from(&self, tenant: TenantId, inserter: TenantId) -> bool {
+        tenant != inserter && self.tenant_len(tenant) <= self.config.reserve_of(tenant)
+    }
+
+    /// Selects the eviction victim on behalf of `inserter`, honoring
+    /// tenant reserves. With no reserves configured this is exactly the
+    /// policy's untenanted victim. Returns `None` when every entry is
+    /// protected from `inserter` (pre-checked in
+    /// [`ImageCache::insert_for`], which then refuses the insert).
+    fn evict_victim(&mut self, inserter: TenantId) -> Option<u64> {
+        let unrestricted = self.config.tenant_reserves.is_empty();
         match self.config.policy {
-            MaintenancePolicy::Fifo => self.fifo.pop_front(),
+            MaintenancePolicy::Fifo => {
+                if unrestricted {
+                    return self.fifo.pop_front();
+                }
+                let pos = self.fifo.iter().position(|key| {
+                    let t = self.entries.get(key).expect("fifo in sync").tenant;
+                    !self.protected_from(t, inserter)
+                })?;
+                self.fifo.remove(pos)
+            }
             MaintenancePolicy::Lru => self
                 .entries
                 .values()
+                .filter(|e| unrestricted || !self.protected_from(e.tenant, inserter))
                 .min_by_key(|e| (e.last_used, e.image.id.0))
                 .map(|e| e.image.id.0),
             MaintenancePolicy::Utility => self
                 .entries
                 .values()
+                .filter(|e| unrestricted || !self.protected_from(e.tenant, inserter))
                 .min_by_key(|e| (e.hit_count, e.cached_at, e.image.id.0))
                 .map(|e| e.image.id.0),
-            MaintenancePolicy::S3Fifo => self.s3.pick_victim(self.config.capacity),
+            MaintenancePolicy::S3Fifo => {
+                if unrestricted {
+                    return self.s3.pick_victim(self.config.capacity);
+                }
+                // Reserve-protected victims get a second chance at the back
+                // of the main queue. That rotation alone cannot be relied
+                // on to terminate: `pick_victim` only draws from `small`
+                // while it is at its target size, so an unprotected entry
+                // stranded in a short `small` behind an all-protected
+                // `main` would cycle forever. Bound the rotations and fall
+                // back to a queue-order scan.
+                let budget = self.s3.main.len() + self.s3.small.len() + 1;
+                let mut rotations = 0;
+                while rotations <= budget {
+                    let victim = self.s3.pick_victim(self.config.capacity)?;
+                    let t = self.entries.get(&victim).expect("s3 in sync").tenant;
+                    if !self.protected_from(t, inserter) {
+                        return Some(victim);
+                    }
+                    self.s3.main.push_back(victim);
+                    rotations += 1;
+                }
+                // Every rotating candidate is protected; evict the first
+                // unprotected entry in queue order (probationary first).
+                for queue in ["small", "main"] {
+                    let q = if queue == "small" {
+                        &self.s3.small
+                    } else {
+                        &self.s3.main
+                    };
+                    let pos = q.iter().position(|key| {
+                        let t = self.entries.get(key).expect("s3 in sync").tenant;
+                        !self.protected_from(t, inserter)
+                    });
+                    if let Some(pos) = pos {
+                        let q = if queue == "small" {
+                            &mut self.s3.small
+                        } else {
+                            &mut self.s3.main
+                        };
+                        return q.remove(pos);
+                    }
+                }
+                None
+            }
         }
     }
 
-    /// Inserts an image at time `now`, evicting per policy when full.
-    /// Re-inserting an id that is already resident replaces the old entry.
+    /// Inserts an image at time `now` on behalf of the default tenant.
     pub fn insert(&mut self, now: SimTime, image: GeneratedImage) {
+        self.insert_for(now, TenantId::DEFAULT, image);
+    }
+
+    /// Inserts `tenant`'s image at time `now`, evicting per policy when
+    /// full — but never pushing *another* tenant below its configured
+    /// reserve. In the fully-reserved corner case (every resident entry
+    /// protected from `tenant`), the insert is refused rather than
+    /// overflowing the capacity. Re-inserting an id that is already
+    /// resident replaces the old entry.
+    pub fn insert_for(&mut self, now: SimTime, tenant: TenantId, image: GeneratedImage) {
         let key = image.id.0;
-        if self.entries.remove(&key).is_some() {
+        if let Some(old) = self.entries.remove(&key) {
             self.index.remove(&key);
             self.remove_from_queues(key);
+            self.dec_tenant(old.tenant);
+        }
+        if !self.config.tenant_reserves.is_empty()
+            && self.entries.len() >= self.config.capacity
+            && self
+                .entries
+                .values()
+                .all(|e| self.protected_from(e.tenant, tenant))
+        {
+            // Every resident entry is protected from this tenant: the
+            // reserves are fully drawn down by other tenants and evicting
+            // any of them would violate a guarantee. Refuse the insert.
+            return;
         }
         // Ghost membership is decided when the insert arrives, before this
         // insert's own evictions can rotate the ghost queue.
         let ghost_comeback =
             self.config.policy == MaintenancePolicy::S3Fifo && self.s3.ghost_set.contains(&key);
         while self.entries.len() >= self.config.capacity {
-            let Some(victim) = self.evict_victim() else {
+            let Some(victim) = self.evict_victim(tenant) else {
                 break;
             };
             match self.config.policy {
@@ -337,7 +486,9 @@ impl ImageCache {
                     }
                 }
             }
-            self.entries.remove(&victim);
+            if let Some(gone) = self.entries.remove(&victim) {
+                self.dec_tenant(gone.tenant);
+            }
             self.index.remove(&victim);
             self.stats.record_eviction();
         }
@@ -364,12 +515,23 @@ impl ImageCache {
             key,
             CachedImage {
                 image,
+                tenant,
                 cached_at: now,
                 last_used: now,
                 hit_count: 0,
             },
         );
+        *self.tenant_counts.entry(tenant).or_insert(0) += 1;
         self.stats.record_insertion();
+    }
+
+    fn dec_tenant(&mut self, tenant: TenantId) {
+        if let Some(count) = self.tenant_counts.get_mut(&tenant) {
+            *count -= 1;
+            if *count == 0 {
+                self.tenant_counts.remove(&tenant);
+            }
+        }
     }
 
     /// Drops every queue reference to `key` (only needed when an id is
@@ -443,14 +605,15 @@ impl ImageCache {
         self.entries.values()
     }
 
-    /// Removes and returns the `n` *hottest* resident images: most
+    /// Removes and returns the `n` *hottest* resident images (with their
+    /// owning tenants, so migration preserves quota attribution): most
     /// retrievals first, ties broken by most recent use, then by ascending
     /// id (fully deterministic). The removals are not counted as evictions
     /// — the entries live on elsewhere. This is the export half of the
     /// drain handoff: a shard leaving the fleet sends its hottest entries
     /// to the shards inheriting its keyspace, so scale-down does not torch
     /// the hit rate.
-    pub fn export_hottest(&mut self, n: usize) -> Vec<GeneratedImage> {
+    pub fn export_hottest(&mut self, n: usize) -> Vec<(TenantId, GeneratedImage)> {
         let mut ranked: Vec<(u64, SimTime, u64)> = self
             .entries
             .values()
@@ -468,22 +631,23 @@ impl ImageCache {
                 let entry = self.entries.remove(&key).expect("ranked from entries");
                 self.index.remove(&key);
                 self.remove_from_queues(key);
-                entry.image
+                self.dec_tenant(entry.tenant);
+                (entry.tenant, entry.image)
             })
             .collect()
     }
 
-    /// Removes and returns every resident image whose embedding satisfies
-    /// `pred`, in ascending id order (deterministic despite the hash-map
-    /// backing). Hit-count and recency bookkeeping of the *remaining*
-    /// entries is untouched, and the removals are not counted as
-    /// evictions. This is the selective-migration primitive: a shard
-    /// joining the fleet pulls exactly the entries whose keyspace it now
-    /// owns.
+    /// Removes and returns every resident image (with its owning tenant)
+    /// whose embedding satisfies `pred`, in ascending id order
+    /// (deterministic despite the hash-map backing). Hit-count and recency
+    /// bookkeeping of the *remaining* entries is untouched, and the
+    /// removals are not counted as evictions. This is the
+    /// selective-migration primitive: a shard joining the fleet pulls
+    /// exactly the entries whose keyspace it now owns.
     pub fn extract_matching(
         &mut self,
         mut pred: impl FnMut(&Embedding) -> bool,
-    ) -> Vec<GeneratedImage> {
+    ) -> Vec<(TenantId, GeneratedImage)> {
         let mut keys: Vec<u64> = self
             .entries
             .values()
@@ -496,24 +660,30 @@ impl ImageCache {
                 let entry = self.entries.remove(&key).expect("key from entries");
                 self.index.remove(&key);
                 self.remove_from_queues(key);
-                entry.image
+                self.dec_tenant(entry.tenant);
+                (entry.tenant, entry.image)
             })
             .collect()
     }
 
-    /// Empties the cache, returning every resident image in ascending id
-    /// order (so downstream re-placement is deterministic). Maintenance
-    /// state (queues, ghost memory, frequencies) is reset;
-    /// lookup/insertion/eviction counters are preserved but the drain
-    /// itself is not counted as evictions. This is the primitive behind
-    /// shard rebalancing in `modm-fleet`.
-    pub fn drain_images(&mut self) -> Vec<GeneratedImage> {
-        let mut images: Vec<GeneratedImage> = self.entries.drain().map(|(_, e)| e.image).collect();
-        images.sort_unstable_by_key(|img| img.id.0);
+    /// Empties the cache, returning every resident image (with its owning
+    /// tenant) in ascending id order (so downstream re-placement is
+    /// deterministic). Maintenance state (queues, ghost memory,
+    /// frequencies) is reset; lookup/insertion/eviction counters are
+    /// preserved but the drain itself is not counted as evictions. This is
+    /// the primitive behind shard rebalancing in `modm-fleet`.
+    pub fn drain_images(&mut self) -> Vec<(TenantId, GeneratedImage)> {
+        let mut images: Vec<(TenantId, GeneratedImage)> = self
+            .entries
+            .drain()
+            .map(|(_, e)| (e.tenant, e.image))
+            .collect();
+        images.sort_unstable_by_key(|(_, img)| img.id.0);
         self.index =
             CacheIndex::for_capacity(self.config.capacity, modm_embedding::space::DEFAULT_DIM);
         self.fifo.clear();
         self.s3 = S3State::default();
+        self.tenant_counts.clear();
         images
     }
 }
@@ -770,8 +940,8 @@ mod tests {
             .retrieve(SimTime::from_secs_f64(9.0), &f.text.encode(warm), 0.25)
             .is_some());
         let exported = cache.export_hottest(2);
-        assert_eq!(exported[0].id.0, hot_id, "3-hit entry first");
-        assert_eq!(exported[1].id.0, warm_id, "1-hit entry second");
+        assert_eq!(exported[0].1.id.0, hot_id, "3-hit entry first");
+        assert_eq!(exported[1].1.id.0, warm_id, "1-hit entry second");
         assert_eq!(cache.len(), 1, "cold entry stays");
         assert_eq!(cache.stats().evictions(), 0, "export is not eviction");
         // Exported entries are gone from the index too.
@@ -820,6 +990,164 @@ mod tests {
         // One image (1.4 MB) plus one 64-d f32 embedding.
         assert!(cache.storage_bytes() >= 1_400_000);
         assert!(cache.storage_bytes() < 1_500_000);
+    }
+
+    #[test]
+    fn tenant_reserve_survives_another_tenants_flood() {
+        let mut f = fixture();
+        let protected = TenantId(1);
+        let flooder = TenantId(2);
+        for policy in [
+            MaintenancePolicy::Fifo,
+            MaintenancePolicy::Lru,
+            MaintenancePolicy::Utility,
+            MaintenancePolicy::S3Fifo,
+        ] {
+            let mut cache = ImageCache::new(
+                CacheConfig::with_policy(6, policy).with_reserves(vec![(protected, 2)]),
+            );
+            // The protected tenant caches two images first (its reserve).
+            let kept = [
+                "sapphire heron wading estuary dawn etching",
+                "amber citadel glowing mesa dusk fresco",
+            ];
+            for (i, p) in kept.iter().enumerate() {
+                cache.insert_for(
+                    SimTime::from_secs_f64(i as f64),
+                    protected,
+                    image_for(&mut f, p),
+                );
+            }
+            // Another tenant floods far past capacity.
+            for i in 0..30 {
+                let p = format!("flood item {i} gravel rain");
+                cache.insert_for(
+                    SimTime::from_secs_f64(10.0 + i as f64),
+                    flooder,
+                    image_for(&mut f, &p),
+                );
+                assert!(cache.len() <= 6, "{policy:?} overflowed");
+            }
+            assert_eq!(
+                cache.tenant_len(protected),
+                2,
+                "{policy:?}: flood ate into the reserve"
+            );
+            assert_eq!(cache.tenant_len(flooder), 4);
+            // The protected images are still retrievable.
+            let now = SimTime::from_secs_f64(100.0);
+            for p in kept {
+                assert!(
+                    cache.retrieve(now, &f.text.encode(p), 0.25).is_some(),
+                    "{policy:?}: reserved entry evicted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_evicts_its_own_entries_past_its_reserve() {
+        let mut f = fixture();
+        let t = TenantId(1);
+        let mut cache = ImageCache::new(CacheConfig::fifo(3).with_reserves(vec![(t, 2)]));
+        for i in 0..10 {
+            let p = format!("own flood {i} slate pier");
+            cache.insert_for(SimTime::from_secs_f64(i as f64), t, image_for(&mut f, &p));
+            assert!(cache.len() <= 3);
+        }
+        assert_eq!(
+            cache.tenant_len(t),
+            3,
+            "a reserve never blocks self-eviction"
+        );
+        assert!(cache.stats().evictions() > 0);
+    }
+
+    #[test]
+    fn fully_reserved_cache_refuses_unreserved_insert() {
+        let mut f = fixture();
+        let a = TenantId(1);
+        let b = TenantId(2);
+        let outsider = TenantId(3);
+        let mut cache = ImageCache::new(CacheConfig::fifo(2).with_reserves(vec![(a, 1), (b, 1)]));
+        cache.insert_for(SimTime::ZERO, a, image_for(&mut f, "alpha reef glow"));
+        cache.insert_for(SimTime::ZERO, b, image_for(&mut f, "beta dune storm"));
+        cache.insert_for(
+            SimTime::from_secs_f64(1.0),
+            outsider,
+            image_for(&mut f, "gamma moss vale"),
+        );
+        assert_eq!(cache.len(), 2, "capacity invariant holds");
+        assert_eq!(cache.tenant_len(a), 1);
+        assert_eq!(cache.tenant_len(b), 1);
+        assert_eq!(cache.tenant_len(outsider), 0, "insert was refused");
+        assert_eq!(cache.stats().evictions(), 0);
+    }
+
+    #[test]
+    fn no_reserves_matches_untenanted_eviction_order() {
+        // Tenancy neutrality at the cache level: tagging inserts with
+        // tenants but configuring no reserves evicts exactly the same
+        // victims as the untenanted cache.
+        let mut f1 = fixture();
+        let mut f2 = fixture();
+        let mut plain = ImageCache::new(CacheConfig::fifo(3));
+        let mut tagged = ImageCache::new(CacheConfig::fifo(3));
+        for i in 0..12 {
+            let p = format!("neutrality probe {i} lichen arch");
+            let now = SimTime::from_secs_f64(i as f64);
+            plain.insert(now, image_for(&mut f1, &p));
+            tagged.insert_for(now, TenantId((i % 3) as u16 + 1), image_for(&mut f2, &p));
+        }
+        let mut left: Vec<u64> = plain.iter().map(|e| e.image.id.0).collect();
+        let mut right: Vec<u64> = tagged.iter().map(|e| e.image.id.0).collect();
+        left.sort_unstable();
+        right.sort_unstable();
+        assert_eq!(left, right);
+        assert_eq!(plain.stats().evictions(), tagged.stats().evictions());
+    }
+
+    #[test]
+    fn s3fifo_reserve_eviction_terminates_with_protected_main_queue() {
+        // Regression: an unprotected entry stranded in a short `small`
+        // queue behind an all-protected `main` queue must still be found
+        // (the rotation loop alone never draws from `small` below its
+        // target size and would spin forever).
+        let mut f = fixture();
+        let a = TenantId(1);
+        let b = TenantId(2);
+        let mut cache = ImageCache::new(
+            CacheConfig::with_policy(20, MaintenancePolicy::S3Fifo).with_reserves(vec![(a, 19)]),
+        );
+        // Tenant A fills 19 slots and retrieves each (freq >= 1), so all
+        // of them promote to `main` on the first eviction pass.
+        for i in 0..19 {
+            let p = format!("protected {i} basalt tide");
+            cache.insert_for(SimTime::from_secs_f64(i as f64), a, image_for(&mut f, &p));
+            let _ = cache.retrieve(SimTime::from_secs_f64(50.0), &f.text.encode(&p), 0.0);
+        }
+        // Tenant B's single entry sits in `small`; its next insert must
+        // evict, and the only unprotected entry is B's own.
+        cache.insert_for(
+            SimTime::from_secs_f64(100.0),
+            b,
+            image_for(&mut f, "victim pebble drift"),
+        );
+        cache.insert_for(
+            SimTime::from_secs_f64(101.0),
+            b,
+            image_for(&mut f, "incoming comet dust"),
+        );
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.tenant_len(a), 19, "the reserve held");
+        assert_eq!(cache.tenant_len(b), 1, "B displaced its own entry");
+        assert_eq!(cache.stats().evictions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed cache capacity")]
+    fn overcommitted_reserves_rejected() {
+        let _ = CacheConfig::fifo(10).with_reserves(vec![(TenantId(1), 6), (TenantId(2), 5)]);
     }
 
     #[test]

@@ -21,19 +21,21 @@
 //! reports both *how well* it served (SLO attainment, hit rate) and *what
 //! it paid* — the autoscaling trade-off the `elastic` experiment plots.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use modm_cache::CacheConfig;
 use modm_core::config::{AdmissionPolicy, MoDMConfig};
 use modm_core::events::{emit, Obs, Observer, SimEvent};
 use modm_core::node::{render_completion, NodeInFlight, ServingNode};
+use modm_core::report::TenantSlice;
 use modm_core::scheduler::{route_against_cache, RouteKind, RoutedRequest};
 use modm_diffusion::{QualityModel, Sampler};
 use modm_embedding::{Embedding, SemanticSpace, TextEncoder};
 use modm_fleet::{Router, RoutingPolicy, ShardedCache};
 use modm_metrics::{LatencyReport, SloThresholds};
 use modm_simkit::{EventQueue, SimDuration, SimRng, SimTime};
-use modm_workload::{Request, Trace};
+use modm_workload::{QosClass, Request, TenantId, Trace};
 
 use crate::autoscaler::{Autoscaler, ScaleDecision, ScalerObservation};
 use crate::fault::FaultInjector;
@@ -279,6 +281,8 @@ enum Event {
 struct Redelivery {
     request_id: u64,
     arrival: SimTime,
+    tenant: TenantId,
+    qos: QosClass,
     embedding: Embedding,
 }
 
@@ -307,6 +311,7 @@ struct ElasticRun<'a> {
     completed: u64,
     hits: u64,
     misses: u64,
+    tenants: BTreeMap<TenantId, TenantSlice>,
     slo: SloThresholds,
     slo_bound_secs: f64,
     finished_at: SimTime,
@@ -341,7 +346,8 @@ impl<'a> ElasticRun<'a> {
         let router = Router::new(config.policy, config.initial_nodes);
         let cache = ShardedCache::new(
             config.max_nodes,
-            CacheConfig::with_policy(node_config.cache_capacity, node_config.cache_policy),
+            CacheConfig::with_policy(node_config.cache_capacity, node_config.cache_policy)
+                .with_reserves(node_config.tenancy.cache_reserves()),
         );
 
         // Re-base arrivals to start at zero.
@@ -351,13 +357,7 @@ impl<'a> ElasticRun<'a> {
             .map_or(SimTime::ZERO, |r| r.arrival);
         let requests: Vec<Request> = trace
             .iter()
-            .map(|r| {
-                Request::new(
-                    r.id,
-                    r.prompt.clone(),
-                    SimTime::ZERO + r.arrival.saturating_since(base),
-                )
-            })
+            .map(|r| r.rebased(SimTime::ZERO + r.arrival.saturating_since(base)))
             .collect();
 
         let mut nodes: Vec<Option<ServingNode>> = (0..config.max_nodes).map(|_| None).collect();
@@ -411,6 +411,7 @@ impl<'a> ElasticRun<'a> {
             completed: 0,
             hits: 0,
             misses: 0,
+            tenants: BTreeMap::new(),
             slo_bound_secs: slo.bound_secs(config.slo_multiple),
             slo,
             finished_at: SimTime::ZERO,
@@ -432,13 +433,27 @@ impl<'a> ElasticRun<'a> {
                 Event::Arrival(i) => {
                     let request = self.requests[i].clone();
                     let embedding = self.encoder.encode(&request.prompt);
-                    let node = self.route_to_node(now, request.id, request.arrival, &embedding);
+                    let node = self.route_to_node(
+                        now,
+                        request.id,
+                        request.arrival,
+                        request.tenant,
+                        request.qos,
+                        &embedding,
+                    );
                     self.arrivals_pending -= 1;
                     self.dispatch(now, node);
                 }
                 Event::Redeliver(i) => {
                     let r = self.redeliveries[i].take().expect("redelivered once");
-                    let node = self.route_to_node(now, r.request_id, r.arrival, &r.embedding);
+                    let node = self.route_to_node(
+                        now,
+                        r.request_id,
+                        r.arrival,
+                        r.tenant,
+                        r.qos,
+                        &r.embedding,
+                    );
                     self.pending_redeliveries -= 1;
                     self.dispatch(now, node);
                 }
@@ -515,6 +530,8 @@ impl<'a> ElasticRun<'a> {
         now: SimTime,
         request_id: u64,
         arrival: SimTime,
+        tenant: TenantId,
+        qos: QosClass,
         embedding: &Embedding,
     ) -> usize {
         let mut loads = vec![0.0; self.config.max_nodes];
@@ -539,6 +556,8 @@ impl<'a> ElasticRun<'a> {
         let routed = RoutedRequest {
             request_id,
             arrival,
+            tenant,
+            qos,
             prompt_embedding: embedding.clone(),
             route,
         };
@@ -561,12 +580,23 @@ impl<'a> ElasticRun<'a> {
         self.latency.record(inflight.routed.arrival, now);
         self.completed += 1;
         self.win_completions += 1;
+        let slice = self
+            .tenants
+            .entry(inflight.routed.tenant)
+            .or_insert_with(|| TenantSlice::new(inflight.routed.tenant, inflight.routed.qos));
+        slice.qos = inflight.routed.qos;
+        slice.completed += 1;
+        slice.latency.record(inflight.routed.arrival, now);
         match inflight.routed.route {
             RouteKind::Hit { .. } => {
                 self.hits += 1;
                 self.win_hits += 1;
+                slice.hits += 1;
             }
-            RouteKind::Miss => self.misses += 1,
+            RouteKind::Miss => {
+                self.misses += 1;
+                slice.misses += 1;
+            }
         }
         if now.saturating_since(inflight.routed.arrival).as_secs_f64() > self.slo_bound_secs {
             self.win_violations += 1;
@@ -577,7 +607,9 @@ impl<'a> ElasticRun<'a> {
             AdmissionPolicy::CacheLarge => image.is_full_generation(),
         };
         if admit {
-            self.cache.shard_mut(node_idx).insert(now, image);
+            self.cache
+                .shard_mut(node_idx)
+                .insert_for(now, inflight.routed.tenant, image);
         }
     }
 
@@ -822,6 +854,8 @@ impl<'a> ElasticRun<'a> {
             self.redeliveries.push(Some(Redelivery {
                 request_id: routed.request_id,
                 arrival: routed.arrival,
+                tenant: routed.tenant,
+                qos: routed.qos,
                 embedding: routed.prompt_embedding,
             }));
             self.pending_redeliveries += 1;
@@ -880,6 +914,7 @@ impl<'a> ElasticRun<'a> {
             events: self.log,
             windows: self.windows,
             routed_per_node: self.router.routed_per_node().to_vec(),
+            tenant_slices: self.tenants.into_values().collect(),
             finished_at: self.finished_at,
         }
     }

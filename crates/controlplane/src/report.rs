@@ -1,6 +1,7 @@
 //! What an elastic run measured: fleet-wide serving metrics, GPU-hours,
 //! the control-plane event log and the per-window time series.
 
+use modm_core::report::TenantSlice;
 use modm_fleet::HandoffReport;
 use modm_metrics::{LatencyReport, SloThresholds};
 use modm_simkit::SimTime;
@@ -122,6 +123,9 @@ pub struct ElasticReport {
     pub windows: Vec<WindowSample>,
     /// Requests routed per node id.
     pub routed_per_node: Vec<u64>,
+    /// Fleet-level per-tenant slices, sorted by tenant id
+    /// (completion-based, like [`ElasticReport::latency`]).
+    pub tenant_slices: Vec<TenantSlice>,
     /// Virtual time of the last completion.
     pub finished_at: SimTime,
 }

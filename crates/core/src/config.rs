@@ -6,6 +6,9 @@ use modm_cache::MaintenancePolicy;
 use modm_cluster::GpuKind;
 use modm_diffusion::ModelId;
 use modm_simkit::SimDuration;
+use modm_workload::TenantId;
+
+use crate::fairqueue::TenancyPolicy;
 
 /// Why a [`MoDMConfigBuilder`] rejected its configuration.
 ///
@@ -28,6 +31,17 @@ pub enum ConfigError {
     NegativeThresholdShift(f64),
     /// `monitor_period` was zero.
     ZeroMonitorPeriod,
+    /// A tenancy share had a non-positive weight.
+    NonPositiveTenantWeight(TenantId),
+    /// The same tenant appeared twice in the tenancy shares.
+    DuplicateTenantShare(TenantId),
+    /// The tenants' cache reserves together exceed the cache capacity.
+    OvercommittedCacheReserves {
+        /// Sum of configured reserves.
+        reserved: usize,
+        /// Configured cache capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -44,6 +58,18 @@ impl fmt::Display for ConfigError {
                 write!(f, "threshold shift must be >= 0, got {v}")
             }
             ConfigError::ZeroMonitorPeriod => write!(f, "monitor period must be positive"),
+            ConfigError::NonPositiveTenantWeight(t) => {
+                write!(f, "tenant {t} needs a positive weight")
+            }
+            ConfigError::DuplicateTenantShare(t) => {
+                write!(f, "tenant {t} appears twice in the tenancy shares")
+            }
+            ConfigError::OvercommittedCacheReserves { reserved, capacity } => {
+                write!(
+                    f,
+                    "tenant cache reserves ({reserved}) exceed cache capacity ({capacity})"
+                )
+            }
         }
     }
 }
@@ -99,6 +125,10 @@ pub struct MoDMConfig {
     pub monitor_period: SimDuration,
     /// RNG seed for generation noise.
     pub seed: u64,
+    /// Multi-tenant admission and cache-reserve policy. The default
+    /// ([`TenancyPolicy::fifo`]) is the legacy single-queue behavior and
+    /// is exactly tenant-neutral.
+    pub tenancy: TenancyPolicy,
 }
 
 impl MoDMConfig {
@@ -135,6 +165,7 @@ impl Default for MoDMConfigBuilder {
                 threshold_shift: 0.0,
                 monitor_period: SimDuration::from_secs_f64(60.0),
                 seed: 0xD1FF,
+                tenancy: TenancyPolicy::fifo(),
             },
         }
     }
@@ -207,6 +238,12 @@ impl MoDMConfigBuilder {
         self
     }
 
+    /// Sets the multi-tenant admission / cache-reserve policy.
+    pub fn tenancy(mut self, policy: TenancyPolicy) -> Self {
+        self.config.tenancy = policy;
+        self
+    }
+
     /// Validates and produces the config, reporting the first violated
     /// invariant as a typed [`ConfigError`].
     ///
@@ -237,6 +274,23 @@ impl MoDMConfigBuilder {
         }
         if c.monitor_period.is_zero() {
             return Err(ConfigError::ZeroMonitorPeriod);
+        }
+        let mut seen: Vec<TenantId> = Vec::new();
+        for share in &c.tenancy.shares {
+            if share.weight <= 0.0 {
+                return Err(ConfigError::NonPositiveTenantWeight(share.tenant));
+            }
+            if seen.contains(&share.tenant) {
+                return Err(ConfigError::DuplicateTenantShare(share.tenant));
+            }
+            seen.push(share.tenant);
+        }
+        let reserved: usize = c.tenancy.shares.iter().map(|s| s.cache_reserve).sum();
+        if reserved > c.cache_capacity {
+            return Err(ConfigError::OvercommittedCacheReserves {
+                reserved,
+                capacity: c.cache_capacity,
+            });
         }
         Ok(self.config)
     }
@@ -337,6 +391,49 @@ mod tests {
             Err(ConfigError::ZeroMonitorPeriod)
         );
         assert!(MoDMConfig::builder().try_build().is_ok());
+    }
+
+    #[test]
+    fn tenancy_shares_validated() {
+        use crate::fairqueue::TenantShare;
+        assert_eq!(
+            MoDMConfig::builder()
+                .tenancy(TenancyPolicy::weighted_fair(vec![TenantShare::new(
+                    TenantId(1),
+                    -1.0
+                )]))
+                .try_build(),
+            Err(ConfigError::NonPositiveTenantWeight(TenantId(1)))
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .tenancy(TenancyPolicy::weighted_fair(vec![
+                    TenantShare::new(TenantId(2), 1.0),
+                    TenantShare::new(TenantId(2), 2.0),
+                ]))
+                .try_build(),
+            Err(ConfigError::DuplicateTenantShare(TenantId(2)))
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .cache_capacity(10)
+                .tenancy(TenancyPolicy::weighted_fair(vec![
+                    TenantShare::new(TenantId(1), 1.0).with_cache_reserve(6),
+                    TenantShare::new(TenantId(2), 1.0).with_cache_reserve(5),
+                ]))
+                .try_build(),
+            Err(ConfigError::OvercommittedCacheReserves {
+                reserved: 11,
+                capacity: 10
+            })
+        );
+        assert!(MoDMConfig::builder()
+            .tenancy(TenancyPolicy::weighted_fair(vec![
+                TenantShare::new(TenantId(1), 4.0).with_cache_reserve(100),
+                TenantShare::new(TenantId(2), 1.0),
+            ]))
+            .try_build()
+            .is_ok());
     }
 
     #[test]

@@ -21,14 +21,16 @@
 
 use modm_diffusion::ModelId;
 use modm_simkit::SimTime;
+use modm_workload::TenantId;
 
 /// One thing that happened during a serving run, tagged with the node it
 /// happened on (node `0` for single-node deployments).
 ///
-/// Request-scoped events carry the trace request id, so an observer can
-/// stitch the admitted → hit/miss → dispatched → completed path of any
-/// request across nodes — including a crash re-delivery, which re-admits
-/// the same request id on a surviving node.
+/// Request-scoped events carry the trace request id and the request's
+/// tenant, so an observer can stitch the admitted → hit/miss → dispatched
+/// → completed path of any request across nodes — including a crash
+/// re-delivery, which re-admits the same request id on a surviving node —
+/// and slice any metric per tenant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SimEvent {
     /// A request entered a node's queues.
@@ -37,6 +39,8 @@ pub enum SimEvent {
         node: usize,
         /// Trace request id.
         request_id: u64,
+        /// The request's tenant.
+        tenant: TenantId,
     },
     /// The node's scheduler found a cached image good enough to refine.
     CacheHit {
@@ -44,6 +48,8 @@ pub enum SimEvent {
         node: usize,
         /// Trace request id.
         request_id: u64,
+        /// The request's tenant.
+        tenant: TenantId,
         /// Denoising steps the retrieval lets the refinement skip.
         k: u32,
     },
@@ -53,6 +59,8 @@ pub enum SimEvent {
         node: usize,
         /// Trace request id.
         request_id: u64,
+        /// The request's tenant.
+        tenant: TenantId,
     },
     /// A worker took the request off a queue and started serving it.
     Dispatched {
@@ -62,6 +70,8 @@ pub enum SimEvent {
         worker: usize,
         /// Trace request id.
         request_id: u64,
+        /// The request's tenant.
+        tenant: TenantId,
         /// The model the worker hosts for this job.
         model: ModelId,
     },
@@ -71,6 +81,8 @@ pub enum SimEvent {
         node: usize,
         /// Trace request id.
         request_id: u64,
+        /// The request's tenant.
+        tenant: TenantId,
         /// End-to-end latency from arrival to completion, seconds.
         latency_secs: f64,
         /// Whether the request had been served from cache.
@@ -145,6 +157,18 @@ impl SimEvent {
         }
     }
 
+    /// The request's tenant, for request-scoped events.
+    pub fn tenant(&self) -> Option<TenantId> {
+        match *self {
+            SimEvent::Admitted { tenant, .. }
+            | SimEvent::CacheHit { tenant, .. }
+            | SimEvent::CacheMiss { tenant, .. }
+            | SimEvent::Dispatched { tenant, .. }
+            | SimEvent::Completed { tenant, .. } => Some(tenant),
+            _ => None,
+        }
+    }
+
     /// Short kind name, stable across versions (used by the CSV/JSON
     /// exporters in `modm-deploy`).
     pub fn kind(&self) -> &'static str {
@@ -188,7 +212,11 @@ impl SimEvent {
 ///
 /// let mut obs = Completions(0);
 /// obs.on_event(SimTime::ZERO, &SimEvent::Completed {
-///     node: 0, request_id: 7, latency_secs: 1.5, hit: true,
+///     node: 0,
+///     request_id: 7,
+///     tenant: modm_workload::TenantId::DEFAULT,
+///     latency_secs: 1.5,
+///     hit: true,
 /// });
 /// assert_eq!(obs.0, 1);
 /// ```
@@ -251,12 +279,15 @@ mod tests {
         emit(&mut obs, SimTime::ZERO, || SimEvent::CacheMiss {
             node: 3,
             request_id: 9,
+            tenant: TenantId(4),
         });
         emit(&mut obs, SimTime::ZERO, || SimEvent::ScaleDown { node: 1 });
         assert_eq!(collect.0.len(), 2);
         assert_eq!(collect.0[0].node(), 3);
         assert_eq!(collect.0[0].request_id(), Some(9));
+        assert_eq!(collect.0[0].tenant(), Some(TenantId(4)));
         assert_eq!(collect.0[1].kind(), "scale_down");
         assert_eq!(collect.0[1].request_id(), None);
+        assert_eq!(collect.0[1].tenant(), None);
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod config;
 pub mod events;
+pub mod fairqueue;
 pub mod kselect;
 pub mod monitor;
 pub mod node;
@@ -49,10 +50,11 @@ pub mod system;
 
 pub use config::{AdmissionPolicy, ConfigError, MoDMConfig, MoDMConfigBuilder, ServingMode};
 pub use events::{NullObserver, Obs, Observer, SimEvent};
+pub use fairqueue::{FairQueue, QueueDiscipline, TenancyPolicy, TenantShare};
 pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
 pub use monitor::{GlobalMonitor, WindowStats};
 pub use node::{NodeInFlight, ServingNode};
 pub use pid::PidController;
-pub use report::ServingReport;
+pub use report::{ServingReport, TenantSlice};
 pub use scheduler::{route_against_cache, RequestScheduler, RouteKind, RoutedRequest};
 pub use system::{RunOptions, ServingSystem};

@@ -11,15 +11,19 @@
 //! queue, the cache a request is scheduled against, and fleet-wide
 //! aggregation.
 
+use std::collections::BTreeMap;
+
 use modm_cluster::{ClusterEnergy, Worker};
 use modm_diffusion::{GeneratedImage, ModelId, Sampler, K_CHOICES, TOTAL_STEPS};
 use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputReport};
-use modm_simkit::{FifoQueue, SimDuration, SimRng, SimTime};
+use modm_simkit::{SimDuration, SimRng, SimTime};
+use modm_workload::TenantId;
 
 use crate::config::MoDMConfig;
 use crate::events::{emit, Obs, SimEvent};
+use crate::fairqueue::FairQueue;
 use crate::monitor::{GlobalMonitor, WindowStats};
-use crate::report::{AllocationSample, ServingReport};
+use crate::report::{AllocationSample, ServingReport, TenantSlice};
 use crate::scheduler::{RouteKind, RoutedRequest};
 
 /// A request a worker is currently generating or refining.
@@ -48,8 +52,12 @@ pub struct ServingNode {
     desired: Vec<ModelId>,
     workers: Vec<Worker>,
     in_flight: Vec<Option<NodeInFlight>>,
-    hit_q: FifoQueue<RoutedRequest>,
-    miss_q: FifoQueue<RoutedRequest>,
+    /// Admission queues under the configured tenancy discipline: plain
+    /// FIFO by default, weighted-fair + strict-priority when the config
+    /// opts in. One per lane (hit/miss), because worker dispatch prefers
+    /// lanes by hosted model.
+    hit_q: FairQueue<RoutedRequest>,
+    miss_q: FairQueue<RoutedRequest>,
     // Metrics.
     latency: LatencyReport,
     throughput: ThroughputReport,
@@ -58,6 +66,8 @@ pub struct ServingNode {
     hits: u64,
     misses: u64,
     allocation_series: Vec<AllocationSample>,
+    /// Per-tenant accounting, keyed for deterministic report order.
+    tenants: BTreeMap<TenantId, TenantSlice>,
     // Monitor window counters.
     win_arrivals: u64,
     win_hits: u64,
@@ -85,8 +95,8 @@ impl ServingNode {
             desired,
             workers,
             in_flight: (0..n).map(|_| None).collect(),
-            hit_q: FifoQueue::new(),
-            miss_q: FifoQueue::new(),
+            hit_q: FairQueue::new(&config.tenancy),
+            miss_q: FairQueue::new(&config.tenancy),
             latency: LatencyReport::new(),
             throughput: ThroughputReport::new(),
             quality: QualityAggregator::new(),
@@ -94,6 +104,7 @@ impl ServingNode {
             hits: 0,
             misses: 0,
             allocation_series: Vec::new(),
+            tenants: BTreeMap::new(),
             win_arrivals: 0,
             win_hits: 0,
             win_misses: 0,
@@ -146,9 +157,16 @@ impl ServingNode {
         emit(&mut obs, now, || SimEvent::Admitted {
             node: self.id,
             request_id: routed.request_id,
+            tenant: routed.tenant,
         });
+        let slice = self
+            .tenants
+            .entry(routed.tenant)
+            .or_insert_with(|| TenantSlice::new(routed.tenant, routed.qos));
+        slice.qos = routed.qos;
         match &routed.route {
             RouteKind::Hit { k, .. } => {
+                slice.hits += 1;
                 self.hits += 1;
                 self.win_hits += 1;
                 let slot = k_slot(*k);
@@ -157,18 +175,21 @@ impl ServingNode {
                 emit(&mut obs, now, || SimEvent::CacheHit {
                     node: self.id,
                     request_id: routed.request_id,
+                    tenant: routed.tenant,
                     k: *k,
                 });
-                self.hit_q.push(now, routed);
+                self.hit_q.push(now, routed.tenant, routed.qos, routed);
             }
             RouteKind::Miss => {
+                slice.misses += 1;
                 self.misses += 1;
                 self.win_misses += 1;
                 emit(&mut obs, now, || SimEvent::CacheMiss {
                     node: self.id,
                     request_id: routed.request_id,
+                    tenant: routed.tenant,
                 });
-                self.miss_q.push(now, routed);
+                self.miss_q.push(now, routed.tenant, routed.qos, routed);
             }
         }
     }
@@ -238,8 +259,7 @@ impl ServingNode {
                 } else {
                     self.hit_q.pop(now)
                 };
-                let Some(queued) = job else { continue };
-                let routed = queued.item;
+                let Some(routed) = job else { continue };
                 let steps = steps_for(&routed, hosted);
                 let done = self.workers[w].assign(now, hosted, steps);
                 schedule(done, w);
@@ -247,6 +267,7 @@ impl ServingNode {
                     node: self.id,
                     worker: w,
                     request_id: routed.request_id,
+                    tenant: routed.tenant,
                     model: hosted,
                 });
                 self.in_flight[w] = Some(NodeInFlight {
@@ -279,9 +300,16 @@ impl ServingNode {
         self.latency.record(routed.arrival, now);
         self.throughput.record_completion(now);
         self.quality.record(&routed.prompt_embedding, image);
+        let slice = self
+            .tenants
+            .entry(routed.tenant)
+            .or_insert_with(|| TenantSlice::new(routed.tenant, routed.qos));
+        slice.completed += 1;
+        slice.latency.record(routed.arrival, now);
         emit(&mut obs, now, || SimEvent::Completed {
             node: self.id,
             request_id: routed.request_id,
+            tenant: routed.tenant,
             latency_secs: now.saturating_since(routed.arrival).as_secs_f64(),
             hit: matches!(routed.route, RouteKind::Hit { .. }),
         });
@@ -292,13 +320,8 @@ impl ServingNode {
     /// node's front-end re-delivers to the survivors. Window counters are
     /// left as-is (the node's monitor is gone with the node).
     pub fn drain_pending(&mut self) -> Vec<RoutedRequest> {
-        let mut pending = Vec::new();
-        while let Some(q) = self.miss_q.pop_front_untimed() {
-            pending.push(q);
-        }
-        while let Some(q) = self.hit_q.pop_front_untimed() {
-            pending.push(q);
-        }
+        let mut pending = self.miss_q.drain_in_arrival_order();
+        pending.extend(self.hit_q.drain_in_arrival_order());
         for slot in &mut self.in_flight {
             if let Some(inflight) = slot.take() {
                 pending.push(inflight.routed);
@@ -333,6 +356,7 @@ impl ServingNode {
             misses: self.misses,
             k_histogram: self.k_histogram,
             allocation_series: self.allocation_series,
+            tenant_slices: self.tenants.into_values().collect(),
             model_switches: self.workers.iter().map(Worker::switches).sum(),
             finished_at,
         }
@@ -399,6 +423,8 @@ mod tests {
         RoutedRequest {
             request_id: id,
             arrival: SimTime::ZERO,
+            tenant: TenantId::DEFAULT,
+            qos: modm_workload::QosClass::default(),
             prompt_embedding: enc.encode(prompt),
             route: RouteKind::Miss,
         }

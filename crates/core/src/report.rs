@@ -5,6 +5,7 @@ use modm_cluster::ClusterEnergy;
 use modm_diffusion::{ModelId, K_CHOICES};
 use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputReport};
 use modm_simkit::SimTime;
+use modm_workload::{QosClass, TenantId};
 
 /// One observation of the monitor's allocation over time (Fig 10's regime
 /// annotations).
@@ -16,6 +17,59 @@ pub struct AllocationSample {
     pub num_large: usize,
     /// The small model selected at that time.
     pub small_model: ModelId,
+}
+
+/// One tenant's slice of a serving run: who it is, what class it ran
+/// under, and its own completion / cache / latency accounting. Every
+/// report layer (node, fleet, elastic fleet) carries a sorted
+/// `tenant_slices` vector; single-tenant runs carry exactly one slice for
+/// [`TenantId::DEFAULT`].
+#[derive(Debug, Clone, Default)]
+pub struct TenantSlice {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The QoS class its requests carried (the last seen, if mixed).
+    pub qos: QosClass,
+    /// Requests completed for this tenant.
+    pub completed: u64,
+    /// Its requests served from cache.
+    pub hits: u64,
+    /// Its requests requiring full generation.
+    pub misses: u64,
+    /// Its end-to-end latency distribution.
+    pub latency: LatencyReport,
+}
+
+impl TenantSlice {
+    /// An empty slice for `tenant` under `qos`.
+    pub fn new(tenant: TenantId, qos: QosClass) -> Self {
+        TenantSlice {
+            tenant,
+            qos,
+            ..TenantSlice::default()
+        }
+    }
+
+    /// The tenant's cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the tenant's requests meeting the SLO at `multiple` ×
+    /// the large-model latency.
+    pub fn slo_attainment(&self, slo: &SloThresholds, multiple: f64) -> f64 {
+        1.0 - self.latency.slo_violation_rate(slo, multiple)
+    }
+
+    /// The tenant's P99 end-to-end latency, seconds.
+    pub fn p99_secs(&mut self) -> Option<f64> {
+        self.latency.p99_secs()
+    }
 }
 
 /// Everything measured during a [`crate::ServingSystem`] run.
@@ -41,6 +95,8 @@ pub struct ServingReport {
     pub k_histogram: [u64; K_CHOICES.len()],
     /// Monitor allocation over time.
     pub allocation_series: Vec<AllocationSample>,
+    /// Per-tenant slices, sorted by tenant id.
+    pub tenant_slices: Vec<TenantSlice>,
     /// Total model switches across workers.
     pub model_switches: u64,
     /// Virtual time of the last completion.
@@ -128,6 +184,7 @@ mod tests {
             misses: 0,
             k_histogram: [0; K_CHOICES.len()],
             allocation_series: Vec::new(),
+            tenant_slices: Vec::new(),
             model_switches: 0,
             finished_at: SimTime::ZERO,
         }

@@ -4,7 +4,7 @@
 use modm_cache::{CacheConfig, ImageCache, RetrievedImage};
 use modm_embedding::{Embedding, TextEncoder};
 use modm_simkit::SimTime;
-use modm_workload::Request;
+use modm_workload::{QosClass, Request, TenantId};
 
 use crate::config::MoDMConfig;
 use crate::kselect::{k_decision_shifted, KDecision};
@@ -30,6 +30,10 @@ pub struct RoutedRequest {
     pub request_id: u64,
     /// Arrival time.
     pub arrival: SimTime,
+    /// The tenant the request belongs to.
+    pub tenant: TenantId,
+    /// The service class it is admitted under.
+    pub qos: QosClass,
     /// The prompt's text embedding (computed once, reused everywhere).
     pub prompt_embedding: Embedding,
     /// The routing decision.
@@ -78,14 +82,15 @@ pub struct RequestScheduler {
 
 impl RequestScheduler {
     /// Builds the scheduler from a system config, sharing `encoder`'s
-    /// semantic space.
+    /// semantic space. The cache inherits the config's per-tenant
+    /// reserves.
     pub fn new(config: &MoDMConfig, encoder: TextEncoder) -> Self {
         RequestScheduler {
             encoder,
-            cache: ImageCache::new(CacheConfig::with_policy(
-                config.cache_capacity,
-                config.cache_policy,
-            )),
+            cache: ImageCache::new(
+                CacheConfig::with_policy(config.cache_capacity, config.cache_policy)
+                    .with_reserves(config.tenancy.cache_reserves()),
+            ),
             threshold_shift: config.threshold_shift,
             hits: 0,
             misses: 0,
@@ -103,15 +108,28 @@ impl RequestScheduler {
         RoutedRequest {
             request_id: request.id,
             arrival: request.arrival,
+            tenant: request.tenant,
+            qos: request.qos,
             prompt_embedding: embedding,
             route,
         }
     }
 
-    /// Adds a finished image to the cache (per the system's admission
-    /// policy, decided by the caller).
+    /// Adds a finished image to the cache on the default tenant's account
+    /// (per the system's admission policy, decided by the caller).
     pub fn admit(&mut self, now: SimTime, image: modm_diffusion::GeneratedImage) {
         self.cache.insert(now, image);
+    }
+
+    /// Adds `tenant`'s finished image to the cache, charged against its
+    /// quota (see [`ImageCache::insert_for`]).
+    pub fn admit_for(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        image: modm_diffusion::GeneratedImage,
+    ) {
+        self.cache.insert_for(now, tenant, image);
     }
 
     /// The underlying cache (for stats and experiment probes).

@@ -78,7 +78,9 @@ pub use observers::{
     events_to_csv, events_to_json, EventLogObserver, LatencyHistogramObserver, MultiObserver,
     TraceExportObserver,
 };
-pub use outcome::{NodeSlice, RunOutcome, Summary, TierKind, TierReport};
+pub use outcome::{
+    summaries_to_json, NodeSlice, RunOutcome, Summary, TenantSummary, TierKind, TierReport,
+};
 
 // The observer vocabulary lives in modm-core (the nodes emit it); re-export
 // it so deployment users need only this crate.

@@ -165,14 +165,16 @@ impl Observer for EventLogObserver {
 }
 
 /// Renders a captured event stream as CSV with a header row. Columns:
-/// `at_secs,event,node,request,worker,model,k,latency_secs,hit,count,lost`
-/// (`count` carries the kind-specific tally — prewarmed entries for
+/// `at_secs,event,node,request,tenant,worker,model,k,latency_secs,hit,count,lost`
+/// (`tenant` is the request's tenant id for request-scoped events,
+/// `count` carries the kind-specific tally — prewarmed entries for
 /// activations, redelivered requests for crashes — and `lost` the cache
 /// entries a crash destroyed). Fields a kind does not define render
 /// empty.
 pub fn events_to_csv(events: &[(SimTime, SimEvent)]) -> String {
-    let mut out =
-        String::from("at_secs,event,node,request,worker,model,k,latency_secs,hit,count,lost\n");
+    let mut out = String::from(
+        "at_secs,event,node,request,tenant,worker,model,k,latency_secs,hit,count,lost\n",
+    );
     for (at, event) in events {
         let at = at.as_secs_f64();
         let kind = event.kind();
@@ -181,6 +183,7 @@ pub fn events_to_csv(events: &[(SimTime, SimEvent)]) -> String {
             .request_id()
             .map(|r| r.to_string())
             .unwrap_or_default();
+        let tenant = event.tenant().map(|t| t.0.to_string()).unwrap_or_default();
         let (worker, model, k, latency, hit, count, lost) = match *event {
             SimEvent::Dispatched { worker, model, .. } => (
                 worker.to_string(),
@@ -236,7 +239,7 @@ pub fn events_to_csv(events: &[(SimTime, SimEvent)]) -> String {
             _ => Default::default(),
         };
         out.push_str(&format!(
-            "{at},{kind},{node},{req},{worker},{model},{k},{latency},{hit},{count},{lost}\n"
+            "{at},{kind},{node},{req},{tenant},{worker},{model},{k},{latency},{hit},{count},{lost}\n"
         ));
     }
     out
@@ -255,6 +258,9 @@ pub fn events_to_json(events: &[(SimTime, SimEvent)]) -> String {
         ));
         if let Some(req) = event.request_id() {
             out.push_str(&format!(", \"request\": {req}"));
+        }
+        if let Some(tenant) = event.tenant() {
+            out.push_str(&format!(", \"tenant\": {}", tenant.0));
         }
         match *event {
             SimEvent::Dispatched { worker, model, .. } => {
@@ -387,6 +393,7 @@ mod tests {
         SimEvent::Completed {
             node: 0,
             request_id: 1,
+            tenant: modm_workload::TenantId(3),
             latency_secs,
             hit: false,
         }
@@ -421,6 +428,7 @@ mod tests {
             &SimEvent::Admitted {
                 node: 1,
                 request_id: 4,
+                tenant: modm_workload::TenantId::DEFAULT,
             },
         );
         log.on_event(SimTime::ZERO, &completed(2.0));
@@ -441,15 +449,17 @@ mod tests {
             &SimEvent::CacheHit {
                 node: 2,
                 request_id: 9,
+                tenant: modm_workload::TenantId(7),
                 k: 20,
             },
         );
         exp.on_event(SimTime::from_secs_f64(3.0), &completed(1.5));
         let csv = exp.to_csv();
-        assert!(csv.starts_with("at_secs,event,node"));
-        assert!(csv.contains("1.5,cache_hit,2,9,,,20,,,,"));
+        assert!(csv.starts_with("at_secs,event,node,request,tenant"));
+        assert!(csv.contains("1.5,cache_hit,2,9,7,,,20,,,,"));
         let json = exp.to_json();
         assert!(json.contains("\"event\": \"cache_hit\""));
+        assert!(json.contains("\"tenant\": 7"));
         assert!(json.contains("\"k\": 20"));
         assert!(json.contains("\"latency_secs\": 1.5"));
         assert_eq!(json.lines().count(), 2);
@@ -464,7 +474,7 @@ mod tests {
         };
         let mut exp = TraceExportObserver::new();
         exp.on_event(SimTime::from_secs_f64(9.0), &crash);
-        assert!(exp.to_csv().contains("9,crash,3,,,,,,,5,41"));
+        assert!(exp.to_csv().contains("9,crash,3,,,,,,,,5,41"));
         assert!(exp
             .to_json()
             .contains("\"redelivered\": 5, \"lost_entries\": 41"));

@@ -11,9 +11,11 @@
 //! generic table printers render.
 
 use modm_controlplane::ElasticReport;
-use modm_core::report::ServingReport;
+use modm_core::report::{ServingReport, TenantSlice};
 use modm_fleet::FleetReport;
+use modm_metrics::SloThresholds;
 use modm_simkit::SimTime;
+use modm_workload::{QosClass, TenantId};
 
 /// Which serving tier produced an outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -221,6 +223,27 @@ impl RunOutcome {
         }
     }
 
+    /// Per-tenant slices, sorted by tenant id — identical shape across
+    /// tiers. Single-tenant runs report exactly one slice for the default
+    /// tenant.
+    pub fn tenant_slices(&self) -> &[TenantSlice] {
+        match &self.report {
+            TierReport::Single(r) => &r.tenant_slices,
+            TierReport::Fleet(r) => &r.tenant_slices,
+            TierReport::Elastic(r) => &r.tenant_slices,
+        }
+    }
+
+    /// The deployment's SLO reference (shared by every node — fleets are
+    /// homogeneous).
+    pub fn slo_thresholds(&self) -> SloThresholds {
+        match &self.report {
+            TierReport::Single(r) => r.slo,
+            TierReport::Fleet(r) => r.nodes.first().expect("fleet has nodes").report.slo,
+            TierReport::Elastic(r) => r.slo,
+        }
+    }
+
     /// Max-over-mean of per-node routed counts, where the tier routes
     /// (`None` for single-node deployments).
     pub fn load_imbalance(&self) -> Option<f64> {
@@ -315,8 +338,27 @@ impl RunOutcome {
     }
 
     /// Flattens the outcome into a comparable [`Summary`], judging SLO
-    /// attainment at `slo_multiple` × the large-model latency.
+    /// attainment (overall and per tenant) at `slo_multiple` × the
+    /// large-model latency.
     pub fn summary(&mut self, slo_multiple: f64) -> Summary {
+        let slo = self.slo_thresholds();
+        let tenants = self
+            .tenant_slices()
+            .iter()
+            .map(|slice| {
+                let mut slice = slice.clone();
+                TenantSummary {
+                    tenant: slice.tenant,
+                    qos: slice.qos,
+                    completed: slice.completed,
+                    hits: slice.hits,
+                    misses: slice.misses,
+                    hit_rate: slice.hit_rate(),
+                    p99_secs: slice.p99_secs(),
+                    slo_attainment: slice.slo_attainment(&slo, slo_multiple),
+                }
+            })
+            .collect();
         Summary {
             tier: self.tier(),
             nodes: self.nodes,
@@ -331,7 +373,60 @@ impl RunOutcome {
             slo_attainment: self.slo_attainment(slo_multiple),
             gpu_hours: self.gpu_hours(),
             finished_mins: self.finished_at().as_mins_f64(),
+            tenants,
         }
+    }
+}
+
+/// One tenant's row of a [`Summary`]: its completion, cache and SLO
+/// accounting, flattened for comparison and rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The QoS class its requests ran under.
+    pub qos: QosClass,
+    /// Requests completed for this tenant.
+    pub completed: u64,
+    /// Its requests served from cache.
+    pub hits: u64,
+    /// Its requests requiring full generation.
+    pub misses: u64,
+    /// Its cache hit rate.
+    pub hit_rate: f64,
+    /// Its P99 end-to-end latency, seconds.
+    pub p99_secs: Option<f64>,
+    /// Fraction of its requests meeting the summary's SLO.
+    pub slo_attainment: f64,
+}
+
+impl TenantSummary {
+    fn approx_eq(&self, other: &TenantSummary, epsilon: f64) -> bool {
+        self.tenant == other.tenant
+            && self.qos == other.qos
+            && self.completed == other.completed
+            && self.hits == other.hits
+            && self.misses == other.misses
+            && float_close(self.hit_rate, other.hit_rate, epsilon)
+            && option_close(self.p99_secs, other.p99_secs, epsilon)
+            && float_close(self.slo_attainment, other.slo_attainment, epsilon)
+    }
+}
+
+/// Mixed absolute/relative float comparison: exact for identical bits,
+/// otherwise within `epsilon * max(1, |a|, |b|)`.
+fn float_close(a: f64, b: f64, epsilon: f64) -> bool {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return true;
+    }
+    (a - b).abs() <= epsilon * 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+fn option_close(a: Option<f64>, b: Option<f64>, epsilon: f64) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => float_close(x, y, epsilon),
+        _ => false,
     }
 }
 
@@ -365,9 +460,87 @@ pub struct Summary {
     pub gpu_hours: f64,
     /// Virtual run length, minutes.
     pub finished_mins: f64,
+    /// Per-tenant rows, sorted by tenant id (single-tenant runs carry one
+    /// row for the default tenant).
+    pub tenants: Vec<TenantSummary>,
 }
 
 impl Summary {
+    /// Compares two summaries with float tolerance `epsilon` (mixed
+    /// absolute/relative; discrete fields compare exactly).
+    ///
+    /// The derived `PartialEq` compares raw `f64` bits, which is the
+    /// right tool for pinning a seed-for-seed identical run but brittle
+    /// against benign float reassociation (e.g. a refactor summing
+    /// per-node metrics in a different order). Equivalence tests use this
+    /// instead.
+    pub fn approx_eq(&self, other: &Summary, epsilon: f64) -> bool {
+        self.tier == other.tier
+            && self.nodes == other.nodes
+            && self.total_gpus == other.total_gpus
+            && self.completed == other.completed
+            && self.hits == other.hits
+            && self.misses == other.misses
+            && float_close(self.hit_rate, other.hit_rate, epsilon)
+            && float_close(self.requests_per_minute, other.requests_per_minute, epsilon)
+            && option_close(self.p99_secs, other.p99_secs, epsilon)
+            && float_close(self.slo_multiple, other.slo_multiple, epsilon)
+            && float_close(self.slo_attainment, other.slo_attainment, epsilon)
+            && float_close(self.gpu_hours, other.gpu_hours, epsilon)
+            && float_close(self.finished_mins, other.finished_mins, epsilon)
+            && self.tenants.len() == other.tenants.len()
+            && self
+                .tenants
+                .iter()
+                .zip(&other.tenants)
+                .all(|(a, b)| a.approx_eq(b, epsilon))
+    }
+
+    /// Renders the summary as one stable JSON object (field order fixed,
+    /// floats via Rust's shortest round-trip formatting) — the byte-exact
+    /// form the golden-run regression snapshots pin. The label is
+    /// JSON-escaped.
+    pub fn to_json(&self, label: &str) -> String {
+        let label = label.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = format!(
+            "{{\"label\": \"{label}\", \"tier\": \"{}\", \"nodes\": {}, \"total_gpus\": {}, \
+             \"completed\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {}, \
+             \"requests_per_minute\": {}, \"p99_secs\": {}, \"slo_multiple\": {}, \
+             \"slo_attainment\": {}, \"gpu_hours\": {}, \"finished_mins\": {}, \"tenants\": [",
+            self.tier.name(),
+            self.nodes,
+            self.total_gpus,
+            self.completed,
+            self.hits,
+            self.misses,
+            self.hit_rate,
+            self.requests_per_minute,
+            self.p99_secs.map_or("null".into(), |v| v.to_string()),
+            self.slo_multiple,
+            self.slo_attainment,
+            self.gpu_hours,
+            self.finished_mins,
+        );
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"tenant\": {}, \"qos\": \"{}\", \"completed\": {}, \"hits\": {}, \
+                 \"misses\": {}, \"hit_rate\": {}, \"p99_secs\": {}, \"slo_attainment\": {}}}",
+                t.tenant.0,
+                t.qos.name(),
+                t.completed,
+                t.hits,
+                t.misses,
+                t.hit_rate,
+                t.p99_secs.map_or("null".into(), |v| v.to_string()),
+                t.slo_attainment,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
     /// Header row matching [`Summary::row`], for generic tables.
     pub fn table_header() -> String {
         format!(
@@ -390,5 +563,102 @@ impl Summary {
             self.slo_attainment,
             self.gpu_hours,
         )
+    }
+
+    /// Header row matching [`Summary::tenant_rows`], for per-tenant
+    /// tables.
+    pub fn tenant_table_header() -> String {
+        format!(
+            "{:<24} {:>6} {:>13} {:>6} {:>7} {:>8} {:>8}",
+            "deployment", "tenant", "qos", "req", "hit", "p99(s)", "slo"
+        )
+    }
+
+    /// One aligned row per tenant, labeled `label`.
+    pub fn tenant_rows(&self, label: &str) -> Vec<String> {
+        self.tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{:<24} {:>6} {:>13} {:>6} {:>7.3} {:>8.1} {:>8.3}",
+                    label,
+                    t.tenant.to_string(),
+                    t.qos.name(),
+                    t.completed,
+                    t.hit_rate,
+                    t.p99_secs.unwrap_or(f64::NAN),
+                    t.slo_attainment,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Renders labeled summaries as JSON Lines (one [`Summary::to_json`]
+/// object per line) — the format the golden-run snapshots under
+/// `tests/golden/` are stored in.
+pub fn summaries_to_json(rows: &[(String, Summary)]) -> String {
+    let mut out = String::new();
+    for (label, summary) in rows {
+        out.push_str(&summary.to_json(label));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> Summary {
+        Summary {
+            tier: TierKind::Fleet,
+            nodes: 2,
+            total_gpus: 4,
+            completed: 10,
+            hits: 6,
+            misses: 4,
+            hit_rate: 0.6,
+            requests_per_minute: 5.0,
+            p99_secs: None,
+            slo_multiple: 2.0,
+            slo_attainment: 1.0,
+            gpu_hours: 1.5,
+            finished_mins: 12.0,
+            tenants: vec![TenantSummary {
+                tenant: TenantId(1),
+                qos: QosClass::Interactive,
+                completed: 10,
+                hits: 6,
+                misses: 4,
+                hit_rate: 0.6,
+                p99_secs: Some(3.5),
+                slo_attainment: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn to_json_escapes_labels() {
+        let json = summary().to_json("8\" \\ fleet");
+        assert!(json.contains("\"label\": \"8\\\" \\\\ fleet\""));
+        assert!(json.contains("\"p99_secs\": null"));
+        assert!(json.contains("\"tenants\": [{\"tenant\": 1"));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_float_drift_only() {
+        let a = summary();
+        let mut b = summary();
+        b.hit_rate += 1e-12;
+        assert!(a.approx_eq(&b, 1e-9));
+        b.hit_rate = 0.7;
+        assert!(!a.approx_eq(&b, 1e-9), "real drift must fail");
+        let mut c = summary();
+        c.completed = 11;
+        assert!(!a.approx_eq(&c, 1e-9), "discrete fields compare exactly");
+        let mut d = summary();
+        d.tenants[0].p99_secs = None;
+        assert!(!a.approx_eq(&d, 1e-9), "tenant rows compare too");
     }
 }

@@ -29,5 +29,6 @@ pub mod fleet_scaling;
 pub mod quality_tables;
 pub mod retrieval_perf;
 pub mod slo;
+pub mod tenancy;
 pub mod throughput;
 pub mod tiers;

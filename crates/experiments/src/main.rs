@@ -39,6 +39,7 @@ EXPERIMENTS
   fleet       fleet scaling: sharded-cache hit rate vs routing policy
   elastic     elastic control plane: static-N vs autoscaled fleets + crash recovery
   tiers       cross-tier comparison: one trace through single/fleet/elastic deployments
+  tenancy     multi-tenant QoS: 3-tenant mix, FIFO vs weighted-fair admission
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -69,12 +70,13 @@ fn run_one(name: &str) -> bool {
         "fleet" => exp::fleet_scaling::run(),
         "elastic" => exp::elastic::run(),
         "tiers" => exp::tiers::run(),
+        "tenancy" => exp::tenancy::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 26] = [
+const ALL: [&str; 27] = [
     "fig2",
     "fig5",
     "fig6",
@@ -101,6 +103,7 @@ const ALL: [&str; 26] = [
     "fleet",
     "elastic",
     "tiers",
+    "tenancy",
 ];
 
 fn main() {

@@ -37,13 +37,22 @@ fn node_config(nodes: usize) -> MoDMConfig {
         .build()
 }
 
+/// The study's trace seed.
+pub const STUDY_SEED: u64 = 909;
+
 /// The study trace: a diurnal cycle (3.2 ↔ 12.8 req/min around a mean of
 /// 8), sized so the 16-GPU budget rides the peak without drowning — the
 /// comparison is about deployment shape, not overload behavior — while
 /// the troughs leave the elastic tier real capacity to shed.
 fn study_trace() -> Trace {
-    TraceBuilder::diffusion_db(909)
-        .requests(1_200)
+    study_trace_for(STUDY_SEED, 1_200)
+}
+
+/// The study trace at an explicit seed and length (the golden-run
+/// regression tests snapshot two seeds at a reduced length).
+pub fn study_trace_for(seed: u64, requests: usize) -> Trace {
+    TraceBuilder::diffusion_db(seed)
+        .requests(requests)
         .rate_schedule(RateSchedule::diurnal(8.0, 0.6, 30.0))
         .build()
 }
@@ -83,11 +92,16 @@ pub fn deployments() -> Vec<(String, Deployment)> {
 
 /// Runs the cross-tier study, returning `(label, summary)` rows.
 pub fn run_rows() -> Vec<(String, Summary)> {
-    let trace = study_trace();
+    run_rows_on(&study_trace())
+}
+
+/// Runs the study's deployments over an explicit trace — the entry point
+/// the golden-run snapshots (`tests/golden.rs`) pin byte for byte.
+pub fn run_rows_on(trace: &Trace) -> Vec<(String, Summary)> {
     deployments()
         .into_iter()
         .map(|(label, mut d)| {
-            let summary = d.run(&trace).summary(2.0);
+            let summary = d.run(trace).summary(2.0);
             (label, summary)
         })
         .collect()

@@ -9,16 +9,19 @@
 //! `(node, event)` pairs, so fleet runs remain exactly deterministic under
 //! a fixed seed.
 
+use std::collections::BTreeMap;
+
 use modm_cache::CacheConfig;
 use modm_core::config::{AdmissionPolicy, MoDMConfig};
 use modm_core::events::{Obs, Observer};
 use modm_core::node::{render_completion, NodeInFlight, ServingNode};
-use modm_core::scheduler::{route_against_cache, RoutedRequest};
+use modm_core::report::TenantSlice;
+use modm_core::scheduler::{route_against_cache, RouteKind, RoutedRequest};
 use modm_diffusion::{QualityModel, Sampler};
 use modm_embedding::{SemanticSpace, TextEncoder};
 use modm_metrics::{LatencyReport, SloThresholds, ThroughputReport};
 use modm_simkit::{EventQueue, SimRng, SimTime};
-use modm_workload::{Request, Trace};
+use modm_workload::{Request, TenantId, Trace};
 
 use crate::report::{FleetReport, NodeReport};
 use crate::router::Router;
@@ -161,6 +164,9 @@ struct FleetRun<'a> {
     // Fleet-wide metrics.
     latency: LatencyReport,
     throughput: ThroughputReport,
+    /// Fleet-level per-tenant accounting (completion-based, like the
+    /// fleet-wide latency).
+    tenants: BTreeMap<TenantId, TenantSlice>,
     finished_at: SimTime,
     arrivals_pending: usize,
     saturate: bool,
@@ -180,7 +186,8 @@ impl<'a> FleetRun<'a> {
         let mut router = fleet.router.clone();
         let mut cache = ShardedCache::new(
             n_nodes,
-            CacheConfig::with_policy(config.cache_capacity, config.cache_policy),
+            CacheConfig::with_policy(config.cache_capacity, config.cache_policy)
+                .with_reserves(config.tenancy.cache_reserves()),
         );
 
         // Warm the shards off-line via the affinity placement map (not
@@ -191,7 +198,9 @@ impl<'a> FleetRun<'a> {
             let emb = encoder.encode(&req.prompt);
             let shard = router.shard_for(&emb);
             let img = sampler.generate_for(config.large_model, &emb, req.id, &mut rng);
-            cache.shard_mut(shard).insert(SimTime::ZERO, img);
+            cache
+                .shard_mut(shard)
+                .insert_for(SimTime::ZERO, req.tenant, img);
         }
 
         // Re-base the serving-phase arrivals to start at zero (or collapse
@@ -206,7 +215,7 @@ impl<'a> FleetRun<'a> {
                 } else {
                     SimTime::ZERO + r.arrival.saturating_since(base)
                 };
-                Request::new(r.id, r.prompt.clone(), arrival)
+                r.rebased(arrival)
             })
             .collect();
 
@@ -248,6 +257,7 @@ impl<'a> FleetRun<'a> {
             rng,
             latency: LatencyReport::new(),
             throughput: ThroughputReport::new(),
+            tenants: BTreeMap::new(),
             finished_at: SimTime::ZERO,
             arrivals_pending,
             saturate: options.saturate,
@@ -295,6 +305,8 @@ impl<'a> FleetRun<'a> {
         let routed = RoutedRequest {
             request_id: request.id,
             arrival: request.arrival,
+            tenant: request.tenant,
+            qos: request.qos,
             prompt_embedding: embedding,
             route,
         };
@@ -337,13 +349,26 @@ impl<'a> FleetRun<'a> {
         );
         self.latency.record(inflight.routed.arrival, now);
         self.throughput.record_completion(now);
+        let slice = self
+            .tenants
+            .entry(inflight.routed.tenant)
+            .or_insert_with(|| TenantSlice::new(inflight.routed.tenant, inflight.routed.qos));
+        slice.qos = inflight.routed.qos;
+        slice.completed += 1;
+        slice.latency.record(inflight.routed.arrival, now);
+        match inflight.routed.route {
+            RouteKind::Hit { .. } => slice.hits += 1,
+            RouteKind::Miss => slice.misses += 1,
+        }
         self.finished_at = self.finished_at.max(now);
         let admit = match self.config.admission {
             AdmissionPolicy::CacheAll => true,
             AdmissionPolicy::CacheLarge => image.is_full_generation(),
         };
         if admit {
-            self.cache.shard_mut(node_idx).insert(now, image);
+            self.cache
+                .shard_mut(node_idx)
+                .insert_for(now, inflight.routed.tenant, image);
         }
         // Closed-loop saturation: each completion admits the next request,
         // routed against the fleet as it exists *now*.
@@ -396,6 +421,7 @@ impl<'a> FleetRun<'a> {
             latency: self.latency,
             throughput: self.throughput,
             cache: cache_summary,
+            tenant_slices: self.tenants.into_values().collect(),
             finished_at,
         }
     }

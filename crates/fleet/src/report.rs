@@ -1,7 +1,7 @@
 //! Fleet-level results: per-node [`ServingReport`]s plus the aggregate
 //! latency/throughput/SLO/hit-rate view a fleet operator reads.
 
-use modm_core::report::ServingReport;
+use modm_core::report::{ServingReport, TenantSlice};
 use modm_metrics::{LatencyReport, ThroughputReport};
 use modm_simkit::SimTime;
 
@@ -33,6 +33,9 @@ pub struct FleetReport {
     pub throughput: ThroughputReport,
     /// Aggregated shard-cache counters.
     pub cache: ShardSummary,
+    /// Fleet-level per-tenant slices, sorted by tenant id
+    /// (completion-based, like [`FleetReport::latency`]).
+    pub tenant_slices: Vec<TenantSlice>,
     /// Virtual time of the last completion anywhere in the fleet.
     pub finished_at: SimTime,
 }

@@ -11,6 +11,7 @@
 use modm_cache::{CacheConfig, CacheStats, ImageCache};
 use modm_embedding::Embedding;
 use modm_simkit::SimTime;
+use modm_workload::TenantId;
 
 /// Aggregated counters over every shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -178,19 +179,19 @@ impl ShardedCache {
         now: SimTime,
         mut assign: impl FnMut(&Embedding) -> usize,
     ) -> RebalanceReport {
-        let mut drained: Vec<(usize, Vec<modm_diffusion::GeneratedImage>)> = Vec::new();
+        let mut drained: Vec<(usize, Vec<(TenantId, modm_diffusion::GeneratedImage)>)> = Vec::new();
         for (i, shard) in self.shards.iter_mut().enumerate() {
             drained.push((i, shard.drain_images()));
         }
         let mut report = RebalanceReport { total: 0, moved: 0 };
         for (from, images) in drained {
-            for image in images {
+            for (tenant, image) in images {
                 let to = assign(&image.embedding) % self.shards.len();
                 report.total += 1;
                 if to != from {
                     report.moved += 1;
                 }
-                self.shards[to].insert(now, image);
+                self.shards[to].insert_for(now, tenant, image);
             }
         }
         report
@@ -215,8 +216,8 @@ impl ShardedCache {
             }
             let pulled = self.shards[from].extract_matching(|emb| assign(emb) == to);
             moved += pulled.len();
-            for image in pulled {
-                self.shards[to].insert(now, image);
+            for (tenant, image) in pulled {
+                self.shards[to].insert_for(now, tenant, image);
             }
         }
         moved
@@ -247,10 +248,10 @@ impl ShardedCache {
             migrated: 0,
             abandoned: self.shards[from].len(),
         };
-        for image in hot {
+        for (tenant, image) in hot {
             let to = assign(&image.embedding) % self.shards.len();
             assert_ne!(to, from, "handoff target is the draining shard");
-            self.shards[to].insert(now, image);
+            self.shards[to].insert_for(now, tenant, image);
             report.migrated += 1;
         }
         report

@@ -2,15 +2,18 @@
 //! archived, inspected, or replayed across tool versions — the equivalent of
 //! the paper's published prompt traces.
 //!
-//! Format: one header line, then `id,arrival_us,prompt` per request. Prompts
-//! are synthetic token sequences and never contain commas or newlines; this
-//! is validated on write and parse.
+//! Format: one header line, then one record per request. Default-tenant
+//! traces use the v1 form `id,arrival_us,prompt`; traces with explicit
+//! tenant tags use the v2 form `id,arrival_us,tenant,qos,prompt`. Both are
+//! parsed. Prompts are synthetic token sequences and never contain commas
+//! or newlines; this is validated on write and parse.
 
 use std::fmt;
 
 use modm_simkit::SimTime;
 
 use crate::request::Request;
+use crate::tenancy::{QosClass, TenantId};
 use crate::trace::{DatasetKind, Trace};
 
 /// Errors from [`parse_csv`].
@@ -18,7 +21,7 @@ use crate::trace::{DatasetKind, Trace};
 pub enum ParseTraceError {
     /// The header line was missing or malformed.
     BadHeader,
-    /// A data line did not have three fields or had bad numbers.
+    /// A data line did not have the version's fields or had bad numbers.
     BadLine {
         /// 1-based line number.
         line: usize,
@@ -46,18 +49,35 @@ impl std::error::Error for ParseTraceError {}
 
 const HEADER_DB: &str = "# modm-trace v1 dataset=diffusiondb";
 const HEADER_MJHQ: &str = "# modm-trace v1 dataset=mjhq";
+const HEADER_DB_V2: &str = "# modm-trace v2 dataset=diffusiondb";
+const HEADER_MJHQ_V2: &str = "# modm-trace v2 dataset=mjhq";
 
-/// Serializes a trace to the CSV form.
+fn qos_name(qos: QosClass) -> &'static str {
+    qos.name()
+}
+
+fn qos_from_name(name: &str) -> Option<QosClass> {
+    QosClass::ALL.into_iter().find(|q| q.name() == name)
+}
+
+/// Serializes a trace to the CSV form: v1 for default-tenant traces, v2
+/// (with `tenant,qos` columns) as soon as any request carries explicit
+/// tenant tags.
 ///
 /// # Panics
 ///
 /// Panics if a prompt contains a comma or newline (generated prompts never
 /// do).
 pub fn to_csv(trace: &Trace) -> String {
+    let tenanted = trace
+        .iter()
+        .any(|r| r.tenant != TenantId::DEFAULT || r.qos != QosClass::default());
     let mut out = String::new();
-    out.push_str(match trace.dataset() {
-        DatasetKind::DiffusionDb => HEADER_DB,
-        DatasetKind::Mjhq => HEADER_MJHQ,
+    out.push_str(match (trace.dataset(), tenanted) {
+        (DatasetKind::DiffusionDb, false) => HEADER_DB,
+        (DatasetKind::Mjhq, false) => HEADER_MJHQ,
+        (DatasetKind::DiffusionDb, true) => HEADER_DB_V2,
+        (DatasetKind::Mjhq, true) => HEADER_MJHQ_V2,
     });
     out.push('\n');
     for r in trace.iter() {
@@ -66,17 +86,28 @@ pub fn to_csv(trace: &Trace) -> String {
             "prompt not CSV-safe: {:?}",
             r.prompt
         );
-        out.push_str(&format!(
-            "{},{},{}\n",
-            r.id,
-            r.arrival.as_micros(),
-            r.prompt
-        ));
+        if tenanted {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.id,
+                r.arrival.as_micros(),
+                r.tenant.0,
+                qos_name(r.qos),
+                r.prompt
+            ));
+        } else {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                r.id,
+                r.arrival.as_micros(),
+                r.prompt
+            ));
+        }
     }
     out
 }
 
-/// Parses a trace from the CSV form.
+/// Parses a trace from the CSV form (v1 or v2).
 ///
 /// # Errors
 ///
@@ -84,9 +115,11 @@ pub fn to_csv(trace: &Trace) -> String {
 pub fn parse_csv(input: &str) -> Result<Trace, ParseTraceError> {
     let mut lines = input.lines().enumerate();
     let (_, header) = lines.next().ok_or(ParseTraceError::BadHeader)?;
-    let dataset = match header.trim() {
-        HEADER_DB => DatasetKind::DiffusionDb,
-        HEADER_MJHQ => DatasetKind::Mjhq,
+    let (dataset, tenanted) = match header.trim() {
+        HEADER_DB => (DatasetKind::DiffusionDb, false),
+        HEADER_MJHQ => (DatasetKind::Mjhq, false),
+        HEADER_DB_V2 => (DatasetKind::DiffusionDb, true),
+        HEADER_MJHQ_V2 => (DatasetKind::Mjhq, true),
         _ => return Err(ParseTraceError::BadHeader),
     };
     let mut requests = Vec::new();
@@ -96,24 +129,34 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseTraceError> {
         if line.is_empty() {
             continue;
         }
-        let mut parts = line.splitn(3, ',');
+        let bad = || ParseTraceError::BadLine { line: i + 1 };
+        let fields = if tenanted { 5 } else { 3 };
+        let mut parts = line.splitn(fields, ',');
         let id = parts
             .next()
             .and_then(|s| s.parse::<u64>().ok())
-            .ok_or(ParseTraceError::BadLine { line: i + 1 })?;
+            .ok_or_else(bad)?;
         let arrival_us = parts
             .next()
             .and_then(|s| s.parse::<u64>().ok())
-            .ok_or(ParseTraceError::BadLine { line: i + 1 })?;
-        let prompt = parts
-            .next()
-            .ok_or(ParseTraceError::BadLine { line: i + 1 })?;
+            .ok_or_else(bad)?;
+        let (tenant, qos) = if tenanted {
+            let tenant = parts
+                .next()
+                .and_then(|s| s.parse::<u16>().ok())
+                .ok_or_else(bad)?;
+            let qos = parts.next().and_then(qos_from_name).ok_or_else(bad)?;
+            (TenantId(tenant), qos)
+        } else {
+            (TenantId::DEFAULT, QosClass::default())
+        };
+        let prompt = parts.next().ok_or_else(bad)?;
         let arrival = SimTime::from_micros(arrival_us);
         if arrival < last {
             return Err(ParseTraceError::OutOfOrder { line: i + 1 });
         }
         last = arrival;
-        requests.push(Request::new(id, prompt, arrival));
+        requests.push(Request::for_tenant(id, prompt, arrival, tenant, qos));
     }
     Ok(Trace::from_requests(dataset, requests))
 }
@@ -121,14 +164,31 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseTraceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenancy::TenantMix;
     use crate::trace::TraceBuilder;
 
     #[test]
     fn round_trip_preserves_trace() {
         let trace = TraceBuilder::diffusion_db(5).requests(50).build();
         let csv = to_csv(&trace);
+        assert!(csv.starts_with(HEADER_DB), "single-tenant traces stay v1");
         let parsed = parse_csv(&csv).unwrap();
         assert_eq!(parsed.dataset(), trace.dataset());
+        assert_eq!(parsed.requests(), trace.requests());
+    }
+
+    #[test]
+    fn tenanted_round_trip_uses_v2_and_keeps_tags() {
+        let trace = TraceBuilder::diffusion_db(5)
+            .requests(60)
+            .tenants(vec![
+                TenantMix::new(TenantId(1), QosClass::Interactive, 2.0),
+                TenantMix::new(TenantId(2), QosClass::BestEffort, 4.0),
+            ])
+            .build();
+        let csv = to_csv(&trace);
+        assert!(csv.starts_with(HEADER_DB_V2));
+        let parsed = parse_csv(&csv).unwrap();
         assert_eq!(parsed.requests(), trace.requests());
     }
 
@@ -156,6 +216,12 @@ mod tests {
             Some(ParseTraceError::BadLine { line: 2 })
         );
         let input = format!("{HEADER_DB}\n1,5\n");
+        assert_eq!(
+            parse_csv(&input).err(),
+            Some(ParseTraceError::BadLine { line: 2 })
+        );
+        // A v2 record with an unknown class name is malformed.
+        let input = format!("{HEADER_DB_V2}\n0,1,2,gold,prompt\n");
         assert_eq!(
             parse_csv(&input).err(),
             Some(ParseTraceError::BadLine { line: 2 })

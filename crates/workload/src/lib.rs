@@ -28,6 +28,7 @@ pub mod arrivals;
 pub mod export;
 pub mod prompts;
 pub mod request;
+pub mod tenancy;
 pub mod trace;
 pub mod vocab;
 
@@ -35,4 +36,5 @@ pub use arrivals::RateSchedule;
 pub use export::{parse_csv, to_csv, ParseTraceError};
 pub use prompts::{PromptFactory, PromptFactoryConfig};
 pub use request::Request;
+pub use tenancy::{QosClass, TenantId, TenantMix};
 pub use trace::{DatasetKind, Trace, TraceBuilder};

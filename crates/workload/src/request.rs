@@ -2,6 +2,8 @@
 
 use modm_simkit::SimTime;
 
+use crate::tenancy::{QosClass, TenantId};
+
 /// A text-to-image generation request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -11,15 +13,52 @@ pub struct Request {
     pub prompt: String,
     /// Arrival time in the simulated timeline.
     pub arrival: SimTime,
+    /// The tenant the request belongs to ([`TenantId::DEFAULT`] for
+    /// single-tenant workloads).
+    pub tenant: TenantId,
+    /// The service class it is admitted under.
+    pub qos: QosClass,
 }
 
 impl Request {
-    /// Creates a request.
+    /// Creates a default-tenant, standard-class request.
     pub fn new(id: u64, prompt: impl Into<String>, arrival: SimTime) -> Self {
         Request {
             id,
             prompt: prompt.into(),
             arrival,
+            tenant: TenantId::DEFAULT,
+            qos: QosClass::default(),
+        }
+    }
+
+    /// Creates a request tagged with an explicit tenant and QoS class.
+    pub fn for_tenant(
+        id: u64,
+        prompt: impl Into<String>,
+        arrival: SimTime,
+        tenant: TenantId,
+        qos: QosClass,
+    ) -> Self {
+        Request {
+            id,
+            prompt: prompt.into(),
+            arrival,
+            tenant,
+            qos,
+        }
+    }
+
+    /// A copy of the request with its arrival moved to `arrival`,
+    /// preserving the tenant tags — what the serving loops use to re-base
+    /// a trace onto their own timeline.
+    pub fn rebased(&self, arrival: SimTime) -> Request {
+        Request {
+            id: self.id,
+            prompt: self.prompt.clone(),
+            arrival,
+            tenant: self.tenant,
+            qos: self.qos,
         }
     }
 }
@@ -34,5 +73,24 @@ mod tests {
         assert_eq!(r.id, 3);
         assert_eq!(r.prompt, "a cat");
         assert_eq!(r.arrival.as_secs_f64(), 2.0);
+        assert_eq!(r.tenant, TenantId::DEFAULT);
+        assert_eq!(r.qos, QosClass::Standard);
+    }
+
+    #[test]
+    fn tenant_tags_survive_rebasing() {
+        let r = Request::for_tenant(
+            9,
+            "a dog",
+            SimTime::from_secs_f64(5.0),
+            TenantId(3),
+            QosClass::Interactive,
+        );
+        let moved = r.rebased(SimTime::ZERO);
+        assert_eq!(moved.id, 9);
+        assert_eq!(moved.arrival, SimTime::ZERO);
+        assert_eq!(moved.tenant, TenantId(3));
+        assert_eq!(moved.qos, QosClass::Interactive);
+        assert_eq!(moved.prompt, r.prompt);
     }
 }

@@ -5,6 +5,7 @@ use modm_simkit::SimRng;
 use crate::arrivals::RateSchedule;
 use crate::prompts::{PromptFactory, PromptFactoryConfig};
 use crate::request::Request;
+use crate::tenancy::{TenantId, TenantMix};
 
 /// Which dataset a trace emulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +87,19 @@ impl Trace {
             requests: self.requests.iter().take(n).cloned().collect(),
         }
     }
+
+    /// The distinct tenants appearing in the trace, ascending.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self.requests.iter().map(|r| r.tenant).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of requests belonging to `tenant`.
+    pub fn tenant_len(&self, tenant: TenantId) -> usize {
+        self.requests.iter().filter(|r| r.tenant == tenant).count()
+    }
 }
 
 impl<'a> IntoIterator for &'a Trace {
@@ -115,6 +129,7 @@ pub struct TraceBuilder {
     n: usize,
     schedule: RateSchedule,
     prompt_config: PromptFactoryConfig,
+    tenants: Vec<TenantMix>,
 }
 
 impl TraceBuilder {
@@ -126,6 +141,7 @@ impl TraceBuilder {
             n: 1_000,
             schedule: RateSchedule::Constant(10.0),
             prompt_config: PromptFactoryConfig::diffusion_db(),
+            tenants: Vec::new(),
         }
     }
 
@@ -137,6 +153,7 @@ impl TraceBuilder {
             n: 1_000,
             schedule: RateSchedule::Constant(10.0),
             prompt_config: PromptFactoryConfig::mjhq(),
+            tenants: Vec::new(),
         }
     }
 
@@ -164,13 +181,31 @@ impl TraceBuilder {
         self
     }
 
+    /// Makes the trace multi-tenant: each [`TenantMix`] contributes an
+    /// independent Poisson request stream at its own rate (with its own
+    /// prompt sessions, so tenants have disjoint semantic locality), and
+    /// the streams are merged by arrival time. The total request count
+    /// stays `requests(n)`, split across tenants in proportion to their
+    /// rates, so every tenant's stream spans the same virtual duration.
+    ///
+    /// With an empty mix (the default) the builder produces the
+    /// single-tenant trace it always has — byte-identical per seed.
+    pub fn tenants(mut self, mix: Vec<TenantMix>) -> Self {
+        self.tenants = mix;
+        self
+    }
+
     /// Generates the trace.
     ///
     /// # Panics
     ///
-    /// Panics if zero requests were requested.
+    /// Panics if zero requests were requested, or if a tenant mix has a
+    /// non-positive rate or duplicate tenant ids.
     pub fn build(self) -> Trace {
         assert!(self.n > 0, "trace needs at least one request");
+        if !self.tenants.is_empty() {
+            return self.build_multi_tenant();
+        }
         let mut root = SimRng::seed_from(self.seed);
         let mut prompt_rng = root.fork(1);
         let mut arrival_rng = root.fork(2);
@@ -180,6 +215,99 @@ impl TraceBuilder {
             .into_iter()
             .enumerate()
             .map(|(i, at)| Request::new(i as u64, factory.next_prompt(), at))
+            .collect();
+        Trace {
+            dataset: self.dataset,
+            requests,
+        }
+    }
+
+    /// Splits `n` across the mix in proportion to each tenant's rate
+    /// (largest-remainder rounding, every tenant gets at least one).
+    fn tenant_counts(n: usize, mix: &[TenantMix]) -> Vec<usize> {
+        assert!(
+            n >= mix.len(),
+            "trace needs at least one request per tenant: {n} requests for {} tenants",
+            mix.len()
+        );
+        let total_rate: f64 = mix.iter().map(|m| m.rate_per_min).sum();
+        let mut counts: Vec<usize> = mix
+            .iter()
+            .map(|m| ((n as f64 * m.rate_per_min / total_rate).floor() as usize).max(1))
+            .collect();
+        // Distribute the rounding remainder by largest fractional part
+        // (ties by index), deterministically. With `n >= mix.len()` the
+        // downward pass always finds a count above the floor of 1, so
+        // both passes terminate.
+        let mut assigned: usize = counts.iter().sum();
+        let mut order: Vec<usize> = (0..mix.len()).collect();
+        order.sort_by(|&a, &b| {
+            let frac = |i: usize| {
+                let exact = n as f64 * mix[i].rate_per_min / total_rate;
+                exact - exact.floor()
+            };
+            frac(b)
+                .partial_cmp(&frac(a))
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        let mut i = 0;
+        while assigned < n {
+            counts[order[i % order.len()]] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        while assigned > n {
+            let idx = order[i % order.len()];
+            if counts[idx] > 1 {
+                counts[idx] -= 1;
+                assigned -= 1;
+            }
+            i += 1;
+        }
+        counts
+    }
+
+    fn build_multi_tenant(self) -> Trace {
+        for m in &self.tenants {
+            assert!(
+                m.rate_per_min > 0.0,
+                "tenant {} rate must be positive",
+                m.tenant
+            );
+        }
+        let mut seen: Vec<TenantId> = self.tenants.iter().map(|m| m.tenant).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), self.tenants.len(), "duplicate tenant in mix");
+
+        let counts = Self::tenant_counts(self.n, &self.tenants);
+        let mut root = SimRng::seed_from(self.seed);
+        let mut prompt_rng = root.fork(1);
+        let mut arrival_rng = root.fork(2);
+
+        // Each tenant generates its own stream — own sessions, own Poisson
+        // clock — from deterministic forks, then the streams merge by
+        // arrival time (ties by tenant id, then stream order).
+        let mut merged: Vec<(modm_simkit::SimTime, usize, usize, String)> = Vec::new();
+        for (i, (mix, &count)) in self.tenants.iter().zip(&counts).enumerate() {
+            let mut factory =
+                PromptFactory::new(self.prompt_config.clone(), prompt_rng.fork(i as u64));
+            let mut tenant_arrivals = arrival_rng.fork(i as u64);
+            let arrivals = RateSchedule::Constant(mix.rate_per_min)
+                .sample_arrivals(count, &mut tenant_arrivals);
+            for (k, at) in arrivals.into_iter().enumerate() {
+                merged.push((at, i, k, factory.next_prompt()));
+            }
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let requests = merged
+            .into_iter()
+            .enumerate()
+            .map(|(id, (at, i, _, prompt))| {
+                let mix = &self.tenants[i];
+                Request::for_tenant(id as u64, prompt, at, mix.tenant, mix.qos)
+            })
             .collect();
         Trace {
             dataset: self.dataset,
@@ -230,6 +358,111 @@ mod tests {
         let head = t.truncated(10);
         assert_eq!(head.len(), 10);
         assert_eq!(head.requests()[9], t.requests()[9]);
+    }
+
+    #[test]
+    fn multi_tenant_mix_splits_by_rate_and_tags_requests() {
+        use crate::tenancy::QosClass;
+        let t = TraceBuilder::diffusion_db(5)
+            .requests(400)
+            .tenants(vec![
+                TenantMix::new(TenantId(1), QosClass::Interactive, 2.0),
+                TenantMix::new(TenantId(2), QosClass::BestEffort, 6.0),
+            ])
+            .build();
+        assert_eq!(t.len(), 400);
+        assert_eq!(t.tenant_ids(), vec![TenantId(1), TenantId(2)]);
+        let n1 = t.tenant_len(TenantId(1));
+        let n2 = t.tenant_len(TenantId(2));
+        assert_eq!(n1 + n2, 400);
+        // Proportional to rates (2 : 6).
+        assert_eq!(n1, 100);
+        assert_eq!(n2, 300);
+        // Tags are consistent per tenant, ids are trace-ordered, arrivals
+        // sorted.
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            match r.tenant {
+                TenantId(1) => assert_eq!(r.qos, QosClass::Interactive),
+                TenantId(2) => assert_eq!(r.qos, QosClass::BestEffort),
+                other => panic!("unexpected tenant {other}"),
+            }
+        }
+        assert!(t
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn multi_tenant_build_is_deterministic_and_seed_sensitive() {
+        use crate::tenancy::QosClass;
+        let build = |seed| {
+            TraceBuilder::diffusion_db(seed)
+                .requests(120)
+                .tenants(vec![
+                    TenantMix::new(TenantId(1), QosClass::Interactive, 3.0),
+                    TenantMix::new(TenantId(2), QosClass::Standard, 9.0),
+                ])
+                .build()
+        };
+        assert_eq!(build(8).requests(), build(8).requests());
+        assert_ne!(build(8).requests(), build(9).requests());
+    }
+
+    #[test]
+    fn empty_mix_is_single_tenant_and_unchanged() {
+        let plain = TraceBuilder::diffusion_db(4).requests(60).build();
+        let tagged = TraceBuilder::diffusion_db(4)
+            .requests(60)
+            .tenants(vec![])
+            .build();
+        assert_eq!(plain.requests(), tagged.requests());
+        assert_eq!(plain.tenant_ids(), vec![TenantId::DEFAULT]);
+    }
+
+    #[test]
+    fn tiny_multi_tenant_trace_gets_one_request_per_tenant() {
+        use crate::tenancy::QosClass;
+        let t = TraceBuilder::diffusion_db(1)
+            .requests(3)
+            .tenants(vec![
+                TenantMix::new(TenantId(1), QosClass::Interactive, 1.0),
+                TenantMix::new(TenantId(2), QosClass::Standard, 50.0),
+                TenantMix::new(TenantId(3), QosClass::BestEffort, 1.0),
+            ])
+            .build();
+        assert_eq!(t.len(), 3);
+        for tenant in [TenantId(1), TenantId(2), TenantId(3)] {
+            assert_eq!(t.tenant_len(tenant), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request per tenant")]
+    fn fewer_requests_than_tenants_rejected() {
+        use crate::tenancy::QosClass;
+        let _ = TraceBuilder::diffusion_db(1)
+            .requests(2)
+            .tenants(vec![
+                TenantMix::new(TenantId(1), QosClass::Interactive, 1.0),
+                TenantMix::new(TenantId(2), QosClass::Standard, 2.0),
+                TenantMix::new(TenantId(3), QosClass::BestEffort, 3.0),
+            ])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant")]
+    fn duplicate_tenants_rejected() {
+        use crate::tenancy::QosClass;
+        let _ = TraceBuilder::diffusion_db(1)
+            .requests(10)
+            .tenants(vec![
+                TenantMix::new(TenantId(1), QosClass::Standard, 1.0),
+                TenantMix::new(TenantId(1), QosClass::BestEffort, 2.0),
+            ])
+            .build();
     }
 
     #[test]

@@ -120,6 +120,51 @@
 //! assert_eq!(log.count(|e| matches!(e, SimEvent::ScaleUp { .. })), 4);
 //! assert_eq!(log.count(|e| matches!(e, SimEvent::Completed { .. })), 600);
 //! ```
+//!
+//! # Multi-tenant QoS quickstart
+//!
+//! Serving is tenant-aware end to end: tag a trace with per-tenant
+//! arrival mixes, give the deployment a [`core::TenancyPolicy`]
+//! (weighted-fair admission within a QoS class, strict priority between
+//! classes, per-tenant cache reserves), and every tier reports per-tenant
+//! slices. Here an interactive tenant rides ahead of a batch flood and a
+//! free tier, on the same GPUs:
+//!
+//! ```
+//! use modm::deploy::{Deployment, ServingBackend};
+//! use modm::core::{MoDMConfig, TenancyPolicy, TenantShare};
+//! use modm::cluster::GpuKind;
+//! use modm::fleet::{Router, RoutingPolicy};
+//! use modm::workload::{QosClass, TenantId, TenantMix, TraceBuilder};
+//!
+//! let interactive = TenantId(1);
+//! let batch = TenantId(2);
+//! let free = TenantId(3);
+//! // Three independent request streams, merged by arrival time.
+//! let trace = TraceBuilder::diffusion_db(7)
+//!     .requests(300)
+//!     .tenants(vec![
+//!         TenantMix::new(interactive, QosClass::Interactive, 2.0),
+//!         TenantMix::new(batch, QosClass::Standard, 8.0),
+//!         TenantMix::new(free, QosClass::BestEffort, 2.0),
+//!     ])
+//!     .build();
+//! let node = MoDMConfig::builder()
+//!     .gpus(GpuKind::Mi210, 4)
+//!     .cache_capacity(400)
+//!     .tenancy(TenancyPolicy::weighted_fair(vec![
+//!         TenantShare::new(interactive, 4.0).with_cache_reserve(80),
+//!         TenantShare::new(batch, 2.0).with_cache_reserve(80),
+//!         TenantShare::new(free, 1.0).with_cache_reserve(40),
+//!     ]))
+//!     .build();
+//! let mut deployment = Deployment::fleet(node, Router::new(RoutingPolicy::CacheAffinity, 4));
+//! let summary = deployment.run(&trace).summary(2.0);
+//! assert_eq!(summary.completed, 300);
+//! assert_eq!(summary.tenants.len(), 3, "one slice per tenant");
+//! let per_tenant: u64 = summary.tenants.iter().map(|t| t.completed).sum();
+//! assert_eq!(per_tenant, 300, "fairness reorders service, never drops work");
+//! ```
 
 pub use modm_baselines as baselines;
 pub use modm_cache as cache;

@@ -7,13 +7,19 @@ use modm::controlplane::{
     ElasticFleet, ElasticFleetConfig, FaultInjector, HoldAutoscaler, ScaleDecision,
     ScheduledAutoscaler,
 };
-use modm::core::{MoDMConfig, RunOptions, ServingSystem};
+use modm::core::{MoDMConfig, RunOptions, ServingSystem, TenancyPolicy, TenantShare};
 use modm::deploy::{
     DeployOptions, Deployment, EventLogObserver, LifecyclePlan, RunOutcome, ServingBackend,
     SimEvent, TierKind,
 };
 use modm::fleet::{Fleet, FleetRunOptions, Router, RoutingPolicy};
-use modm::workload::{Trace, TraceBuilder};
+use modm::workload::{TenantId, Trace, TraceBuilder};
+
+/// Float tolerance for [`modm::deploy::Summary::approx_eq`] in the
+/// equivalence tests: tight enough that any behavioral drift fails, loose
+/// enough that benign float reassociation (e.g. a reordered reduction in
+/// a refactor) does not.
+const EPS: f64 = 1e-9;
 
 fn node_config(gpus: usize, cache: usize) -> MoDMConfig {
     MoDMConfig::builder()
@@ -36,9 +42,11 @@ fn single_deployment_matches_legacy_serving_system() {
     let legacy = ServingSystem::new(cfg.clone()).run(&t);
     let mut unified = Deployment::single(cfg.clone()).run(&t);
 
-    // Summary-level identity (the acceptance criterion)...
+    // Summary-level identity (the acceptance criterion). approx_eq, not
+    // the derived PartialEq: the claim is behavioral equivalence, and raw
+    // f64 equality would also break on benign float reassociation.
     let legacy_summary = RunOutcome::from_single(legacy.clone(), cfg.num_gpus).summary(2.0);
-    assert_eq!(unified.summary(2.0), legacy_summary);
+    assert!(unified.summary(2.0).approx_eq(&legacy_summary, EPS));
     assert_eq!(unified.tier(), TierKind::Single);
 
     // ...and deep report identity underneath.
@@ -62,10 +70,10 @@ fn single_deployment_matches_legacy_under_warmup_and_saturation() {
         },
     );
     let mut unified = Deployment::single(cfg.clone()).run_with(&t, DeployOptions::saturated(100));
-    assert_eq!(
-        unified.summary(2.0),
-        RunOutcome::from_single(legacy, cfg.num_gpus).summary(2.0)
-    );
+    assert!(unified.summary(2.0).approx_eq(
+        &RunOutcome::from_single(legacy, cfg.num_gpus).summary(2.0),
+        EPS
+    ));
 }
 
 #[test]
@@ -95,7 +103,9 @@ fn fleet_deployment_matches_legacy_fleet() {
         assert_eq!(slice.routed, node.routed);
         assert_eq!(slice.completed, Some(node.report.completed()));
     }
-    assert_eq!(unified.summary(2.0), legacy_outcome.clone().summary(2.0));
+    assert!(unified
+        .summary(2.0)
+        .approx_eq(&legacy_outcome.clone().summary(2.0), EPS));
     let new = unified.as_fleet().expect("fleet tier");
     assert_eq!(new.hits(), legacy.hits());
     assert_eq!(new.load_imbalance(), legacy.load_imbalance());
@@ -124,10 +134,10 @@ fn elastic_deployment_matches_legacy_elastic_fleet() {
     let mut unified =
         Deployment::elastic(cfg.clone(), plan(), LifecyclePlan::new(4, 2, 8), faults).run(&t);
     assert_eq!(unified.tier(), TierKind::Elastic);
-    assert_eq!(
-        unified.summary(2.0),
-        RunOutcome::from_elastic(legacy.clone(), cfg.num_gpus).summary(2.0)
-    );
+    assert!(unified.summary(2.0).approx_eq(
+        &RunOutcome::from_elastic(legacy.clone(), cfg.num_gpus).summary(2.0),
+        EPS
+    ));
     let new = unified.as_elastic().expect("elastic tier");
     assert_eq!(new.completed, legacy.completed);
     assert_eq!(new.hits, legacy.hits);
@@ -226,6 +236,88 @@ fn observer_sees_control_plane_transitions() {
         .expect("activation seen")
         .0;
     assert!(up_at < active_at, "cold start takes time");
+}
+
+#[test]
+fn tenancy_aware_path_is_seed_identical_for_single_tenant_traces() {
+    // Tenant neutrality, end to end: a single-tenant trace run under the
+    // full tenancy-aware configuration (weighted-fair discipline plus a
+    // cache reserve for the default tenant) must reproduce the legacy
+    // FIFO path seed for seed, on all three tiers. The WFQ queue with one
+    // tenant degenerates to FIFO, and a tenant's reserve never protects
+    // it from itself — so the two configurations must be *bit*-identical,
+    // which the derived PartialEq on Summary checks (approx_eq would hide
+    // a real divergence here).
+    let t = trace(108, 300);
+    let tenancy = || {
+        TenancyPolicy::weighted_fair(vec![
+            TenantShare::new(TenantId::DEFAULT, 2.0).with_cache_reserve(100)
+        ])
+    };
+    let legacy_cfg = |gpus, cache| node_config(gpus, cache);
+    let tenant_cfg = |gpus, cache| {
+        MoDMConfig::builder()
+            .gpus(GpuKind::Mi210, gpus)
+            .cache_capacity(cache)
+            .tenancy(tenancy())
+            .build()
+    };
+
+    // Single node.
+    let mut legacy = Deployment::single(legacy_cfg(4, 600)).run(&t);
+    let mut tenanted = Deployment::single(tenant_cfg(4, 600)).run(&t);
+    assert_eq!(tenanted.summary(2.0), legacy.summary(2.0), "single tier");
+    let (l, n) = (legacy.as_single().unwrap(), tenanted.as_single().unwrap());
+    assert_eq!(n.hits, l.hits);
+    assert_eq!(n.k_histogram, l.k_histogram);
+    assert_eq!(n.finished_at, l.finished_at);
+
+    // Fleet.
+    let router = || Router::new(RoutingPolicy::CacheAffinity, 3);
+    let mut legacy = Deployment::fleet(legacy_cfg(2, 300), router()).run(&t);
+    let mut tenanted = Deployment::fleet(tenant_cfg(2, 300), router()).run(&t);
+    assert_eq!(tenanted.summary(2.0), legacy.summary(2.0), "fleet tier");
+    let (l, n) = (legacy.as_fleet().unwrap(), tenanted.as_fleet().unwrap());
+    for (x, y) in l.nodes.iter().zip(&n.nodes) {
+        assert_eq!(x.routed, y.routed);
+        assert_eq!(x.report.hits, y.report.hits);
+    }
+
+    // Elastic, with scripted scaling and a crash so the re-delivery path
+    // is exercised through the fair queue's drain too.
+    let scaler = || {
+        ScheduledAutoscaler::new(vec![
+            ScaleDecision::Up(1),
+            ScaleDecision::Hold,
+            ScaleDecision::Down(1),
+        ])
+    };
+    let faults = FaultInjector::seeded(7, 5.0, 1, 3.0);
+    let mut legacy = Deployment::elastic(
+        legacy_cfg(2, 300),
+        scaler(),
+        LifecyclePlan::new(3, 2, 4),
+        faults.clone(),
+    )
+    .run(&t);
+    let mut tenanted = Deployment::elastic(
+        tenant_cfg(2, 300),
+        scaler(),
+        LifecyclePlan::new(3, 2, 4),
+        faults,
+    )
+    .run(&t);
+    assert_eq!(tenanted.summary(2.0), legacy.summary(2.0), "elastic tier");
+    let (l, n) = (legacy.as_elastic().unwrap(), tenanted.as_elastic().unwrap());
+    assert_eq!(n.routed_per_node, l.routed_per_node);
+    assert_eq!(n.events.len(), l.events.len());
+
+    // The tenant slices themselves agree: one default-tenant slice whose
+    // totals equal the aggregate.
+    let summary = tenanted.summary(2.0);
+    assert_eq!(summary.tenants.len(), 1);
+    assert_eq!(summary.tenants[0].tenant, TenantId::DEFAULT);
+    assert_eq!(summary.tenants[0].completed, summary.completed);
 }
 
 #[test]

@@ -142,8 +142,8 @@ fn rebalance_after_scale_out_restores_affinity() {
     // leader table is order-sensitive by design).
     let mut cache8 = ShardedCache::new(8, CacheConfig::fifo(200));
     for i in 0..4 {
-        for img in cache4.shard_mut(i).drain_images() {
-            cache8.shard_mut(i).insert(SimTime::ZERO, img);
+        for (tenant, img) in cache4.shard_mut(i).drain_images() {
+            cache8.shard_mut(i).insert_for(SimTime::ZERO, tenant, img);
         }
     }
     let ring = modm::fleet::HashRing::new(8, 64);

@@ -1,0 +1,67 @@
+//! Golden-run regression tests: the `tiers` experiment's summaries,
+//! rendered to JSON Lines, must match the checked-in snapshots byte for
+//! byte.
+//!
+//! The suite's 400+ deterministic tests check *properties*; these
+//! snapshots additionally pin the *exact numbers* two fixed seeds
+//! produce, so a refactor that silently shifts results — a reordered
+//! float reduction, an RNG stream change, an off-by-one in the event
+//! loop — fails loudly even when every property still holds.
+//!
+//! When a change is *supposed* to move the numbers (new feature, fixed
+//! bug), regenerate the snapshots and review the diff like any other
+//! code change:
+//!
+//! ```text
+//! MODM_BLESS=1 cargo test --test golden
+//! git diff tests/golden/
+//! ```
+
+use modm::deploy::summaries_to_json;
+use modm_experiments::tiers::{run_rows_on, study_trace_for, STUDY_SEED};
+
+/// The two pinned seeds: the experiment's own seed and an independent
+/// one (snapshot length is reduced from the experiment's 1 200 requests
+/// to keep the debug-mode test suite fast; determinism does not depend
+/// on length).
+const GOLDEN_SEEDS: [u64; 2] = [STUDY_SEED, 1_913];
+const GOLDEN_REQUESTS: usize = 600;
+
+fn golden_path(seed: u64) -> String {
+    format!(
+        "{}/tests/golden/tiers_seed{}.json",
+        env!("CARGO_MANIFEST_DIR"),
+        seed
+    )
+}
+
+fn check_seed(seed: u64) {
+    let rows = run_rows_on(&study_trace_for(seed, GOLDEN_REQUESTS));
+    let rendered = summaries_to_json(&rows);
+    let path = golden_path(seed);
+    if std::env::var("MODM_BLESS").is_ok() {
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path}: {e}; regenerate with MODM_BLESS=1")
+    });
+    assert!(
+        rendered == want,
+        "tiers summaries for seed {seed} diverged from {path}.\n\
+         If the change is intentional, regenerate with:\n\
+         MODM_BLESS=1 cargo test --test golden\n\
+         and commit the snapshot diff.\n\
+         --- got ---\n{rendered}\n--- want ---\n{want}"
+    );
+}
+
+#[test]
+fn tiers_summaries_match_golden_snapshot_seed_a() {
+    check_seed(GOLDEN_SEEDS[0]);
+}
+
+#[test]
+fn tiers_summaries_match_golden_snapshot_seed_b() {
+    check_seed(GOLDEN_SEEDS[1]);
+}
