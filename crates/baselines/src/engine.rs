@@ -284,6 +284,8 @@ impl<P: BaselinePolicy> BaselineEngine<P> {
             cache_stats: self.policy.cache_stats(),
             hits,
             misses,
+            rejected: 0,
+            shed: 0,
             k_histogram,
             allocation_series: Vec::new(),
             tenant_slices: vec![aggregate],

@@ -4,6 +4,9 @@
 //! wall-clock cost of the simulation and the simulated serving outcomes
 //! (hit rate, throughput, load imbalance) into `BENCH_fleet.json`, so the
 //! repo's performance trajectory tracks the fleet subsystem over time.
+//!
+//! Pass `--smoke` (CI does) for a down-scaled run that still exercises
+//! every policy and writes the JSON.
 
 use modm_bench::{write_json, Bench, Json};
 use modm_cluster::GpuKind;
@@ -14,8 +17,10 @@ use modm_workload::TraceBuilder;
 const NODES: usize = 8;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "smoke");
+    let (requests, sample_secs) = if smoke { (300, 0.05) } else { (1_200, 0.5) };
     let trace = TraceBuilder::diffusion_db(5)
-        .requests(1_200)
+        .requests(requests)
         .rate_per_min(20.0)
         .build();
     let node = MoDMConfig::builder()
@@ -23,7 +28,7 @@ fn main() {
         .cache_capacity(1_000)
         .build();
 
-    let mut bench = Bench::new("fleet").with_sample_secs(0.5);
+    let mut bench = Bench::new("fleet").with_sample_secs(sample_secs);
     let mut points: Vec<Json> = Vec::new();
     for policy in [
         RoutingPolicy::RoundRobin,
@@ -55,7 +60,8 @@ fn main() {
 
     let doc = Json::Obj(vec![
         ("bench".into(), Json::Str("fleet".into())),
-        ("trace_requests".into(), Json::Num(1_200.0)),
+        ("smoke".into(), Json::Num(if smoke { 1.0 } else { 0.0 })),
+        ("trace_requests".into(), Json::Num(requests as f64)),
         ("gpus_per_node".into(), Json::Num(2.0)),
         ("cache_per_node".into(), Json::Num(1_000.0)),
         ("points".into(), Json::Arr(points)),

@@ -311,6 +311,10 @@ struct ElasticRun<'a> {
     completed: u64,
     hits: u64,
     misses: u64,
+    /// Refusals/sheds harvested from node incarnations as they tear down
+    /// (nodes come and go; the counters must outlive them).
+    rejected: u64,
+    shed: u64,
     tenants: BTreeMap<TenantId, TenantSlice>,
     slo: SloThresholds,
     slo_bound_secs: f64,
@@ -411,6 +415,8 @@ impl<'a> ElasticRun<'a> {
             completed: 0,
             hits: 0,
             misses: 0,
+            rejected: 0,
+            shed: 0,
             tenants: BTreeMap::new(),
             slo_bound_secs: slo.bound_secs(config.slo_multiple),
             slo,
@@ -546,7 +552,6 @@ impl<'a> ElasticRun<'a> {
             "routed to node {node_idx} in state {:?}",
             self.lifecycle[node_idx].state()
         );
-        self.win_arrivals += 1;
         let route = route_against_cache(
             self.cache.shard_mut(node_idx),
             now,
@@ -561,11 +566,37 @@ impl<'a> ElasticRun<'a> {
             prompt_embedding: embedding.clone(),
             route,
         };
-        self.nodes[node_idx]
+        let accepted = self.nodes[node_idx]
             .as_mut()
             .expect("active node exists")
             .enqueue(now, routed, self.obs.as_deref_mut());
+        // The control window sees admitted work only: refused requests
+        // are being deliberately turned away, so they must not drive the
+        // autoscaler toward capacity the policy chose not to serve.
+        if accepted {
+            self.win_arrivals += 1;
+        }
         node_idx
+    }
+
+    /// Merges a node incarnation's refusal/shed counters into the
+    /// fleet-level accounting. Must run exactly once per incarnation,
+    /// right before its serving state is dropped (decommission, crash)
+    /// or at the end of the run for nodes still alive.
+    fn harvest_overload(
+        rejected: &mut u64,
+        shed: &mut u64,
+        tenants: &mut BTreeMap<TenantId, TenantSlice>,
+        node: &ServingNode,
+    ) {
+        *rejected += node.rejected();
+        *shed += node.shed();
+        for (tenant, qos, node_rejected, node_shed) in node.tenant_overload() {
+            tenants
+                .entry(tenant)
+                .or_insert_with(|| TenantSlice::new(tenant, qos))
+                .absorb_overload(node_rejected, node_shed);
+        }
     }
 
     fn complete(&mut self, now: SimTime, node_idx: usize, inflight: NodeInFlight) {
@@ -820,6 +851,9 @@ impl<'a> ElasticRun<'a> {
     fn decommission(&mut self, now: SimTime, node: usize) {
         self.transition(node, NodeState::Decommissioned, now);
         self.epoch[node] += 1; // invalidate any straggler events
+        if let Some(n) = self.nodes[node].as_ref() {
+            Self::harvest_overload(&mut self.rejected, &mut self.shed, &mut self.tenants, n);
+        }
         self.nodes[node] = None;
         // The cold tail the handoff left behind dies with the shard.
         drop(self.cache.shard_mut(node).drain_images());
@@ -845,6 +879,7 @@ impl<'a> ElasticRun<'a> {
         self.transition(victim, NodeState::Failed, now);
         self.epoch[victim] += 1;
         let mut node = self.nodes[victim].take().expect("crashing node existed");
+        Self::harvest_overload(&mut self.rejected, &mut self.shed, &mut self.tenants, &node);
         let pending = node.drain_pending();
         let lost = self.cache.shard_mut(victim).drain_images().len();
         self.end_gpu(victim, now);
@@ -900,6 +935,9 @@ impl<'a> ElasticRun<'a> {
         for node in 0..self.config.max_nodes {
             self.end_gpu(node, end);
         }
+        for node in self.nodes.iter().flatten() {
+            Self::harvest_overload(&mut self.rejected, &mut self.shed, &mut self.tenants, node);
+        }
         let gpu_hours =
             self.gpu_secs.iter().sum::<f64>() * self.config.node_config.num_gpus as f64 / 3600.0;
         ElasticReport {
@@ -907,6 +945,8 @@ impl<'a> ElasticRun<'a> {
             completed: self.completed,
             hits: self.hits,
             misses: self.misses,
+            rejected: self.rejected,
+            shed: self.shed,
             latency: self.latency,
             slo: self.slo,
             slo_multiple: self.config.slo_multiple,

@@ -107,6 +107,10 @@ pub struct ElasticReport {
     pub hits: u64,
     /// Completions that were cache misses.
     pub misses: u64,
+    /// Requests refused at admission by tenant token buckets.
+    pub rejected: u64,
+    /// Requests shed at dispatch after exceeding the queue-time budget.
+    pub shed: u64,
     /// Fleet-wide end-to-end latencies (crash re-deliveries keep their
     /// original arrival time, so failures show up in the tail).
     pub latency: LatencyReport,
@@ -145,6 +149,14 @@ impl ElasticReport {
         1.0 - self
             .latency
             .slo_violation_rate(&self.slo, self.slo_multiple)
+    }
+
+    /// Goodput at `multiple` x the large-model latency: completions
+    /// that met that SLO (refused and shed work scores zero). Pass
+    /// [`ElasticReport::slo_multiple`] to judge at the run's own
+    /// multiple.
+    pub fn goodput(&self, multiple: f64) -> u64 {
+        self.latency.goodput(&self.slo, multiple)
     }
 
     /// Sustained throughput over the run, requests/minute.

@@ -1,0 +1,209 @@
+//! Token-bucket admission control: the front door of the overload
+//! control plane.
+//!
+//! PR 4's fair queue decides *who is served first* once work is
+//! accepted; under sustained overload that is not enough — the queues
+//! absorb everything, backlogs grow without bound, and every tenant's
+//! tail latency collapses together. [`AdmissionControl`] closes the gap:
+//! each tenant with a configured [`RateLimit`] gets a token bucket
+//! (refilled continuously at `rate_per_min`, capped at `burst`), and a
+//! request is admitted only if a whole token is available *at its
+//! arrival time*. Refused requests end
+//! [`SimEvent::Rejected`](crate::events::SimEvent::Rejected) — an
+//! explicit, immediate signal the client can back off on, instead of an
+//! unbounded queue that fails everyone late.
+//!
+//! The check lives in the shared per-node serving step
+//! ([`crate::node::ServingNode::enqueue`]), so refusal happens exactly
+//! once and every tier — single node, fleet, elastic fleet — inherits
+//! it. Tenants without a configured limit are never refused, which is
+//! what keeps the default path (no `rate_limits`) behaviorally identical
+//! to the pre-admission-control system.
+
+use modm_simkit::SimTime;
+use modm_workload::TenantId;
+
+use crate::fairqueue::{RateLimit, TenancyPolicy};
+
+/// One tenant's token bucket, refilled continuously in virtual time.
+///
+/// The bucket starts full (`burst` tokens), refills at `rate_per_min /
+/// 60` tokens per virtual second, and admits a request by spending one
+/// whole token. Determinism is exact: refill is computed from the
+/// elapsed virtual time, never from wall clocks.
+///
+/// # Example
+///
+/// ```
+/// use modm_core::admission::TokenBucket;
+/// use modm_simkit::SimTime;
+///
+/// // 60 req/min sustained, bursts of 2.
+/// let mut bucket = TokenBucket::new(60.0, 2.0);
+/// let t0 = SimTime::ZERO;
+/// assert!(bucket.try_admit(t0));
+/// assert!(bucket.try_admit(t0));
+/// assert!(!bucket.try_admit(t0), "burst spent");
+/// // One second refills one token at 1 req/sec.
+/// assert!(bucket.try_admit(SimTime::from_secs_f64(1.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    refilled_at: SimTime,
+}
+
+impl TokenBucket {
+    /// A full bucket admitting `rate_per_min` sustained, `burst` at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_min` is not positive or `burst < 1`.
+    pub fn new(rate_per_min: f64, burst: f64) -> Self {
+        assert!(rate_per_min > 0.0, "rate must be positive");
+        assert!(burst >= 1.0, "burst must admit at least one request");
+        TokenBucket {
+            rate_per_sec: rate_per_min / 60.0,
+            burst,
+            tokens: burst,
+            refilled_at: SimTime::ZERO,
+        }
+    }
+
+    /// Builds the bucket from a policy-level [`RateLimit`].
+    pub fn from_limit(limit: &RateLimit) -> Self {
+        TokenBucket::new(limit.rate_per_min, limit.burst)
+    }
+
+    /// Tokens currently available at `now` (after refill).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Spends one token if available; `false` refuses the request.
+    ///
+    /// `now` must not move backwards between calls (virtual time is
+    /// monotone in every host loop; an out-of-order call simply refills
+    /// nothing).
+    pub fn try_admit(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.refilled_at).as_secs_f64();
+        if elapsed > 0.0 {
+            self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.burst);
+            self.refilled_at = now;
+        }
+    }
+}
+
+/// The per-node admission controller: one [`TokenBucket`] per tenant
+/// with a configured [`RateLimit`], built from the deployment's
+/// [`TenancyPolicy`]. Tenants without a limit are always admitted.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionControl {
+    buckets: Vec<(TenantId, TokenBucket)>,
+}
+
+impl AdmissionControl {
+    /// Builds the controller from the policy's rate limits (empty limits
+    /// produce a controller that admits everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured limit has a non-positive rate or a burst
+    /// below one ([`MoDMConfig`](crate::config::MoDMConfig) validation
+    /// reports the same invariants as typed errors first).
+    pub fn new(policy: &TenancyPolicy) -> Self {
+        AdmissionControl {
+            buckets: policy
+                .rate_limits
+                .iter()
+                .map(|l| (l.tenant, TokenBucket::from_limit(l)))
+                .collect(),
+        }
+    }
+
+    /// True when no tenant is rate-limited (the fast path).
+    pub fn is_unlimited(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Admits or refuses `tenant`'s request arriving at `now`.
+    pub fn try_admit(&mut self, now: SimTime, tenant: TenantId) -> bool {
+        match self.buckets.iter_mut().find(|(t, _)| *t == tenant) {
+            Some((_, bucket)) => bucket.try_admit(now),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_enforces_rate_and_burst() {
+        // 30 req/min = 0.5 req/sec, burst 3.
+        let mut b = TokenBucket::new(30.0, 3.0);
+        let t = SimTime::ZERO;
+        assert!(b.try_admit(t) && b.try_admit(t) && b.try_admit(t));
+        assert!(!b.try_admit(t), "burst exhausted");
+        // 2 s refills one token.
+        assert!(b.try_admit(SimTime::from_secs_f64(2.0)));
+        assert!(!b.try_admit(SimTime::from_secs_f64(2.0)));
+        // A long idle period refills to the burst cap, never beyond.
+        assert!((b.available(SimTime::from_secs_f64(1_000.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_rate_traffic_is_never_refused() {
+        let mut b = TokenBucket::new(60.0, 1.0);
+        for i in 0..100 {
+            // Exactly at the sustained rate: one request per second.
+            assert!(b.try_admit(SimTime::from_secs_f64(i as f64)), "req {i}");
+        }
+    }
+
+    #[test]
+    fn controller_limits_only_configured_tenants() {
+        let policy = TenancyPolicy::fifo().with_rate_limit(TenantId(1), 60.0, 1.0);
+        let mut ac = AdmissionControl::new(&policy);
+        assert!(!ac.is_unlimited());
+        let t = SimTime::ZERO;
+        assert!(ac.try_admit(t, TenantId(1)));
+        assert!(!ac.try_admit(t, TenantId(1)), "tenant 1 over its burst");
+        for _ in 0..50 {
+            assert!(ac.try_admit(t, TenantId(2)), "unlimited tenant");
+        }
+    }
+
+    #[test]
+    fn empty_policy_admits_everything() {
+        let mut ac = AdmissionControl::new(&TenancyPolicy::fifo());
+        assert!(ac.is_unlimited());
+        assert!(ac.try_admit(SimTime::ZERO, TenantId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn non_positive_rate_rejected() {
+        let _ = TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst must admit")]
+    fn sub_one_burst_rejected() {
+        let _ = TokenBucket::new(10.0, 0.5);
+    }
+}

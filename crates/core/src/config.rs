@@ -42,6 +42,16 @@ pub enum ConfigError {
         /// Configured cache capacity.
         capacity: usize,
     },
+    /// A token-bucket rate limit had a non-positive rate.
+    NonPositiveRateLimit(TenantId),
+    /// A token-bucket rate limit had a burst below one request.
+    SubUnitBurst(TenantId),
+    /// The same tenant appeared twice in the rate limits.
+    DuplicateRateLimit(TenantId),
+    /// The adaptive aging bounds were inverted or non-positive.
+    BadAgingBounds,
+    /// The queue-time shed budget was zero.
+    ZeroQueueBudget,
 }
 
 impl fmt::Display for ConfigError {
@@ -69,6 +79,21 @@ impl fmt::Display for ConfigError {
                     f,
                     "tenant cache reserves ({reserved}) exceed cache capacity ({capacity})"
                 )
+            }
+            ConfigError::NonPositiveRateLimit(t) => {
+                write!(f, "tenant {t} needs a positive admission rate")
+            }
+            ConfigError::SubUnitBurst(t) => {
+                write!(f, "tenant {t}'s burst must admit at least one request")
+            }
+            ConfigError::DuplicateRateLimit(t) => {
+                write!(f, "tenant {t} appears twice in the rate limits")
+            }
+            ConfigError::BadAgingBounds => {
+                write!(f, "adaptive aging needs 0 < min <= max")
+            }
+            ConfigError::ZeroQueueBudget => {
+                write!(f, "queue-time shed budget must be positive")
             }
         }
     }
@@ -292,6 +317,27 @@ impl MoDMConfigBuilder {
                 capacity: c.cache_capacity,
             });
         }
+        let mut limited: Vec<TenantId> = Vec::new();
+        for limit in &c.tenancy.rate_limits {
+            if limit.rate_per_min <= 0.0 {
+                return Err(ConfigError::NonPositiveRateLimit(limit.tenant));
+            }
+            if limit.burst < 1.0 {
+                return Err(ConfigError::SubUnitBurst(limit.tenant));
+            }
+            if limited.contains(&limit.tenant) {
+                return Err(ConfigError::DuplicateRateLimit(limit.tenant));
+            }
+            limited.push(limit.tenant);
+        }
+        if let Some(bounds) = c.tenancy.aging_bounds {
+            if bounds.min.is_zero() || bounds.min > bounds.max {
+                return Err(ConfigError::BadAgingBounds);
+            }
+        }
+        if c.tenancy.queue_budget.is_some_and(|b| b.is_zero()) {
+            return Err(ConfigError::ZeroQueueBudget);
+        }
         Ok(self.config)
     }
 
@@ -432,6 +478,60 @@ mod tests {
                 TenantShare::new(TenantId(1), 4.0).with_cache_reserve(100),
                 TenantShare::new(TenantId(2), 1.0),
             ]))
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn overload_policy_validated() {
+        use modm_simkit::SimDuration;
+        assert_eq!(
+            MoDMConfig::builder()
+                .tenancy(TenancyPolicy::fifo().with_rate_limit(TenantId(1), 0.0, 2.0))
+                .try_build(),
+            Err(ConfigError::NonPositiveRateLimit(TenantId(1)))
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .tenancy(TenancyPolicy::fifo().with_rate_limit(TenantId(1), 5.0, 0.9))
+                .try_build(),
+            Err(ConfigError::SubUnitBurst(TenantId(1)))
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .tenancy(
+                    TenancyPolicy::fifo()
+                        .with_rate_limit(TenantId(1), 5.0, 2.0)
+                        .with_rate_limit(TenantId(1), 6.0, 2.0)
+                )
+                .try_build(),
+            Err(ConfigError::DuplicateRateLimit(TenantId(1)))
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .tenancy(TenancyPolicy::fifo().with_adaptive_aging(
+                    SimDuration::from_secs_f64(60.0),
+                    SimDuration::from_secs_f64(30.0),
+                ))
+                .try_build(),
+            Err(ConfigError::BadAgingBounds)
+        );
+        assert_eq!(
+            MoDMConfig::builder()
+                .tenancy(TenancyPolicy::fifo().with_queue_budget(SimDuration::ZERO))
+                .try_build(),
+            Err(ConfigError::ZeroQueueBudget)
+        );
+        assert!(MoDMConfig::builder()
+            .tenancy(
+                TenancyPolicy::fifo()
+                    .with_rate_limit(TenantId(1), 12.0, 4.0)
+                    .with_adaptive_aging(
+                        SimDuration::from_secs_f64(30.0),
+                        SimDuration::from_secs_f64(600.0),
+                    )
+                    .with_queue_budget(SimDuration::from_secs_f64(400.0))
+            )
             .try_build()
             .is_ok());
     }

@@ -42,6 +42,28 @@ pub enum SimEvent {
         /// The request's tenant.
         tenant: TenantId,
     },
+    /// The tenant's token bucket refused the request at admission (the
+    /// request is never queued and never completes).
+    Rejected {
+        /// Node that refused the request.
+        node: usize,
+        /// Trace request id.
+        request_id: u64,
+        /// The request's tenant.
+        tenant: TenantId,
+    },
+    /// The request outlived its queue-time budget and was shed at
+    /// dispatch instead of served.
+    ShedDeadline {
+        /// Node that shed the request.
+        node: usize,
+        /// Trace request id.
+        request_id: u64,
+        /// The request's tenant.
+        tenant: TenantId,
+        /// How long the request had waited in queue, seconds.
+        waited_secs: f64,
+    },
     /// The node's scheduler found a cached image good enough to refine.
     CacheHit {
         /// Node whose cache (or shard) hit.
@@ -132,6 +154,8 @@ impl SimEvent {
     pub fn node(&self) -> usize {
         match *self {
             SimEvent::Admitted { node, .. }
+            | SimEvent::Rejected { node, .. }
+            | SimEvent::ShedDeadline { node, .. }
             | SimEvent::CacheHit { node, .. }
             | SimEvent::CacheMiss { node, .. }
             | SimEvent::Dispatched { node, .. }
@@ -149,6 +173,8 @@ impl SimEvent {
     pub fn request_id(&self) -> Option<u64> {
         match *self {
             SimEvent::Admitted { request_id, .. }
+            | SimEvent::Rejected { request_id, .. }
+            | SimEvent::ShedDeadline { request_id, .. }
             | SimEvent::CacheHit { request_id, .. }
             | SimEvent::CacheMiss { request_id, .. }
             | SimEvent::Dispatched { request_id, .. }
@@ -161,6 +187,8 @@ impl SimEvent {
     pub fn tenant(&self) -> Option<TenantId> {
         match *self {
             SimEvent::Admitted { tenant, .. }
+            | SimEvent::Rejected { tenant, .. }
+            | SimEvent::ShedDeadline { tenant, .. }
             | SimEvent::CacheHit { tenant, .. }
             | SimEvent::CacheMiss { tenant, .. }
             | SimEvent::Dispatched { tenant, .. }
@@ -174,6 +202,8 @@ impl SimEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             SimEvent::Admitted { .. } => "admitted",
+            SimEvent::Rejected { .. } => "rejected",
+            SimEvent::ShedDeadline { .. } => "shed_deadline",
             SimEvent::CacheHit { .. } => "cache_hit",
             SimEvent::CacheMiss { .. } => "cache_miss",
             SimEvent::Dispatched { .. } => "dispatched",
@@ -289,5 +319,27 @@ mod tests {
         assert_eq!(collect.0[1].kind(), "scale_down");
         assert_eq!(collect.0[1].request_id(), None);
         assert_eq!(collect.0[1].tenant(), None);
+    }
+
+    #[test]
+    fn overload_events_carry_request_scope() {
+        let rejected = SimEvent::Rejected {
+            node: 2,
+            request_id: 11,
+            tenant: TenantId(5),
+        };
+        assert_eq!(rejected.kind(), "rejected");
+        assert_eq!(rejected.node(), 2);
+        assert_eq!(rejected.request_id(), Some(11));
+        assert_eq!(rejected.tenant(), Some(TenantId(5)));
+        let shed = SimEvent::ShedDeadline {
+            node: 1,
+            request_id: 12,
+            tenant: TenantId(6),
+            waited_secs: 480.0,
+        };
+        assert_eq!(shed.kind(), "shed_deadline");
+        assert_eq!(shed.request_id(), Some(12));
+        assert_eq!(shed.tenant(), Some(TenantId(6)));
     }
 }

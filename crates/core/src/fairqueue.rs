@@ -41,6 +41,71 @@ pub enum QueueDiscipline {
     WeightedFair,
 }
 
+/// What one queued request charges the WFQ virtual clock.
+///
+/// The fair queue's shares are defined over *charged cost*: a tenant's
+/// service share is proportional to `weight / cost-per-item`. The charge
+/// unit decides what the shares actually equalize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FairnessCharge {
+    /// Every request costs one virtual unit — shares track *request
+    /// counts* (the legacy behavior, and the default).
+    #[default]
+    PerRequest,
+    /// Every request costs its [`steps_for`](crate::node::steps_for)
+    /// denoising-step estimate — shares track *GPU time*, so a tenant
+    /// whose requests are all cache misses (~2–10× the steps of a hit)
+    /// no longer squeezes out tenants with cheap refinements.
+    GpuCost,
+}
+
+/// One tenant's admission-rate contract: a token bucket refilled at
+/// `rate_per_min`, holding at most `burst` tokens. A request is admitted
+/// only if a whole token is available; otherwise it is refused up front
+/// ([`SimEvent::Rejected`](crate::events::SimEvent::Rejected)) instead of
+/// absorbed into an unbounded queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// The tenant the bucket meters.
+    pub tenant: TenantId,
+    /// Sustained admission rate, requests per minute (must be positive).
+    pub rate_per_min: f64,
+    /// Bucket depth: the largest burst admitted at once (must be >= 1).
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A bucket admitting `rate_per_min` sustained with `burst` depth.
+    pub fn new(tenant: TenantId, rate_per_min: f64, burst: f64) -> Self {
+        RateLimit {
+            tenant,
+            rate_per_min,
+            burst,
+        }
+    }
+}
+
+/// Bounds for the adaptive anti-starvation aging threshold.
+///
+/// With a *fixed* threshold the operator must pick one point on the
+/// starvation-bound vs priority-fidelity trade-off (see the `tenancy`
+/// experiment docs): tight thresholds degrade strict priority toward
+/// global FIFO under sustained overload, loose ones starve the low
+/// classes under transient bursts. Adaptive aging moves the threshold
+/// with the observed backlog *above* the starved item's class: the
+/// effective threshold is `min * (1 + higher-class backlog)`, clamped to
+/// `[min, max]` — an empty high class rescues starved work after `min`,
+/// a deep high-class backlog defends priority up to `max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingBounds {
+    /// Threshold floor: the rescue latency when nothing outranks the
+    /// starved item.
+    pub min: SimDuration,
+    /// Threshold ceiling: the hard starvation bound no backlog can
+    /// extend.
+    pub max: SimDuration,
+}
+
 /// One tenant's service share under [`QueueDiscipline::WeightedFair`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantShare {
@@ -90,7 +155,27 @@ pub struct TenancyPolicy {
     pub shares: Vec<TenantShare>,
     /// Once an item has waited this long, it is served before any
     /// higher-class item (bounded starvation under strict priority).
+    /// When [`TenancyPolicy::aging_bounds`] is set, this fixed value is
+    /// superseded by the adaptive threshold.
     pub aging_threshold: SimDuration,
+    /// What a queued request charges the fair queue's virtual clock:
+    /// one unit ([`FairnessCharge::PerRequest`], the default) or its
+    /// GPU-step cost ([`FairnessCharge::GpuCost`]).
+    pub charge: FairnessCharge,
+    /// Per-tenant token buckets enforced at admission. Tenants not
+    /// listed are never refused. Empty (the default) disables admission
+    /// control entirely.
+    pub rate_limits: Vec<RateLimit>,
+    /// Adaptive aging bounds; `None` (the default) keeps the fixed
+    /// [`TenancyPolicy::aging_threshold`].
+    pub aging_bounds: Option<AgingBounds>,
+    /// Queue-time budget: a request that has waited longer than this
+    /// when a worker would pick it up is shed
+    /// ([`SimEvent::ShedDeadline`](crate::events::SimEvent::ShedDeadline))
+    /// instead of served — the work is already hopeless for its SLO and
+    /// serving it would only push the backlog further out. `None` (the
+    /// default) never sheds.
+    pub queue_budget: Option<SimDuration>,
 }
 
 impl Default for TenancyPolicy {
@@ -106,15 +191,19 @@ impl TenancyPolicy {
             discipline: QueueDiscipline::Fifo,
             shares: Vec::new(),
             aging_threshold: SimDuration::from_secs_f64(DEFAULT_AGING_SECS),
+            charge: FairnessCharge::PerRequest,
+            rate_limits: Vec::new(),
+            aging_bounds: None,
+            queue_budget: None,
         }
     }
 
     /// Weighted-fair admission with the given tenant shares.
     pub fn weighted_fair(shares: Vec<TenantShare>) -> Self {
         TenancyPolicy {
-            discipline: QueueDiscipline::WeightedFair,
             shares,
-            aging_threshold: SimDuration::from_secs_f64(DEFAULT_AGING_SECS),
+            discipline: QueueDiscipline::WeightedFair,
+            ..TenancyPolicy::fifo()
         }
     }
 
@@ -123,6 +212,40 @@ impl TenancyPolicy {
     pub fn with_aging_threshold(mut self, threshold: SimDuration) -> Self {
         self.aging_threshold = threshold;
         self
+    }
+
+    /// Sets the fairness charge unit (builder style).
+    #[must_use]
+    pub fn with_charge(mut self, charge: FairnessCharge) -> Self {
+        self.charge = charge;
+        self
+    }
+
+    /// Adds a token-bucket admission limit for `tenant` (builder style).
+    #[must_use]
+    pub fn with_rate_limit(mut self, tenant: TenantId, rate_per_min: f64, burst: f64) -> Self {
+        self.rate_limits
+            .push(RateLimit::new(tenant, rate_per_min, burst));
+        self
+    }
+
+    /// Enables adaptive aging between `min` and `max` (builder style).
+    #[must_use]
+    pub fn with_adaptive_aging(mut self, min: SimDuration, max: SimDuration) -> Self {
+        self.aging_bounds = Some(AgingBounds { min, max });
+        self
+    }
+
+    /// Sets the queue-time shed budget (builder style).
+    #[must_use]
+    pub fn with_queue_budget(mut self, budget: SimDuration) -> Self {
+        self.queue_budget = Some(budget);
+        self
+    }
+
+    /// The token bucket configured for `tenant`, if any.
+    pub fn rate_limit_of(&self, tenant: TenantId) -> Option<&RateLimit> {
+        self.rate_limits.iter().find(|l| l.tenant == tenant)
     }
 
     /// The WFQ weight of `tenant` (1.0 when unlisted).
@@ -225,6 +348,8 @@ pub struct FairQueue<T> {
     /// Weight per configured tenant (others weigh 1.0).
     weights: Vec<(TenantId, f64)>,
     aging: SimDuration,
+    /// Adaptive aging bounds; `None` keeps the fixed threshold.
+    aging_bounds: Option<AgingBounds>,
     /// FIFO storage (the `Fifo` discipline).
     fifo: VecDeque<Entry<T>>,
     /// WFQ storage, one scheduler per class (the `WeightedFair`
@@ -246,7 +371,11 @@ impl<T> FairQueue<T> {
     ///
     /// # Panics
     ///
-    /// Panics if a configured share has a non-positive weight.
+    /// Panics if a configured share has a non-positive weight, or if the
+    /// adaptive aging bounds are inverted or zero
+    /// ([`MoDMConfig`](crate::config::MoDMConfig) validation reports the
+    /// same invariants as typed errors first; this guards direct
+    /// construction).
     pub fn new(policy: &TenancyPolicy) -> Self {
         for s in &policy.shares {
             assert!(
@@ -255,10 +384,17 @@ impl<T> FairQueue<T> {
                 s.tenant
             );
         }
+        if let Some(bounds) = policy.aging_bounds {
+            assert!(
+                !bounds.min.is_zero() && bounds.min <= bounds.max,
+                "adaptive aging needs 0 < min <= max"
+            );
+        }
         FairQueue {
             discipline: policy.discipline,
             weights: policy.shares.iter().map(|s| (s.tenant, s.weight)).collect(),
             aging: policy.aging_threshold,
+            aging_bounds: policy.aging_bounds,
             fifo: VecDeque::new(),
             classes: Default::default(),
             len: 0,
@@ -300,8 +436,30 @@ impl<T> FairQueue<T> {
             .map_or(1.0, |(_, w)| *w)
     }
 
-    /// Enqueues `item` for `tenant` under `qos` at virtual time `now`.
+    /// Enqueues `item` for `tenant` under `qos` at virtual time `now`,
+    /// charging one virtual unit (the [`FairnessCharge::PerRequest`]
+    /// behavior).
     pub fn push(&mut self, now: SimTime, tenant: TenantId, qos: QosClass, item: T) {
+        self.push_weighted(now, tenant, qos, 1.0, item);
+    }
+
+    /// Enqueues `item` charging `cost` virtual units against the tenant's
+    /// weight — the [`FairnessCharge::GpuCost`] entry point, where `cost`
+    /// is the item's [`steps_for`](crate::node::steps_for) estimate. With
+    /// `cost = 1.0` this is exactly [`FairQueue::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is not positive.
+    pub fn push_weighted(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        qos: QosClass,
+        cost: f64,
+        item: T,
+    ) {
+        assert!(cost > 0.0, "charge cost must be positive");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
@@ -320,7 +478,7 @@ impl<T> FairQueue<T> {
                 let class = &mut self.classes[class_slot(qos)];
                 let tq = class.tenants.entry(tenant).or_default();
                 let start = class.virtual_time.max(tq.last_finish);
-                let tag = start + 1.0 / weight;
+                let tag = start + cost / weight;
                 tq.last_finish = tag;
                 tq.items.push_back(Entry {
                     item,
@@ -338,6 +496,13 @@ impl<T> FairQueue<T> {
     ///
     /// Work-conserving: returns `Some` whenever the queue is non-empty.
     pub fn pop(&mut self, now: SimTime) -> Option<T> {
+        self.pop_entry(now).map(|(item, _)| item)
+    }
+
+    /// Like [`FairQueue::pop`], but also returns when the item was
+    /// enqueued — what a shed-deadline check at dispatch time needs to
+    /// decide whether the item's queue-time budget is already spent.
+    pub fn pop_entry(&mut self, now: SimTime) -> Option<(T, SimTime)> {
         if self.len == 0 {
             return None;
         }
@@ -345,7 +510,7 @@ impl<T> FairQueue<T> {
             QueueDiscipline::Fifo => {
                 let entry = self.fifo.pop_front()?;
                 self.len -= 1;
-                Some(entry.item)
+                Some((entry.item, entry.enqueued_at))
             }
             QueueDiscipline::WeightedFair => {
                 let (slot, tenant) = self.select_wfq(now)?;
@@ -362,9 +527,24 @@ impl<T> FairQueue<T> {
                 class.virtual_time = class.virtual_time.max(entry.tag);
                 class.len -= 1;
                 self.len -= 1;
-                Some(entry.item)
+                Some((entry.item, entry.enqueued_at))
             }
         }
+    }
+
+    /// The aging threshold applied to a starved candidate in class `slot`
+    /// right now: the fixed threshold, or — under adaptive aging — the
+    /// backlog-scaled threshold `min * (1 + items queued in higher
+    /// classes)`, clamped to the configured `[min, max]`. An empty high
+    /// class rescues quickly; a deep one defends priority, but never past
+    /// `max`.
+    fn aging_threshold_for(&self, slot: usize) -> SimDuration {
+        let Some(AgingBounds { min, max }) = self.aging_bounds else {
+            return self.aging;
+        };
+        let higher: usize = self.classes[slot + 1..].iter().map(|c| c.len).sum();
+        let scaled = min.as_secs_f64() * (1.0 + higher as f64);
+        SimDuration::from_secs_f64(scaled.clamp(min.as_secs_f64(), max.as_secs_f64()))
     }
 
     /// Picks `(class slot, tenant)` of the next WFQ victim: the starved
@@ -375,9 +555,10 @@ impl<T> FairQueue<T> {
         // waited past the threshold is served regardless of class.
         let mut starved: Option<(SimTime, u64, usize, TenantId)> = None;
         for (slot, class) in self.classes.iter().enumerate() {
+            let threshold = self.aging_threshold_for(slot);
             for (&tenant, tq) in &class.tenants {
                 let head = tq.items.front().expect("subqueues are non-empty");
-                if now.saturating_since(head.enqueued_at) >= self.aging {
+                if now.saturating_since(head.enqueued_at) >= threshold {
                     let key = (head.enqueued_at, head.seq, slot, tenant);
                     if starved.is_none_or(|best| (key.0, key.1) < (best.0, best.1)) {
                         starved = Some(key);
@@ -569,5 +750,123 @@ mod tests {
     #[should_panic(expected = "weight must be positive")]
     fn non_positive_weights_rejected() {
         let _ = wfq(vec![TenantShare::new(TenantId(1), 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive aging needs")]
+    fn inverted_aging_bounds_rejected_at_construction() {
+        let policy = TenancyPolicy::weighted_fair(vec![]).with_adaptive_aging(
+            SimDuration::from_secs_f64(60.0),
+            SimDuration::from_secs_f64(30.0),
+        );
+        let _: FairQueue<u64> = FairQueue::new(&policy);
+    }
+
+    #[test]
+    fn gpu_cost_charge_shifts_shares_toward_cheap_work() {
+        // Equal weights, but tenant 1's items cost 10 units and tenant
+        // 2's cost 1: under cost charging, tenant 2 drains ~10 items per
+        // tenant-1 item.
+        let mut q = wfq(vec![]);
+        let now = SimTime::ZERO;
+        for i in 0..10 {
+            q.push_weighted(now, TenantId(1), QosClass::Standard, 10.0, i);
+            q.push_weighted(now, TenantId(2), QosClass::Standard, 1.0, 100 + i);
+        }
+        let mut cheap = 0;
+        for _ in 0..11 {
+            if q.pop(now).expect("queued") >= 100 {
+                cheap += 1;
+            }
+        }
+        assert_eq!(cheap, 10, "cost-charged shares favor cheap items 10:1");
+    }
+
+    #[test]
+    fn unit_cost_push_weighted_matches_push() {
+        let mut a = wfq(vec![TenantShare::new(TenantId(1), 3.0)]);
+        let mut b = wfq(vec![TenantShare::new(TenantId(1), 3.0)]);
+        let now = SimTime::ZERO;
+        for i in 0..12 {
+            let t = TenantId(1 + (i % 2) as u16);
+            a.push(now, t, QosClass::Standard, i);
+            b.push_weighted(now, t, QosClass::Standard, 1.0, i);
+        }
+        for _ in 0..12 {
+            assert_eq!(a.pop(now), b.pop(now));
+        }
+    }
+
+    #[test]
+    fn pop_entry_reports_enqueue_time() {
+        let mut q: FairQueue<u64> = FairQueue::new(&TenancyPolicy::fifo());
+        q.push(
+            SimTime::from_secs_f64(3.0),
+            TenantId(1),
+            QosClass::Standard,
+            7,
+        );
+        let (item, at) = q.pop_entry(SimTime::from_secs_f64(9.0)).expect("queued");
+        assert_eq!(item, 7);
+        assert_eq!(at, SimTime::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn adaptive_aging_scales_with_higher_class_backlog() {
+        let min = SimDuration::from_secs_f64(10.0);
+        let max = SimDuration::from_secs_f64(40.0);
+        let policy = TenancyPolicy::weighted_fair(vec![]).with_adaptive_aging(min, max);
+        let mut q: FairQueue<u64> = FairQueue::new(&policy);
+        // One best-effort item, then a 2-deep interactive backlog: the
+        // effective threshold is min * (1 + 2) = 30 s.
+        q.push(SimTime::ZERO, TenantId(1), QosClass::BestEffort, 0);
+        q.push(
+            SimTime::from_secs_f64(1.0),
+            TenantId(2),
+            QosClass::Interactive,
+            1,
+        );
+        q.push(
+            SimTime::from_secs_f64(1.0),
+            TenantId(2),
+            QosClass::Interactive,
+            2,
+        );
+        // At 12 s the fixed-min threshold would already rescue item 0,
+        // but the backlog-scaled one (30 s) has not elapsed.
+        assert_eq!(q.pop(SimTime::from_secs_f64(12.0)), Some(1));
+        q.push(
+            SimTime::from_secs_f64(12.0),
+            TenantId(2),
+            QosClass::Interactive,
+            3,
+        );
+        // At 31 s item 0 has aged past 30 s and jumps the queue.
+        assert_eq!(q.pop(SimTime::from_secs_f64(31.0)), Some(0));
+        assert_eq!(q.pop(SimTime::from_secs_f64(31.0)), Some(2));
+    }
+
+    #[test]
+    fn adaptive_aging_never_exceeds_max() {
+        let min = SimDuration::from_secs_f64(5.0);
+        let max = SimDuration::from_secs_f64(20.0);
+        let policy = TenancyPolicy::weighted_fair(vec![]).with_adaptive_aging(min, max);
+        let mut q: FairQueue<u64> = FairQueue::new(&policy);
+        q.push(SimTime::ZERO, TenantId(1), QosClass::BestEffort, 0);
+        // A 100-deep interactive backlog would scale the threshold to
+        // 505 s unclamped; max caps it at 20 s.
+        for i in 0..100 {
+            q.push(
+                SimTime::from_secs_f64(1.0),
+                TenantId(2),
+                QosClass::Interactive,
+                1 + i,
+            );
+        }
+        assert_eq!(
+            q.pop(SimTime::from_secs_f64(21.0)),
+            Some(0),
+            "max bounds starvation regardless of backlog"
+        );
     }
 }

@@ -14,6 +14,9 @@
 //! * [`node`] — the per-node serving step (queues, dispatch, monitor
 //!   window) shared by this crate's single-node loop and the multi-node
 //!   loops in `modm-fleet` / `modm-controlplane`.
+//! * [`admission`] — per-tenant token buckets enforced at the front of
+//!   that step: overload is refused up front instead of absorbed into
+//!   unbounded queues.
 //! * [`system`] — the discrete-event serving loop tying scheduler, monitor,
 //!   GPU workers, cache and metrics together.
 //! * [`events`] — the typed event stream ([`SimEvent`] / [`Observer`])
@@ -37,6 +40,7 @@
 //! assert!(report.hit_rate() > 0.0);
 //! ```
 
+pub mod admission;
 pub mod config;
 pub mod events;
 pub mod fairqueue;
@@ -48,9 +52,12 @@ pub mod report;
 pub mod scheduler;
 pub mod system;
 
+pub use admission::{AdmissionControl, TokenBucket};
 pub use config::{AdmissionPolicy, ConfigError, MoDMConfig, MoDMConfigBuilder, ServingMode};
 pub use events::{NullObserver, Obs, Observer, SimEvent};
-pub use fairqueue::{FairQueue, QueueDiscipline, TenancyPolicy, TenantShare};
+pub use fairqueue::{
+    AgingBounds, FairQueue, FairnessCharge, QueueDiscipline, RateLimit, TenancyPolicy, TenantShare,
+};
 pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
 pub use monitor::{GlobalMonitor, WindowStats};
 pub use node::{NodeInFlight, ServingNode};

@@ -19,12 +19,20 @@ use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputRe
 use modm_simkit::{SimDuration, SimRng, SimTime};
 use modm_workload::TenantId;
 
+use crate::admission::AdmissionControl;
 use crate::config::MoDMConfig;
 use crate::events::{emit, Obs, SimEvent};
-use crate::fairqueue::FairQueue;
+use crate::fairqueue::{FairQueue, FairnessCharge};
 use crate::monitor::{GlobalMonitor, WindowStats};
 use crate::report::{AllocationSample, ServingReport, TenantSlice};
 use crate::scheduler::{RouteKind, RoutedRequest};
+
+/// Which admission lane a dispatch pop draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Hit,
+    Miss,
+}
 
 /// A request a worker is currently generating or refining.
 #[derive(Debug, Clone)]
@@ -58,6 +66,17 @@ pub struct ServingNode {
     /// lanes by hosted model.
     hit_q: FairQueue<RoutedRequest>,
     miss_q: FairQueue<RoutedRequest>,
+    /// Per-tenant token buckets checked before anything is queued
+    /// (admits everything when no rate limits are configured).
+    admission: AdmissionControl,
+    /// What a queued request charges the fair queue's virtual clock.
+    charge: FairnessCharge,
+    /// Reference model for [`FairnessCharge::GpuCost`]: costs are
+    /// `steps_for` against the deployment's large model, so a miss
+    /// charges the full generation and a hit its `(T - k)/T` remainder.
+    charge_model: ModelId,
+    /// Queue-time shed budget (`None` never sheds).
+    queue_budget: Option<SimDuration>,
     // Metrics.
     latency: LatencyReport,
     throughput: ThroughputReport,
@@ -65,6 +84,10 @@ pub struct ServingNode {
     k_histogram: [u64; K_CHOICES.len()],
     hits: u64,
     misses: u64,
+    /// Requests refused at admission.
+    rejected: u64,
+    /// Requests shed at dispatch past the queue-time budget.
+    shed: u64,
     allocation_series: Vec<AllocationSample>,
     /// Per-tenant accounting, keyed for deterministic report order.
     tenants: BTreeMap<TenantId, TenantSlice>,
@@ -97,12 +120,18 @@ impl ServingNode {
             in_flight: (0..n).map(|_| None).collect(),
             hit_q: FairQueue::new(&config.tenancy),
             miss_q: FairQueue::new(&config.tenancy),
+            admission: AdmissionControl::new(&config.tenancy),
+            charge: config.tenancy.charge,
+            charge_model: config.large_model,
+            queue_budget: config.tenancy.queue_budget,
             latency: LatencyReport::new(),
             throughput: ThroughputReport::new(),
             quality: QualityAggregator::new(),
             k_histogram: [0; K_CHOICES.len()],
             hits: 0,
             misses: 0,
+            rejected: 0,
+            shed: 0,
             allocation_series: Vec::new(),
             tenants: BTreeMap::new(),
             win_arrivals: 0,
@@ -132,6 +161,28 @@ impl ServingNode {
         self.misses
     }
 
+    /// Requests refused at admission so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Requests shed past the queue-time budget so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Per-tenant `(tenant, qos, rejected, shed)` overload counters, in
+    /// tenant order — what a host that aggregates fleet-level slices
+    /// (and tears nodes down mid-run, like the elastic control plane)
+    /// harvests before dropping the node.
+    pub fn tenant_overload(&self) -> Vec<(TenantId, modm_workload::QosClass, u64, u64)> {
+        self.tenants
+            .values()
+            .filter(|s| s.rejected > 0 || s.shed > 0)
+            .map(|s| (s.tenant, s.qos, s.rejected, s.shed))
+            .collect()
+    }
+
     /// Outstanding backlog: queued requests plus busy workers. The unit is
     /// "jobs", which is all a load-aware router needs to compare nodes of
     /// a homogeneous fleet.
@@ -152,7 +203,30 @@ impl ServingNode {
     /// accounting and the monitor window counters. Emits
     /// [`SimEvent::Admitted`] followed by the cache decision
     /// ([`SimEvent::CacheHit`] / [`SimEvent::CacheMiss`]) to `obs`.
-    pub fn enqueue(&mut self, now: SimTime, routed: RoutedRequest, mut obs: Obs<'_, '_>) {
+    ///
+    /// When the request's tenant has a token bucket and it is empty, the
+    /// request is refused instead: [`SimEvent::Rejected`] is emitted, the
+    /// tenant's `rejected` counter advances, nothing is queued, and the
+    /// method returns `false` (the host loop uses this to keep a
+    /// closed-loop saturation backlog primed). Refused requests never
+    /// touch the hit/miss accounting or the monitor's window counters —
+    /// the monitor plans capacity for admitted work only.
+    pub fn enqueue(&mut self, now: SimTime, routed: RoutedRequest, mut obs: Obs<'_, '_>) -> bool {
+        if !self.admission.try_admit(now, routed.tenant) {
+            self.rejected += 1;
+            let slice = self
+                .tenants
+                .entry(routed.tenant)
+                .or_insert_with(|| TenantSlice::new(routed.tenant, routed.qos));
+            slice.qos = routed.qos;
+            slice.rejected += 1;
+            emit(&mut obs, now, || SimEvent::Rejected {
+                node: self.id,
+                request_id: routed.request_id,
+                tenant: routed.tenant,
+            });
+            return false;
+        }
         self.win_arrivals += 1;
         emit(&mut obs, now, || SimEvent::Admitted {
             node: self.id,
@@ -164,6 +238,10 @@ impl ServingNode {
             .entry(routed.tenant)
             .or_insert_with(|| TenantSlice::new(routed.tenant, routed.qos));
         slice.qos = routed.qos;
+        let cost = match self.charge {
+            FairnessCharge::PerRequest => 1.0,
+            FairnessCharge::GpuCost => steps_for(&routed, self.charge_model) as f64,
+        };
         match &routed.route {
             RouteKind::Hit { k, .. } => {
                 slice.hits += 1;
@@ -178,7 +256,8 @@ impl ServingNode {
                     tenant: routed.tenant,
                     k: *k,
                 });
-                self.hit_q.push(now, routed.tenant, routed.qos, routed);
+                self.hit_q
+                    .push_weighted(now, routed.tenant, routed.qos, cost, routed);
             }
             RouteKind::Miss => {
                 slice.misses += 1;
@@ -189,9 +268,11 @@ impl ServingNode {
                     request_id: routed.request_id,
                     tenant: routed.tenant,
                 });
-                self.miss_q.push(now, routed.tenant, routed.qos, routed);
+                self.miss_q
+                    .push_weighted(now, routed.tenant, routed.qos, cost, routed);
             }
         }
+        true
     }
 
     /// One global-monitor tick over the window that just ended: re-plans
@@ -255,9 +336,12 @@ impl ServingNode {
                 }
                 let hosted = self.workers[w].model();
                 let job = if hosted.spec().is_large() {
-                    self.miss_q.pop(now).or_else(|| self.hit_q.pop(now))
+                    match self.pop_serveable(now, Lane::Miss, &mut obs) {
+                        Some(job) => Some(job),
+                        None => self.pop_serveable(now, Lane::Hit, &mut obs),
+                    }
                 } else {
-                    self.hit_q.pop(now)
+                    self.pop_serveable(now, Lane::Hit, &mut obs)
                 };
                 let Some(routed) = job else { continue };
                 let steps = steps_for(&routed, hosted);
@@ -279,6 +363,45 @@ impl ServingNode {
             if !progress {
                 break;
             }
+        }
+    }
+
+    /// Pops the next *serveable* job from `lane`, shedding any item whose
+    /// queue wait already exceeds the configured budget: a request that
+    /// waited past the budget is hopeless for its SLO, and serving it
+    /// would only push every later request further out. Sheds emit
+    /// [`SimEvent::ShedDeadline`] and advance the tenant's `shed`
+    /// counter; with no budget configured this is exactly a plain pop.
+    fn pop_serveable(
+        &mut self,
+        now: SimTime,
+        lane: Lane,
+        obs: &mut Obs<'_, '_>,
+    ) -> Option<RoutedRequest> {
+        loop {
+            let queue = match lane {
+                Lane::Hit => &mut self.hit_q,
+                Lane::Miss => &mut self.miss_q,
+            };
+            let (routed, enqueued_at) = queue.pop_entry(now)?;
+            let waited = now.saturating_since(enqueued_at);
+            if self.queue_budget.is_some_and(|budget| waited > budget) {
+                self.shed += 1;
+                let slice = self
+                    .tenants
+                    .entry(routed.tenant)
+                    .or_insert_with(|| TenantSlice::new(routed.tenant, routed.qos));
+                slice.qos = routed.qos;
+                slice.shed += 1;
+                emit(obs, now, || SimEvent::ShedDeadline {
+                    node: self.id,
+                    request_id: routed.request_id,
+                    tenant: routed.tenant,
+                    waited_secs: waited.as_secs_f64(),
+                });
+                continue;
+            }
+            return Some(routed);
         }
     }
 
@@ -354,6 +477,8 @@ impl ServingNode {
             cache_stats,
             hits: self.hits,
             misses: self.misses,
+            rejected: self.rejected,
+            shed: self.shed,
             k_histogram: self.k_histogram,
             allocation_series: self.allocation_series,
             tenant_slices: self.tenants.into_values().collect(),

@@ -36,6 +36,11 @@ pub struct TenantSlice {
     pub hits: u64,
     /// Its requests requiring full generation.
     pub misses: u64,
+    /// Its requests refused at admission by its token bucket.
+    pub rejected: u64,
+    /// Its requests shed at dispatch after exceeding the queue-time
+    /// budget.
+    pub shed: u64,
     /// Its end-to-end latency distribution.
     pub latency: LatencyReport,
 }
@@ -70,6 +75,26 @@ impl TenantSlice {
     pub fn p99_secs(&mut self) -> Option<f64> {
         self.latency.p99_secs()
     }
+
+    /// Requests the tenant offered: completed plus refused plus shed.
+    pub fn offered(&self) -> u64 {
+        self.completed + self.rejected + self.shed
+    }
+
+    /// The tenant's goodput at `multiple` × the SLO reference:
+    /// completions that met the SLO (rejected and shed work scores
+    /// zero).
+    pub fn goodput(&self, slo: &SloThresholds, multiple: f64) -> u64 {
+        self.latency.goodput(slo, multiple)
+    }
+
+    /// Merges another slice's overload counters into this one (what the
+    /// fleet-level aggregations use to absorb per-node refusals and
+    /// sheds, which never reach the completion path).
+    pub fn absorb_overload(&mut self, rejected: u64, shed: u64) {
+        self.rejected += rejected;
+        self.shed += shed;
+    }
 }
 
 /// Everything measured during a [`crate::ServingSystem`] run.
@@ -91,6 +116,10 @@ pub struct ServingReport {
     pub hits: u64,
     /// Requests requiring full generation.
     pub misses: u64,
+    /// Requests refused at admission by tenant token buckets.
+    pub rejected: u64,
+    /// Requests shed at dispatch after exceeding the queue-time budget.
+    pub shed: u64,
     /// Hits per k value, in [`K_CHOICES`] order.
     pub k_histogram: [u64; K_CHOICES.len()],
     /// Monitor allocation over time.
@@ -132,6 +161,13 @@ impl ServingReport {
     /// SLO violation rate at `multiple` x the large-model latency.
     pub fn slo_violation_rate(&self, multiple: f64) -> f64 {
         self.latency.slo_violation_rate(&self.slo, multiple)
+    }
+
+    /// Goodput at `multiple` x the large-model latency: completions that
+    /// met the SLO. Refused and shed requests never complete and so
+    /// score zero.
+    pub fn goodput(&self, multiple: f64) -> u64 {
+        self.latency.goodput(&self.slo, multiple)
     }
 
     /// Fraction of hits at each k, in [`K_CHOICES`] order (Fig 9's stacked
@@ -182,6 +218,8 @@ mod tests {
             cache_stats: CacheStats::new(),
             hits: 0,
             misses: 0,
+            rejected: 0,
+            shed: 0,
             k_histogram: [0; K_CHOICES.len()],
             allocation_series: Vec::new(),
             tenant_slices: Vec::new(),

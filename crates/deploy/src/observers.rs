@@ -169,8 +169,9 @@ impl Observer for EventLogObserver {
 /// (`tenant` is the request's tenant id for request-scoped events,
 /// `count` carries the kind-specific tally — prewarmed entries for
 /// activations, redelivered requests for crashes — and `lost` the cache
-/// entries a crash destroyed). Fields a kind does not define render
-/// empty.
+/// entries a crash destroyed; a `shed_deadline` event reports its queue
+/// wait in the `latency_secs` column). Fields a kind does not define
+/// render empty.
 pub fn events_to_csv(events: &[(SimTime, SimEvent)]) -> String {
     let mut out = String::from(
         "at_secs,event,node,request,tenant,worker,model,k,latency_secs,hit,count,lost\n",
@@ -211,6 +212,15 @@ pub fn events_to_csv(events: &[(SimTime, SimEvent)]) -> String {
                 String::new(),
                 format!("{latency_secs}"),
                 (hit as u8).to_string(),
+                String::new(),
+                String::new(),
+            ),
+            SimEvent::ShedDeadline { waited_secs, .. } => (
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("{waited_secs}"),
+                String::new(),
                 String::new(),
                 String::new(),
             ),
@@ -273,6 +283,9 @@ pub fn events_to_json(events: &[(SimTime, SimEvent)]) -> String {
                 out.push_str(&format!(
                     ", \"latency_secs\": {latency_secs}, \"hit\": {hit}"
                 ));
+            }
+            SimEvent::ShedDeadline { waited_secs, .. } => {
+                out.push_str(&format!(", \"waited_secs\": {waited_secs}"));
             }
             SimEvent::NodeActive { prewarmed, .. } => {
                 out.push_str(&format!(", \"prewarmed\": {prewarmed}"));
@@ -463,6 +476,35 @@ mod tests {
         assert!(json.contains("\"k\": 20"));
         assert!(json.contains("\"latency_secs\": 1.5"));
         assert_eq!(json.lines().count(), 2);
+    }
+
+    #[test]
+    fn export_renders_overload_events() {
+        let mut exp = TraceExportObserver::new();
+        exp.on_event(
+            SimTime::from_secs_f64(4.0),
+            &SimEvent::Rejected {
+                node: 1,
+                request_id: 3,
+                tenant: modm_workload::TenantId(2),
+            },
+        );
+        exp.on_event(
+            SimTime::from_secs_f64(8.0),
+            &SimEvent::ShedDeadline {
+                node: 1,
+                request_id: 5,
+                tenant: modm_workload::TenantId(2),
+                waited_secs: 480.5,
+            },
+        );
+        let csv = exp.to_csv();
+        assert!(csv.contains("4,rejected,1,3,2,,,,,,,"));
+        assert!(csv.contains("8,shed_deadline,1,5,2,,,,480.5,,,"));
+        let json = exp.to_json();
+        assert!(json.contains("\"event\": \"rejected\""));
+        assert!(json.contains("\"event\": \"shed_deadline\""));
+        assert!(json.contains("\"waited_secs\": 480.5"));
     }
 
     #[test]

@@ -166,6 +166,44 @@ impl RunOutcome {
         }
     }
 
+    /// Requests refused at admission by tenant token buckets (zero
+    /// unless the deployment configured rate limits).
+    pub fn rejected(&self) -> u64 {
+        match &self.report {
+            TierReport::Single(r) => r.rejected,
+            TierReport::Fleet(r) => r.rejected(),
+            TierReport::Elastic(r) => r.rejected,
+        }
+    }
+
+    /// Requests shed at dispatch after exceeding the queue-time budget
+    /// (zero unless the deployment configured one).
+    pub fn shed(&self) -> u64 {
+        match &self.report {
+            TierReport::Single(r) => r.shed,
+            TierReport::Fleet(r) => r.shed(),
+            TierReport::Elastic(r) => r.shed,
+        }
+    }
+
+    /// Requests offered to the deployment: completed plus refused plus
+    /// shed.
+    pub fn offered(&self) -> u64 {
+        self.completed() + self.rejected() + self.shed()
+    }
+
+    /// Goodput at `multiple` × the large-model latency: completions
+    /// that met the SLO. Refused and shed work never completes and so
+    /// scores zero — which is exactly why refusing hopeless work early
+    /// can *raise* this number under overload.
+    pub fn goodput(&self, multiple: f64) -> u64 {
+        match &self.report {
+            TierReport::Single(r) => r.goodput(multiple),
+            TierReport::Fleet(r) => r.goodput(multiple),
+            TierReport::Elastic(r) => r.goodput(multiple),
+        }
+    }
+
     /// Cache hit rate over the run.
     pub fn hit_rate(&self) -> f64 {
         match &self.report {
@@ -353,6 +391,9 @@ impl RunOutcome {
                     completed: slice.completed,
                     hits: slice.hits,
                     misses: slice.misses,
+                    rejected: slice.rejected,
+                    shed: slice.shed,
+                    goodput: slice.goodput(&slo, slo_multiple),
                     hit_rate: slice.hit_rate(),
                     p99_secs: slice.p99_secs(),
                     slo_attainment: slice.slo_attainment(&slo, slo_multiple),
@@ -366,6 +407,9 @@ impl RunOutcome {
             completed: self.completed(),
             hits: self.hits(),
             misses: self.misses(),
+            rejected: self.rejected(),
+            shed: self.shed(),
+            goodput: self.goodput(slo_multiple),
             hit_rate: self.hit_rate(),
             requests_per_minute: self.requests_per_minute(),
             p99_secs: self.p99_secs(),
@@ -392,6 +436,12 @@ pub struct TenantSummary {
     pub hits: u64,
     /// Its requests requiring full generation.
     pub misses: u64,
+    /// Its requests refused at admission by its token bucket.
+    pub rejected: u64,
+    /// Its requests shed past the queue-time budget.
+    pub shed: u64,
+    /// Its completions that met the summary's SLO.
+    pub goodput: u64,
     /// Its cache hit rate.
     pub hit_rate: f64,
     /// Its P99 end-to-end latency, seconds.
@@ -401,12 +451,20 @@ pub struct TenantSummary {
 }
 
 impl TenantSummary {
+    /// Requests the tenant offered: completed plus refused plus shed.
+    pub fn offered(&self) -> u64 {
+        self.completed + self.rejected + self.shed
+    }
+
     fn approx_eq(&self, other: &TenantSummary, epsilon: f64) -> bool {
         self.tenant == other.tenant
             && self.qos == other.qos
             && self.completed == other.completed
             && self.hits == other.hits
             && self.misses == other.misses
+            && self.rejected == other.rejected
+            && self.shed == other.shed
+            && self.goodput == other.goodput
             && float_close(self.hit_rate, other.hit_rate, epsilon)
             && option_close(self.p99_secs, other.p99_secs, epsilon)
             && float_close(self.slo_attainment, other.slo_attainment, epsilon)
@@ -446,6 +504,13 @@ pub struct Summary {
     pub hits: u64,
     /// Requests requiring full generation.
     pub misses: u64,
+    /// Requests refused at admission (zero without rate limits).
+    pub rejected: u64,
+    /// Requests shed past the queue-time budget (zero without one).
+    pub shed: u64,
+    /// Completions that met the SLO — the overload control plane's
+    /// success metric.
+    pub goodput: u64,
     /// Cache hit rate.
     pub hit_rate: f64,
     /// Sustained throughput, requests/minute.
@@ -481,6 +546,9 @@ impl Summary {
             && self.completed == other.completed
             && self.hits == other.hits
             && self.misses == other.misses
+            && self.rejected == other.rejected
+            && self.shed == other.shed
+            && self.goodput == other.goodput
             && float_close(self.hit_rate, other.hit_rate, epsilon)
             && float_close(self.requests_per_minute, other.requests_per_minute, epsilon)
             && option_close(self.p99_secs, other.p99_secs, epsilon)
@@ -500,19 +568,34 @@ impl Summary {
     /// floats via Rust's shortest round-trip formatting) — the byte-exact
     /// form the golden-run regression snapshots pin. The label is
     /// JSON-escaped.
+    ///
+    /// The overload columns (`rejected`, `shed`, `goodput`) render only
+    /// when the run actually refused or shed work, so runs without
+    /// overload control — including every pre-existing golden snapshot —
+    /// keep their exact historical byte shape.
     pub fn to_json(&self, label: &str) -> String {
         let label = label.replace('\\', "\\\\").replace('"', "\\\"");
+        let overloaded = self.rejected > 0 || self.shed > 0;
         let mut out = format!(
             "{{\"label\": \"{label}\", \"tier\": \"{}\", \"nodes\": {}, \"total_gpus\": {}, \
-             \"completed\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {}, \
-             \"requests_per_minute\": {}, \"p99_secs\": {}, \"slo_multiple\": {}, \
-             \"slo_attainment\": {}, \"gpu_hours\": {}, \"finished_mins\": {}, \"tenants\": [",
+             \"completed\": {}, \"hits\": {}, \"misses\": {}, ",
             self.tier.name(),
             self.nodes,
             self.total_gpus,
             self.completed,
             self.hits,
             self.misses,
+        );
+        if overloaded {
+            out.push_str(&format!(
+                "\"rejected\": {}, \"shed\": {}, \"goodput\": {}, ",
+                self.rejected, self.shed, self.goodput,
+            ));
+        }
+        out.push_str(&format!(
+            "\"hit_rate\": {}, \
+             \"requests_per_minute\": {}, \"p99_secs\": {}, \"slo_multiple\": {}, \
+             \"slo_attainment\": {}, \"gpu_hours\": {}, \"finished_mins\": {}, \"tenants\": [",
             self.hit_rate,
             self.requests_per_minute,
             self.p99_secs.map_or("null".into(), |v| v.to_string()),
@@ -520,19 +603,28 @@ impl Summary {
             self.slo_attainment,
             self.gpu_hours,
             self.finished_mins,
-        );
+        ));
         for (i, t) in self.tenants.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
             out.push_str(&format!(
                 "{{\"tenant\": {}, \"qos\": \"{}\", \"completed\": {}, \"hits\": {}, \
-                 \"misses\": {}, \"hit_rate\": {}, \"p99_secs\": {}, \"slo_attainment\": {}}}",
+                 \"misses\": {}, ",
                 t.tenant.0,
                 t.qos.name(),
                 t.completed,
                 t.hits,
                 t.misses,
+            ));
+            if overloaded {
+                out.push_str(&format!(
+                    "\"rejected\": {}, \"shed\": {}, \"goodput\": {}, ",
+                    t.rejected, t.shed, t.goodput,
+                ));
+            }
+            out.push_str(&format!(
+                "\"hit_rate\": {}, \"p99_secs\": {}, \"slo_attainment\": {}}}",
                 t.hit_rate,
                 t.p99_secs.map_or("null".into(), |v| v.to_string()),
                 t.slo_attainment,
@@ -572,6 +664,37 @@ impl Summary {
             "{:<24} {:>6} {:>13} {:>6} {:>7} {:>8} {:>8}",
             "deployment", "tenant", "qos", "req", "hit", "p99(s)", "slo"
         )
+    }
+
+    /// Header row matching [`Summary::overload_rows`], for the
+    /// overload-accounting tables (offered vs completed, refusals,
+    /// sheds, goodput).
+    pub fn overload_table_header() -> String {
+        format!(
+            "{:<24} {:>6} {:>13} {:>8} {:>6} {:>8} {:>6} {:>8} {:>8}",
+            "deployment", "tenant", "qos", "offered", "req", "rejected", "shed", "goodput", "slo"
+        )
+    }
+
+    /// One aligned overload-accounting row per tenant, labeled `label`.
+    pub fn overload_rows(&self, label: &str) -> Vec<String> {
+        self.tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{:<24} {:>6} {:>13} {:>8} {:>6} {:>8} {:>6} {:>8} {:>8.3}",
+                    label,
+                    t.tenant.to_string(),
+                    t.qos.name(),
+                    t.offered(),
+                    t.completed,
+                    t.rejected,
+                    t.shed,
+                    t.goodput,
+                    t.slo_attainment,
+                )
+            })
+            .collect()
     }
 
     /// One aligned row per tenant, labeled `label`.
@@ -618,6 +741,9 @@ mod tests {
             completed: 10,
             hits: 6,
             misses: 4,
+            rejected: 0,
+            shed: 0,
+            goodput: 10,
             hit_rate: 0.6,
             requests_per_minute: 5.0,
             p99_secs: None,
@@ -631,6 +757,9 @@ mod tests {
                 completed: 10,
                 hits: 6,
                 misses: 4,
+                rejected: 0,
+                shed: 0,
+                goodput: 10,
                 hit_rate: 0.6,
                 p99_secs: Some(3.5),
                 slo_attainment: 1.0,
@@ -644,6 +773,40 @@ mod tests {
         assert!(json.contains("\"label\": \"8\\\" \\\\ fleet\""));
         assert!(json.contains("\"p99_secs\": null"));
         assert!(json.contains("\"tenants\": [{\"tenant\": 1"));
+    }
+
+    #[test]
+    fn to_json_overload_columns_render_only_under_overload() {
+        // No refusals, no sheds: the historical byte shape, no overload
+        // columns anywhere (this is what keeps the pre-overload golden
+        // snapshots byte-identical).
+        let calm = summary().to_json("calm");
+        assert!(!calm.contains("rejected"));
+        assert!(!calm.contains("goodput"));
+        // Any refused or shed work switches the columns on, in the
+        // summary and in every tenant row.
+        let mut s = summary();
+        s.rejected = 3;
+        s.goodput = 8;
+        s.tenants[0].rejected = 3;
+        s.tenants[0].goodput = 8;
+        let hot = s.to_json("hot");
+        assert!(hot.contains("\"rejected\": 3, \"shed\": 0, \"goodput\": 8, \"hit_rate\""));
+        assert!(
+            hot.contains("\"misses\": 4, \"rejected\": 3"),
+            "tenant rows carry the columns too: {hot}"
+        );
+    }
+
+    #[test]
+    fn overload_rows_align_with_their_header() {
+        let s = summary();
+        let header = Summary::overload_table_header();
+        let rows = s.overload_rows("demo");
+        assert_eq!(rows.len(), 1);
+        assert!(header.contains("goodput") && header.contains("rejected"));
+        assert!(rows[0].starts_with("demo"));
+        assert!(rows[0].contains("interactive"));
     }
 
     #[test]

@@ -105,6 +105,29 @@ pub fn predictive() -> PredictiveAutoscaler {
     PredictiveAutoscaler::new(config)
 }
 
+/// The study's trace seed.
+pub const STUDY_SEED: u64 = 2_024;
+
+/// Labeled elastic rows — a peak-static baseline plus the two
+/// autoscalers — over an explicit trace: the entry point the golden-run
+/// snapshots (`tests/golden.rs`) pin byte for byte.
+pub fn run_rows_on(trace: &Trace) -> Vec<(String, modm_deploy::Summary)> {
+    vec![
+        (
+            "elastic static-4".into(),
+            deployment(4, 4, 4, HoldAutoscaler).run(trace).summary(2.0),
+        ),
+        (
+            "elastic reactive".into(),
+            deployment(6, 3, 6, reactive()).run(trace).summary(2.0),
+        ),
+        (
+            "elastic predictive".into(),
+            deployment(6, 3, 6, predictive()).run(trace).summary(2.0),
+        ),
+    ]
+}
+
 fn row(label: &str, outcome: &RunOutcome) {
     let r = outcome.as_elastic().expect("elastic outcome");
     println!(

@@ -17,7 +17,7 @@
 
 use modm_cluster::GpuKind;
 use modm_core::MoDMConfig;
-use modm_deploy::{Deployment, RunOutcome, ServingBackend};
+use modm_deploy::{Deployment, RunOutcome, ServingBackend, Summary};
 use modm_fleet::{Router, RoutingPolicy};
 use modm_workload::{Trace, TraceBuilder};
 
@@ -28,12 +28,38 @@ const TOTAL_GPUS: usize = 16;
 /// Fleet-wide cache budget, split evenly over shards.
 const TOTAL_CACHE: usize = 8_000;
 
+/// The study's trace seed.
+pub const STUDY_SEED: u64 = 777;
+
 /// The standard trace for the scaling study.
 fn study_trace() -> Trace {
-    TraceBuilder::diffusion_db(777)
-        .requests(2_400)
+    study_trace_for(STUDY_SEED, 2_400)
+}
+
+/// The study trace at an explicit seed and length (the golden-run
+/// regression snapshots pin a reduced length).
+pub fn study_trace_for(seed: u64, requests: usize) -> Trace {
+    TraceBuilder::diffusion_db(seed)
+        .requests(requests)
         .rate_per_min(20.0)
         .build()
+}
+
+/// Labeled 4-node rows, one per routing policy, over an explicit trace —
+/// the entry point the golden-run snapshots (`tests/golden.rs`) pin byte
+/// for byte.
+pub fn run_rows_on(trace: &Trace) -> Vec<(String, Summary)> {
+    [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::CacheAffinity,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let summary = run_fleet(4, policy, trace).summary(2.0);
+        (format!("fleet {} 4n", policy.name()), summary)
+    })
+    .collect()
 }
 
 /// Runs one fleet configuration on the study trace, through the unified

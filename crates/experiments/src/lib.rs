@@ -26,6 +26,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig9;
 pub mod fleet_scaling;
+pub mod overload;
 pub mod quality_tables;
 pub mod retrieval_perf;
 pub mod slo;

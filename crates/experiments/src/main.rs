@@ -40,6 +40,7 @@ EXPERIMENTS
   elastic     elastic control plane: static-N vs autoscaled fleets + crash recovery
   tiers       cross-tier comparison: one trace through single/fleet/elastic deployments
   tenancy     multi-tenant QoS: 3-tenant mix, FIFO vs weighted-fair admission
+  overload    overload control: 2x-capacity mix, queue-only vs token-bucket + GPU-cost WFQ
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -71,12 +72,13 @@ fn run_one(name: &str) -> bool {
         "elastic" => exp::elastic::run(),
         "tiers" => exp::tiers::run(),
         "tenancy" => exp::tenancy::run(),
+        "overload" => exp::overload::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 27] = [
+const ALL: [&str; 28] = [
     "fig2",
     "fig5",
     "fig6",
@@ -104,6 +106,7 @@ const ALL: [&str; 27] = [
     "elastic",
     "tiers",
     "tenancy",
+    "overload",
 ];
 
 fn main() {

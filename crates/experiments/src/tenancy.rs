@@ -47,14 +47,37 @@ const REQUESTS: usize = 900;
 /// sustains ~14, so a steady backlog builds and admission order — not
 /// capacity — decides who meets the SLO.
 pub fn study_trace() -> Trace {
-    TraceBuilder::diffusion_db(STUDY_SEED)
-        .requests(REQUESTS)
+    study_trace_for(STUDY_SEED, REQUESTS)
+}
+
+/// The study trace at an explicit seed and length (the golden-run
+/// regression snapshots pin a reduced length).
+pub fn study_trace_for(seed: u64, requests: usize) -> Trace {
+    TraceBuilder::diffusion_db(seed)
+        .requests(requests)
         .tenants(vec![
             TenantMix::new(INTERACTIVE, QosClass::Interactive, 2.2),
             TenantMix::new(BATCH, QosClass::Standard, 10.5),
             TenantMix::new(FREE, QosClass::BestEffort, 3.8),
         ])
         .build()
+}
+
+/// Labeled FIFO-vs-WFQ rows over an explicit trace — the entry point the
+/// golden-run snapshots (`tests/golden.rs`) pin byte for byte.
+pub fn run_rows_on(trace: &Trace) -> Vec<(String, Summary)> {
+    vec![
+        (
+            "fleet FIFO".into(),
+            fleet(TenancyPolicy::fifo())
+                .run(trace)
+                .summary(SLO_MULTIPLE),
+        ),
+        (
+            "fleet WFQ+priority".into(),
+            fleet(wfq_policy()).run(trace).summary(SLO_MULTIPLE),
+        ),
+    ]
 }
 
 /// The WFQ tenancy policy of the study: strict class priority with

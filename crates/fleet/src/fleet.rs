@@ -310,8 +310,15 @@ impl<'a> FleetRun<'a> {
             prompt_embedding: embedding,
             route,
         };
-        self.nodes[node_idx].enqueue(now, routed, self.obs.as_deref_mut());
+        let accepted = self.nodes[node_idx].enqueue(now, routed, self.obs.as_deref_mut());
         self.arrivals_pending -= 1;
+        // Closed-loop saturation: a refused admission frees its backlog
+        // slot immediately (it will never complete).
+        if !accepted && self.saturate && self.next_admission < self.requests.len() {
+            self.events
+                .schedule(now, Event::Arrival(self.next_admission));
+            self.next_admission += 1;
+        }
         node_idx
     }
 
@@ -382,6 +389,7 @@ impl<'a> FleetRun<'a> {
     /// Runs the shared per-node dispatch step for `node_idx`, wiring its
     /// completions back into the fleet's event queue.
     fn dispatch(&mut self, now: SimTime, node_idx: usize) {
+        let shed_before = self.nodes[node_idx].shed();
         let events = &mut self.events;
         self.nodes[node_idx].dispatch(
             now,
@@ -396,6 +404,19 @@ impl<'a> FleetRun<'a> {
             },
             self.obs.as_deref_mut(),
         );
+        // Closed-loop saturation: like refusals, sheds complete nothing
+        // — each one must release its backlog slot or the closed loop
+        // drains (and, past the prime depth, stalls).
+        if self.saturate {
+            for _ in shed_before..self.nodes[node_idx].shed() {
+                if self.next_admission >= self.requests.len() {
+                    break;
+                }
+                self.events
+                    .schedule(now, Event::Arrival(self.next_admission));
+                self.next_admission += 1;
+            }
+        }
     }
 
     fn finish(self) -> FleetReport {
@@ -415,13 +436,26 @@ impl<'a> FleetRun<'a> {
                 report: node.into_report(finished_at, slo, cache.shard_mut(i).stats().clone()),
             })
             .collect();
+        // The fleet-level tenant slices are completion-based; refusals and
+        // sheds never complete, so absorb them from the per-node reports.
+        let mut tenants = self.tenants;
+        for node in &nodes {
+            for slice in &node.report.tenant_slices {
+                if slice.rejected > 0 || slice.shed > 0 {
+                    tenants
+                        .entry(slice.tenant)
+                        .or_insert_with(|| TenantSlice::new(slice.tenant, slice.qos))
+                        .absorb_overload(slice.rejected, slice.shed);
+                }
+            }
+        }
         FleetReport {
             policy,
             nodes,
             latency: self.latency,
             throughput: self.throughput,
             cache: cache_summary,
-            tenant_slices: self.tenants.into_values().collect(),
+            tenant_slices: tenants.into_values().collect(),
             finished_at,
         }
     }

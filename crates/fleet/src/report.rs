@@ -56,6 +56,27 @@ impl FleetReport {
         self.nodes.iter().map(|n| n.report.misses).sum()
     }
 
+    /// Total requests refused at admission across the fleet.
+    pub fn rejected(&self) -> u64 {
+        self.nodes.iter().map(|n| n.report.rejected).sum()
+    }
+
+    /// Total requests shed past the queue-time budget across the fleet.
+    pub fn shed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.report.shed).sum()
+    }
+
+    /// Fleet-wide goodput at `multiple` x the large-model latency:
+    /// completions that met the SLO (refused and shed work scores zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has no nodes.
+    pub fn goodput(&self, multiple: f64) -> u64 {
+        let slo = self.nodes.first().expect("fleet has nodes").report.slo;
+        self.latency.goodput(&slo, multiple)
+    }
+
     /// Aggregate cache hit rate over the serving phase.
     pub fn hit_rate(&self) -> f64 {
         let (h, m) = (self.hits(), self.misses());

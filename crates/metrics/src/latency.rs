@@ -86,6 +86,19 @@ impl LatencyReport {
     pub fn slo_violation_rate(&self, slo: &SloThresholds, multiple: f64) -> f64 {
         self.latencies.fraction_above(slo.bound_secs(multiple))
     }
+
+    /// Exact number of recorded requests whose latency exceeded
+    /// `multiple` x the SLO reference.
+    pub fn slo_violations(&self, slo: &SloThresholds, multiple: f64) -> u64 {
+        self.latencies.count_above(slo.bound_secs(multiple)) as u64
+    }
+
+    /// Goodput: recorded completions that met the SLO at `multiple` x
+    /// the reference — the overload control plane's success metric
+    /// (late work and refused work both score zero).
+    pub fn goodput(&self, slo: &SloThresholds, multiple: f64) -> u64 {
+        self.count() as u64 - self.slo_violations(slo, multiple)
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +126,9 @@ mod tests {
         }
         assert_eq!(rep.slo_violation_rate(&slo, 2.0), 0.5);
         assert_eq!(rep.slo_violation_rate(&slo, 4.0), 0.25);
+        assert_eq!(rep.slo_violations(&slo, 2.0), 2);
+        assert_eq!(rep.goodput(&slo, 2.0), 2);
+        assert_eq!(rep.goodput(&slo, 4.0), 3);
         assert_eq!(rep.count(), 4);
         assert!((rep.mean_secs() - 125.0).abs() < 1e-9);
     }

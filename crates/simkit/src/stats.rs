@@ -203,8 +203,14 @@ impl Percentiles {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let over = self.samples.iter().filter(|&&x| x > threshold).count();
-        over as f64 / self.samples.len() as f64
+        self.count_above(threshold) as f64 / self.samples.len() as f64
+    }
+
+    /// Exact count of observations strictly greater than `threshold` —
+    /// what goodput accounting needs (a float rate times a count would
+    /// round).
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.samples.iter().filter(|&&x| x > threshold).count()
     }
 
     /// Mean of the observations.

@@ -165,6 +165,71 @@
 //! let per_tenant: u64 = summary.tenants.iter().map(|t| t.completed).sum();
 //! assert_eq!(per_tenant, 300, "fairness reorders service, never drops work");
 //! ```
+//!
+//! # Overload control quickstart
+//!
+//! Fairness decides who is served first; under *sustained* overload the
+//! queues would still grow without bound. The overload control plane
+//! refuses the un-serveable fraction up front instead: per-tenant token
+//! buckets at admission (`with_rate_limit`; buckets are per node),
+//! GPU-cost-weighted fair shares (`FairnessCharge::GpuCost` charges
+//! each request's denoising-step estimate instead of one unit), and a
+//! queue-time budget (`with_queue_budget`) that sheds work already
+//! hopeless for its SLO. Refusals, sheds and goodput (completions that
+//! met the SLO) are first-class columns of every summary:
+//!
+//! ```
+//! use modm::deploy::{Deployment, ServingBackend, Summary};
+//! use modm::core::{FairnessCharge, MoDMConfig, TenancyPolicy, TenantShare};
+//! use modm::cluster::GpuKind;
+//! use modm::fleet::{Router, RoutingPolicy};
+//! use modm::simkit::SimDuration;
+//! use modm::workload::{QosClass, TenantId, TenantMix, TraceBuilder};
+//!
+//! let interactive = TenantId(1);
+//! let batch = TenantId(2);
+//! // ~6.5 req/min offered against a 2-node fleet that sustains ~3.5:
+//! // sustained ~2x overload, driven by the batch flood.
+//! let trace = TraceBuilder::diffusion_db(11)
+//!     .requests(240)
+//!     .tenants(vec![
+//!         TenantMix::new(interactive, QosClass::Interactive, 1.5),
+//!         TenantMix::new(batch, QosClass::Standard, 5.0),
+//!     ])
+//!     .build();
+//! let node = MoDMConfig::builder()
+//!     .gpus(GpuKind::Mi210, 2)
+//!     .cache_capacity(400)
+//!     .tenancy(
+//!         TenancyPolicy::weighted_fair(vec![
+//!             TenantShare::new(interactive, 4.0),
+//!             TenantShare::new(batch, 1.0),
+//!         ])
+//!         .with_charge(FairnessCharge::GpuCost)
+//!         // Per-node bucket: the 2-node fleet admits ~2 req/min of batch.
+//!         .with_rate_limit(batch, 1.0, 4.0)
+//!         .with_queue_budget(SimDuration::from_secs_f64(480.0)),
+//!     )
+//!     .build();
+//! let mut deployment = Deployment::fleet(node, Router::new(RoutingPolicy::CacheAffinity, 2));
+//! let summary = deployment.run(&trace).summary(2.0);
+//!
+//! // Overload is refused, not absorbed — and nothing is lost: every
+//! // request ends exactly one of completed / rejected / shed.
+//! assert!(summary.rejected > 0, "the flood trips the token bucket");
+//! assert_eq!(summary.completed + summary.rejected + summary.shed, 240);
+//! assert!(summary.goodput <= summary.completed);
+//! let b = summary.tenants.iter().find(|t| t.tenant == batch).unwrap();
+//! let i = summary.tenants.iter().find(|t| t.tenant == interactive).unwrap();
+//! assert!(b.rejected > 0, "only the rate-limited tenant is refused");
+//! assert_eq!(i.rejected, 0, "the interactive tenant carries no limit");
+//!
+//! // Per-tenant overload accounting renders as one table.
+//! println!("{}", Summary::overload_table_header());
+//! for row in summary.overload_rows("overloaded fleet") {
+//!     println!("{row}");
+//! }
+//! ```
 
 pub use modm_baselines as baselines;
 pub use modm_cache as cache;

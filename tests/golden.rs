@@ -1,12 +1,13 @@
-//! Golden-run regression tests: the `tiers` experiment's summaries,
-//! rendered to JSON Lines, must match the checked-in snapshots byte for
-//! byte.
+//! Golden-run regression tests: each study's summaries, rendered to
+//! JSON Lines, must match the checked-in snapshots byte for byte.
 //!
 //! The suite's 400+ deterministic tests check *properties*; these
-//! snapshots additionally pin the *exact numbers* two fixed seeds
-//! produce, so a refactor that silently shifts results — a reordered
-//! float reduction, an RNG stream change, an off-by-one in the event
-//! loop — fails loudly even when every property still holds.
+//! snapshots additionally pin the *exact numbers* fixed seeds produce,
+//! so a refactor that silently shifts results — a reordered float
+//! reduction, an RNG stream change, an off-by-one in the event loop —
+//! fails loudly even when every property still holds. Four studies are
+//! pinned: `tiers` (on two seeds), plus one seed each of `fleet`,
+//! `elastic` and `tenancy`.
 //!
 //! When a change is *supposed* to move the numbers (new feature, fixed
 //! bug), regenerate the snapshots and review the diff like any other
@@ -17,28 +18,31 @@
 //! git diff tests/golden/
 //! ```
 
-use modm::deploy::summaries_to_json;
-use modm_experiments::tiers::{run_rows_on, study_trace_for, STUDY_SEED};
+use modm::deploy::{summaries_to_json, Summary};
+use modm_experiments::{elastic, fleet_scaling, tenancy, tiers};
 
-/// The two pinned seeds: the experiment's own seed and an independent
-/// one (snapshot length is reduced from the experiment's 1 200 requests
+/// The `tiers` study's pinned seeds: its own seed and an independent
+/// one. Snapshot lengths are reduced from the experiments' full traces
 /// to keep the debug-mode test suite fast; determinism does not depend
-/// on length).
-const GOLDEN_SEEDS: [u64; 2] = [STUDY_SEED, 1_913];
-const GOLDEN_REQUESTS: usize = 600;
+/// on length.
+const TIERS_SEEDS: [u64; 2] = [tiers::STUDY_SEED, 1_913];
+const TIERS_REQUESTS: usize = 600;
+const FLEET_REQUESTS: usize = 500;
+const ELASTIC_REQUESTS: usize = 400;
+const TENANCY_REQUESTS: usize = 300;
 
-fn golden_path(seed: u64) -> String {
+fn golden_path(study: &str, seed: u64) -> String {
     format!(
-        "{}/tests/golden/tiers_seed{}.json",
-        env!("CARGO_MANIFEST_DIR"),
-        seed
+        "{}/tests/golden/{study}_seed{seed}.json",
+        env!("CARGO_MANIFEST_DIR")
     )
 }
 
-fn check_seed(seed: u64) {
-    let rows = run_rows_on(&study_trace_for(seed, GOLDEN_REQUESTS));
-    let rendered = summaries_to_json(&rows);
-    let path = golden_path(seed);
+/// Renders `rows` and compares them byte-for-byte against the study's
+/// checked-in snapshot (or regenerates it under `MODM_BLESS=1`).
+fn check_rows(study: &str, seed: u64, rows: &[(String, Summary)]) {
+    let rendered = summaries_to_json(rows);
+    let path = golden_path(study, seed);
     if std::env::var("MODM_BLESS").is_ok() {
         std::fs::write(&path, &rendered).expect("write golden snapshot");
         return;
@@ -48,7 +52,7 @@ fn check_seed(seed: u64) {
     });
     assert!(
         rendered == want,
-        "tiers summaries for seed {seed} diverged from {path}.\n\
+        "{study} summaries for seed {seed} diverged from {path}.\n\
          If the change is intentional, regenerate with:\n\
          MODM_BLESS=1 cargo test --test golden\n\
          and commit the snapshot diff.\n\
@@ -58,10 +62,35 @@ fn check_seed(seed: u64) {
 
 #[test]
 fn tiers_summaries_match_golden_snapshot_seed_a() {
-    check_seed(GOLDEN_SEEDS[0]);
+    let seed = TIERS_SEEDS[0];
+    let rows = tiers::run_rows_on(&tiers::study_trace_for(seed, TIERS_REQUESTS));
+    check_rows("tiers", seed, &rows);
 }
 
 #[test]
 fn tiers_summaries_match_golden_snapshot_seed_b() {
-    check_seed(GOLDEN_SEEDS[1]);
+    let seed = TIERS_SEEDS[1];
+    let rows = tiers::run_rows_on(&tiers::study_trace_for(seed, TIERS_REQUESTS));
+    check_rows("tiers", seed, &rows);
+}
+
+#[test]
+fn fleet_summaries_match_golden_snapshot() {
+    let seed = fleet_scaling::STUDY_SEED;
+    let rows = fleet_scaling::run_rows_on(&fleet_scaling::study_trace_for(seed, FLEET_REQUESTS));
+    check_rows("fleet", seed, &rows);
+}
+
+#[test]
+fn elastic_summaries_match_golden_snapshot() {
+    let seed = elastic::STUDY_SEED;
+    let rows = elastic::run_rows_on(&elastic::diurnal_trace(seed, ELASTIC_REQUESTS));
+    check_rows("elastic", seed, &rows);
+}
+
+#[test]
+fn tenancy_summaries_match_golden_snapshot() {
+    let seed = tenancy::STUDY_SEED;
+    let rows = tenancy::run_rows_on(&tenancy::study_trace_for(seed, TENANCY_REQUESTS));
+    check_rows("tenancy", seed, &rows);
 }

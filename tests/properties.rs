@@ -6,7 +6,9 @@
 //! reproducibility — a failing case is re-run by its printed seed.
 
 use modm::cache::{CacheConfig, ImageCache, MaintenancePolicy, IVF_THRESHOLD};
-use modm::core::{k_decision, FairQueue, KDecision, PidController, TenancyPolicy, TenantShare};
+use modm::core::{
+    k_decision, FairQueue, KDecision, PidController, TenancyPolicy, TenantShare, TokenBucket,
+};
 use modm::diffusion::{forward_noise, ModelId, NoiseSchedule, QualityModel, Sampler, TOTAL_STEPS};
 use modm::embedding::{Embedding, EmbeddingIndex, IvfIndex, SemanticSpace, TextEncoder};
 use modm::numerics::{cosine_similarity, frechet_distance, GaussianStats};
@@ -658,6 +660,155 @@ fn fair_queue_fifo_discipline_and_single_tenant_wfq_preserve_arrival_order() {
                     assert_eq!(got, expect, "seed {seed} {label}: arrival order broken");
                     expect += 1;
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn token_bucket_conforms_to_rate_under_any_arrival_pattern() {
+    // Rate conformance: whatever the arrival pattern, admissions over
+    // any window starting from a full bucket are bounded by burst +
+    // rate * elapsed (the classic token-bucket envelope).
+    for seed in sweep_seeds() {
+        let mut rng = SimRng::seed_from(0x70CE_0000 ^ seed);
+        for case in 0..16 {
+            let rate_per_min = 1.0 + rng.uniform_in(0.0, 120.0);
+            let burst = 1.0 + rng.index(20) as f64;
+            let mut bucket = TokenBucket::new(rate_per_min, burst);
+            let mut clock = 0.0;
+            let mut admitted = 0u64;
+            for _ in 0..600 {
+                // Bursty pattern: mostly tight clumps, occasional gaps.
+                clock += if rng.chance(0.8) {
+                    rng.uniform_in(0.0, 0.4)
+                } else {
+                    rng.uniform_in(0.0, 30.0)
+                };
+                if bucket.try_admit(SimTime::from_secs_f64(clock)) {
+                    admitted += 1;
+                }
+            }
+            let envelope = burst + rate_per_min / 60.0 * clock;
+            assert!(
+                (admitted as f64) <= envelope + 1e-9,
+                "seed {seed} case {case}: {admitted} admitted exceeds \
+                 envelope {envelope:.2} (rate {rate_per_min}/min, burst {burst})"
+            );
+        }
+    }
+}
+
+#[test]
+fn token_bucket_burst_cap_holds_after_any_idle_period() {
+    // Burst cap: no idle period, however long, banks more than `burst`
+    // instantaneous admissions.
+    for seed in sweep_seeds() {
+        let mut rng = SimRng::seed_from(0x70CE_1000 ^ seed);
+        for case in 0..16 {
+            let rate_per_min = 1.0 + rng.uniform_in(0.0, 60.0);
+            let burst = (1 + rng.index(10)) as f64;
+            let mut bucket = TokenBucket::new(rate_per_min, burst);
+            // Drain whatever is available, idle a random (possibly huge)
+            // period, then hammer the bucket at one instant.
+            let mut clock = rng.uniform_in(0.0, 10.0);
+            while bucket.try_admit(SimTime::from_secs_f64(clock)) {}
+            clock += rng.uniform_in(0.0, 100_000.0);
+            let now = SimTime::from_secs_f64(clock);
+            let mut instantaneous = 0u64;
+            while bucket.try_admit(now) {
+                instantaneous += 1;
+            }
+            assert!(
+                instantaneous <= burst as u64,
+                "seed {seed} case {case}: {instantaneous} > burst {burst}"
+            );
+        }
+    }
+}
+
+#[test]
+fn token_bucket_never_refuses_at_or_below_rate() {
+    // Refusal only above rate: arrivals spaced at (or wider than) the
+    // refill interval are always admitted, from any starting state.
+    for seed in sweep_seeds() {
+        let mut rng = SimRng::seed_from(0x70CE_2000 ^ seed);
+        for case in 0..16 {
+            let rate_per_min = 1.0 + rng.uniform_in(0.0, 120.0);
+            let interval = 60.0 / rate_per_min;
+            let mut bucket = TokenBucket::new(rate_per_min, 1.0 + rng.index(8) as f64);
+            let mut clock = 0.0;
+            for i in 0..400 {
+                clock += interval * rng.uniform_in(1.0, 3.0);
+                assert!(
+                    bucket.try_admit(SimTime::from_secs_f64(clock)),
+                    "seed {seed} case {case}: refusal at request {i} \
+                     despite arrivals at/below the sustained rate"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fair_queue_gpu_cost_shares_track_charged_cost_within_tolerance() {
+    // The GPU-time-weighted fairness property: with every tenant
+    // continuously backlogged and items charged random steps_for-like
+    // costs, the *cost* served per tenant (not the request count)
+    // converges to the configured weights.
+    for seed in sweep_seeds() {
+        let mut rng = SimRng::seed_from(0xFA1_4000 ^ seed);
+        for case in 0..6 {
+            let n = 2 + rng.index(3);
+            let weights: Vec<f64> = (0..n).map(|_| 1.0 + rng.index(4) as f64).collect();
+            let shares: Vec<TenantShare> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| TenantShare::new(TenantId(i as u16), w))
+                .collect();
+            let mut q: FairQueue<(usize, u64)> =
+                FairQueue::new(&TenancyPolicy::weighted_fair(shares));
+            let now = SimTime::ZERO;
+            // Deep backlog: per-item costs drawn from the steps_for
+            // range (a k=50 hit on SD3.5-Large costs ~6 steps, a miss
+            // 50), tracked per tenant for the expected totals.
+            let per_tenant = 400;
+            let mut queued_cost = vec![0.0f64; n];
+            for _ in 0..per_tenant {
+                for (t, queued) in queued_cost.iter_mut().enumerate() {
+                    let cost = (5 + rng.index(46)) as u64;
+                    *queued += cost as f64;
+                    q.push_weighted(
+                        now,
+                        TenantId(t as u16),
+                        QosClass::Standard,
+                        cost as f64,
+                        (t, cost),
+                    );
+                }
+            }
+            // Serve while every tenant stays backlogged: the heaviest
+            // tenant drains its cost fastest, so stop at 70% of the
+            // cost-serves that would run it dry.
+            let total_w: f64 = weights.iter().sum();
+            let max_w = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min_queued = queued_cost.iter().cloned().fold(f64::INFINITY, f64::min);
+            let budget = min_queued * 0.7 * total_w / max_w;
+            let mut served_cost = vec![0.0f64; n];
+            let mut total_served = 0.0;
+            while total_served < budget {
+                let (t, cost) = q.pop(now).expect("backlogged");
+                served_cost[t] += cost as f64;
+                total_served += cost as f64;
+            }
+            for (t, (&served, &w)) in served_cost.iter().zip(&weights).enumerate() {
+                let expect = total_served * w / total_w;
+                let rel = (served - expect).abs() / expect;
+                assert!(
+                    rel < 0.06,
+                    "seed {seed} case {case} tenant {t}: served cost {served:.0} vs \
+                     expected {expect:.0} (weights {weights:?})"
+                );
             }
         }
     }
