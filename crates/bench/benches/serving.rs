@@ -1,8 +1,10 @@
 //! End-to-end simulation speed: virtual requests served per wall-clock
-//! second for MoDM and the baselines, plus the observer-overhead check —
+//! second for MoDM and the baselines, plus the observer-overhead checks —
 //! the `BENCH_serving.json` trajectory point records the with/without
-//! observer delta so the "zero-cost when unused" property of the typed
-//! event stream stays measured, not assumed.
+//! observer delta (a bare counting observer, and the full telemetry
+//! pipeline) so the "zero-cost when unused" property of the typed event
+//! stream and the "<5% when fully observed" telemetry budget stay
+//! measured, not assumed.
 //!
 //! Pass `--smoke` for a down-scaled run that still writes the JSON.
 
@@ -13,6 +15,7 @@ use modm_core::events::{Observer, SimEvent};
 use modm_core::{MoDMConfig, RunOptions, ServingSystem};
 use modm_diffusion::ModelId;
 use modm_simkit::SimTime;
+use modm_telemetry::{TelemetryConfig, TelemetryObserver};
 use modm_workload::TraceBuilder;
 
 /// The cheapest real observer: counts events, nothing else. Measures the
@@ -60,6 +63,13 @@ fn main() {
     });
     let observed_ns = bench.results().last().expect("just measured").median_ns;
 
+    // The full telemetry pipeline: registry + series + spans + alerts.
+    bench.measure("system/modm-telemetry", || {
+        let mut telemetry = TelemetryObserver::new(TelemetryConfig::new(192.0));
+        std::hint::black_box(system.run_observed(&trace, opts, &mut telemetry))
+    });
+    let telemetry_ns = bench.results().last().expect("just measured").median_ns;
+
     bench.measure("system/vanilla", || {
         let mut v = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
         std::hint::black_box(v.run_with(&trace, opts))
@@ -75,10 +85,12 @@ fn main() {
     );
 
     let overhead = observed_ns / plain_ns - 1.0;
+    let telemetry_overhead = telemetry_ns / plain_ns - 1.0;
     println!(
-        "\nobserver overhead: {:+.2}% ({} events/run)",
+        "\nobserver overhead: {:+.2}% ({} events/run); full telemetry: {:+.2}%",
         overhead * 100.0,
-        counter.events
+        counter.events,
+        telemetry_overhead * 100.0
     );
 
     let doc = Json::Obj(vec![
@@ -88,6 +100,11 @@ fn main() {
         ("modm_ns".into(), Json::Num(plain_ns)),
         ("modm_observed_ns".into(), Json::Num(observed_ns)),
         ("observer_overhead_frac".into(), Json::Num(overhead)),
+        ("modm_telemetry_ns".into(), Json::Num(telemetry_ns)),
+        (
+            "telemetry_overhead_frac".into(),
+            Json::Num(telemetry_overhead),
+        ),
         ("events_per_run".into(), Json::Num(counter.events as f64)),
         (
             "sim_requests_per_wall_sec".into(),

@@ -1,0 +1,151 @@
+//! `bench-gate`: compare freshly-run `BENCH_*.json` trajectory files
+//! against checked-in baselines and fail on a throughput regression.
+//!
+//! ```text
+//! bench-gate <baseline-dir> <fresh-dir>
+//! ```
+//!
+//! Every `BENCH_*.json` present in the baseline directory must exist in
+//! the fresh directory with the same number of `sim_requests_per_wall_sec`
+//! samples; each fresh sample must reach at least `(1 - tolerance)` of
+//! its baseline. The default tolerance is 0.25 (a >25% drop fails) —
+//! generous because baselines are full runs on one machine while CI
+//! reruns are smoke runs on shared runners; override it with the
+//! `BENCH_GATE_TOLERANCE` environment variable when measuring locally.
+//!
+//! Parsing is a string scan for the metric key, like every other JSON
+//! touchpoint in this workspace — no external dependencies.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const METRIC: &str = "\"sim_requests_per_wall_sec\": ";
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Every `sim_requests_per_wall_sec` value in `text`, in file order.
+fn extract_throughputs(text: &str) -> Vec<f64> {
+    let mut values = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(METRIC) {
+        rest = &rest[pos + METRIC.len()..];
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or(rest.len());
+        match rest[..end].trim().parse::<f64>() {
+            Ok(v) => values.push(v),
+            Err(_) => eprintln!("bench-gate: unparseable value near '{}'", &rest[..end]),
+        }
+    }
+    values
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_dir, fresh_dir] = args.as_slice() else {
+        eprintln!("usage: bench-gate <baseline-dir> <fresh-dir>");
+        return ExitCode::from(2);
+    };
+    let tolerance = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+
+    let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(err) => {
+            eprintln!("bench-gate: cannot read {baseline_dir}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("bench-gate: no BENCH_*.json baselines in {baseline_dir}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>7}   (tolerance {:.0}%)",
+        "benchmark",
+        "baseline",
+        "fresh",
+        "ratio",
+        tolerance * 100.0
+    );
+    let mut failed = false;
+    for name in &names {
+        let read = |dir: &str| std::fs::read_to_string(Path::new(dir).join(name));
+        let baseline = match read(baseline_dir) {
+            Ok(text) => extract_throughputs(&text),
+            Err(err) => {
+                eprintln!("bench-gate: {name}: cannot read baseline: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        let fresh = match read(fresh_dir) {
+            Ok(text) => extract_throughputs(&text),
+            Err(err) => {
+                eprintln!("bench-gate: {name}: missing fresh run: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        if baseline.len() != fresh.len() {
+            eprintln!(
+                "bench-gate: {name}: {} baseline samples vs {} fresh — \
+                 bench shape changed, regenerate the checked-in baseline",
+                baseline.len(),
+                fresh.len()
+            );
+            failed = true;
+            continue;
+        }
+        for (i, (base, new)) in baseline.iter().zip(&fresh).enumerate() {
+            let ratio = new / base;
+            let verdict = if ratio < 1.0 - tolerance {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<28} {:>14.0} {:>14.0} {:>6.2}x   {}",
+                format!("{name}[{i}]"),
+                base,
+                new,
+                ratio,
+                verdict
+            );
+        }
+    }
+    if failed {
+        eprintln!(
+            "\nbench-gate: throughput regression beyond {:.0}% tolerance",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench-gate: all benchmarks within tolerance");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::extract_throughputs;
+
+    #[test]
+    fn extracts_nested_and_top_level_values() {
+        let top = r#"{"bench": "serving", "sim_requests_per_wall_sec": 42315.6}"#;
+        assert_eq!(extract_throughputs(top), vec![42315.6]);
+        let nested = r#"{"points": [
+            {"policy": "a", "sim_requests_per_wall_sec": 100.0, "x": 1},
+            {"policy": "b", "sim_requests_per_wall_sec": 200.5}]}"#;
+        assert_eq!(extract_throughputs(nested), vec![100.0, 200.5]);
+        assert!(extract_throughputs("{}").is_empty());
+    }
+}

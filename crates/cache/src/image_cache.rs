@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use modm_diffusion::GeneratedImage;
 use modm_embedding::{Embedding, EmbeddingIndex, IvfIndex, Neighbor};
-use modm_simkit::SimTime;
+use modm_simkit::{profile, SimTime};
 use modm_workload::TenantId;
 
 use crate::stats::CacheStats;
@@ -445,6 +445,12 @@ impl ImageCache {
     /// overflowing the capacity. Re-inserting an id that is already
     /// resident replaces the old entry.
     pub fn insert_for(&mut self, now: SimTime, tenant: TenantId, image: GeneratedImage) {
+        profile::timed(profile::Subsystem::ImageCache, || {
+            self.insert_for_inner(now, tenant, image)
+        })
+    }
+
+    fn insert_for_inner(&mut self, now: SimTime, tenant: TenantId, image: GeneratedImage) {
         let key = image.id.0;
         if let Some(old) = self.entries.remove(&key) {
             self.index.remove(&key);
@@ -551,6 +557,17 @@ impl ImageCache {
     /// returning it only if the text-to-image similarity (paper scale)
     /// reaches `threshold`. Records hit/miss statistics either way.
     pub fn retrieve(
+        &mut self,
+        now: SimTime,
+        query: &Embedding,
+        threshold: f64,
+    ) -> Option<RetrievedImage> {
+        profile::timed(profile::Subsystem::ImageCache, || {
+            self.retrieve_inner(now, query, threshold)
+        })
+    }
+
+    fn retrieve_inner(
         &mut self,
         now: SimTime,
         query: &Embedding,

@@ -566,14 +566,14 @@ impl<'a> ElasticRun<'a> {
             prompt_embedding: embedding.clone(),
             route,
         };
-        let accepted = self.nodes[node_idx]
+        let outcome = self.nodes[node_idx]
             .as_mut()
             .expect("active node exists")
             .enqueue(now, routed, self.obs.as_deref_mut());
         // The control window sees admitted work only: refused requests
         // are being deliberately turned away, so they must not drive the
         // autoscaler toward capacity the policy chose not to serve.
-        if accepted {
+        if outcome.is_accepted() {
             self.win_arrivals += 1;
         }
         node_idx

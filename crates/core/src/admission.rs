@@ -98,6 +98,23 @@ impl TokenBucket {
         }
     }
 
+    /// Virtual seconds until a whole token will be available at the
+    /// bucket's refill rate (0 when one is already available at `now`).
+    ///
+    /// This is the **retry-after hint** a refusal carries on
+    /// [`SimEvent::Rejected`](crate::events::SimEvent::Rejected): a
+    /// closed-loop client that backs off by exactly this long arrives
+    /// when the bucket can next admit it, instead of hammering the node
+    /// with retries that are guaranteed to be refused.
+    pub fn retry_after_secs(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            0.0
+        } else {
+            (1.0 - self.tokens) / self.rate_per_sec
+        }
+    }
+
     fn refill(&mut self, now: SimTime) {
         let elapsed = now.saturating_since(self.refilled_at).as_secs_f64();
         if elapsed > 0.0 {
@@ -141,9 +158,22 @@ impl AdmissionControl {
 
     /// Admits or refuses `tenant`'s request arriving at `now`.
     pub fn try_admit(&mut self, now: SimTime, tenant: TenantId) -> bool {
+        self.try_admit_or_retry(now, tenant).is_ok()
+    }
+
+    /// Admits `tenant`'s request, or refuses it with the bucket's
+    /// retry-after hint in virtual seconds (see
+    /// [`TokenBucket::retry_after_secs`]).
+    pub fn try_admit_or_retry(&mut self, now: SimTime, tenant: TenantId) -> Result<(), f64> {
         match self.buckets.iter_mut().find(|(t, _)| *t == tenant) {
-            Some((_, bucket)) => bucket.try_admit(now),
-            None => true,
+            Some((_, bucket)) => {
+                if bucket.try_admit(now) {
+                    Ok(())
+                } else {
+                    Err(bucket.retry_after_secs(now))
+                }
+            }
+            None => Ok(()),
         }
     }
 }
@@ -186,6 +216,35 @@ mod tests {
         for _ in 0..50 {
             assert!(ac.try_admit(t, TenantId(2)), "unlimited tenant");
         }
+    }
+
+    #[test]
+    fn retry_after_tracks_the_refill_rate() {
+        // 30 req/min = 0.5 tokens/sec: an empty bucket is 2 s from a
+        // whole token.
+        let mut b = TokenBucket::new(30.0, 1.0);
+        let t = SimTime::ZERO;
+        assert_eq!(b.retry_after_secs(t), 0.0, "full bucket needs no wait");
+        assert!(b.try_admit(t));
+        assert!((b.retry_after_secs(t) - 2.0).abs() < 1e-9);
+        // Half the refill later, half the wait remains.
+        assert!((b.retry_after_secs(SimTime::from_secs_f64(1.0)) - 1.0).abs() < 1e-9);
+        // Backing off by exactly the hint succeeds.
+        assert!(b.try_admit(SimTime::from_secs_f64(2.0)));
+    }
+
+    #[test]
+    fn controller_refusals_carry_the_hint() {
+        let policy = TenancyPolicy::fifo().with_rate_limit(TenantId(1), 60.0, 1.0);
+        let mut ac = AdmissionControl::new(&policy);
+        let t = SimTime::ZERO;
+        assert_eq!(ac.try_admit_or_retry(t, TenantId(1)), Ok(()));
+        let hint = ac.try_admit_or_retry(t, TenantId(1)).unwrap_err();
+        assert!(
+            (hint - 1.0).abs() < 1e-9,
+            "60/min refills in 1 s, got {hint}"
+        );
+        assert_eq!(ac.try_admit_or_retry(t, TenantId(2)), Ok(()), "unlimited");
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum SimEvent {
         request_id: u64,
         /// The request's tenant.
         tenant: TenantId,
+        /// Back-off hint, in virtual seconds: how long until the
+        /// tenant's token bucket can next admit a request (derived from
+        /// its refill rate). Closed-loop clients retry after this long
+        /// instead of immediately.
+        retry_after_secs: f64,
     },
     /// The request outlived its queue-time budget and was shed at
     /// dispatch instead of served.
@@ -327,6 +332,7 @@ mod tests {
             node: 2,
             request_id: 11,
             tenant: TenantId(5),
+            retry_after_secs: 12.5,
         };
         assert_eq!(rejected.kind(), "rejected");
         assert_eq!(rejected.node(), 2);

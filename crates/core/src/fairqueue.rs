@@ -27,7 +27,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use modm_simkit::{SimDuration, SimTime};
+use modm_simkit::{profile, SimDuration, SimTime};
 use modm_workload::{QosClass, TenantId};
 
 /// How a serving node orders admissions across tenants.
@@ -460,36 +460,38 @@ impl<T> FairQueue<T> {
         item: T,
     ) {
         assert!(cost > 0.0, "charge cost must be positive");
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.len += 1;
-        match self.discipline {
-            QueueDiscipline::Fifo => {
-                self.fifo.push_back(Entry {
-                    item,
-                    tenant,
-                    enqueued_at: now,
-                    seq,
-                    tag: 0.0,
-                });
+        profile::timed(profile::Subsystem::FairQueue, || {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.len += 1;
+            match self.discipline {
+                QueueDiscipline::Fifo => {
+                    self.fifo.push_back(Entry {
+                        item,
+                        tenant,
+                        enqueued_at: now,
+                        seq,
+                        tag: 0.0,
+                    });
+                }
+                QueueDiscipline::WeightedFair => {
+                    let weight = self.weight_of(tenant);
+                    let class = &mut self.classes[class_slot(qos)];
+                    let tq = class.tenants.entry(tenant).or_default();
+                    let start = class.virtual_time.max(tq.last_finish);
+                    let tag = start + cost / weight;
+                    tq.last_finish = tag;
+                    tq.items.push_back(Entry {
+                        item,
+                        tenant,
+                        enqueued_at: now,
+                        seq,
+                        tag,
+                    });
+                    class.len += 1;
+                }
             }
-            QueueDiscipline::WeightedFair => {
-                let weight = self.weight_of(tenant);
-                let class = &mut self.classes[class_slot(qos)];
-                let tq = class.tenants.entry(tenant).or_default();
-                let start = class.virtual_time.max(tq.last_finish);
-                let tag = start + cost / weight;
-                tq.last_finish = tag;
-                tq.items.push_back(Entry {
-                    item,
-                    tenant,
-                    enqueued_at: now,
-                    seq,
-                    tag,
-                });
-                class.len += 1;
-            }
-        }
+        })
     }
 
     /// Dequeues the next item to serve at virtual time `now`.
@@ -506,30 +508,32 @@ impl<T> FairQueue<T> {
         if self.len == 0 {
             return None;
         }
-        match self.discipline {
-            QueueDiscipline::Fifo => {
-                let entry = self.fifo.pop_front()?;
-                self.len -= 1;
-                Some((entry.item, entry.enqueued_at))
-            }
-            QueueDiscipline::WeightedFair => {
-                let (slot, tenant) = self.select_wfq(now)?;
-                let class = &mut self.classes[slot];
-                let tq = class.tenants.get_mut(&tenant).expect("selected tenant");
-                let entry = tq.items.pop_front().expect("selected non-empty");
-                if tq.items.is_empty() {
-                    // Dropping the subqueue also forgets `last_finish`,
-                    // which is correct: an idle tenant must not bank
-                    // virtual-time credit, and restarts at the class
-                    // virtual time.
-                    class.tenants.remove(&tenant);
+        profile::timed(profile::Subsystem::FairQueue, || {
+            match self.discipline {
+                QueueDiscipline::Fifo => {
+                    let entry = self.fifo.pop_front()?;
+                    self.len -= 1;
+                    Some((entry.item, entry.enqueued_at))
                 }
-                class.virtual_time = class.virtual_time.max(entry.tag);
-                class.len -= 1;
-                self.len -= 1;
-                Some((entry.item, entry.enqueued_at))
+                QueueDiscipline::WeightedFair => {
+                    let (slot, tenant) = self.select_wfq(now)?;
+                    let class = &mut self.classes[slot];
+                    let tq = class.tenants.get_mut(&tenant).expect("selected tenant");
+                    let entry = tq.items.pop_front().expect("selected non-empty");
+                    if tq.items.is_empty() {
+                        // Dropping the subqueue also forgets `last_finish`,
+                        // which is correct: an idle tenant must not bank
+                        // virtual-time credit, and restarts at the class
+                        // virtual time.
+                        class.tenants.remove(&tenant);
+                    }
+                    class.virtual_time = class.virtual_time.max(entry.tag);
+                    class.len -= 1;
+                    self.len -= 1;
+                    Some((entry.item, entry.enqueued_at))
+                }
             }
-        }
+        })
     }
 
     /// The aging threshold applied to a starved candidate in class `slot`

@@ -60,7 +60,7 @@ pub use fairqueue::{
 };
 pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
 pub use monitor::{GlobalMonitor, WindowStats};
-pub use node::{NodeInFlight, ServingNode};
+pub use node::{EnqueueOutcome, NodeInFlight, ServingNode};
 pub use pid::PidController;
 pub use report::{ServingReport, TenantSlice};
 pub use scheduler::{route_against_cache, RequestScheduler, RouteKind, RoutedRequest};

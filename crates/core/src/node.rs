@@ -34,6 +34,38 @@ enum Lane {
     Miss,
 }
 
+/// What [`ServingNode::enqueue`] did with a routed request.
+///
+/// A refusal carries the token bucket's retry-after hint so the host
+/// loop can re-prime closed-loop clients at the moment the bucket can
+/// next admit them, rather than immediately (which would be refused
+/// again).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnqueueOutcome {
+    /// The request entered the node's queues.
+    Accepted,
+    /// The tenant's token bucket refused the request.
+    Rejected {
+        /// Virtual seconds until the bucket can next admit a request.
+        retry_after_secs: f64,
+    },
+}
+
+impl EnqueueOutcome {
+    /// True when the request was queued.
+    pub fn is_accepted(self) -> bool {
+        matches!(self, EnqueueOutcome::Accepted)
+    }
+
+    /// The refusal's back-off hint, if the request was refused.
+    pub fn retry_after_secs(self) -> Option<f64> {
+        match self {
+            EnqueueOutcome::Accepted => None,
+            EnqueueOutcome::Rejected { retry_after_secs } => Some(retry_after_secs),
+        }
+    }
+}
+
 /// A request a worker is currently generating or refining.
 #[derive(Debug, Clone)]
 pub struct NodeInFlight {
@@ -205,14 +237,21 @@ impl ServingNode {
     /// ([`SimEvent::CacheHit`] / [`SimEvent::CacheMiss`]) to `obs`.
     ///
     /// When the request's tenant has a token bucket and it is empty, the
-    /// request is refused instead: [`SimEvent::Rejected`] is emitted, the
-    /// tenant's `rejected` counter advances, nothing is queued, and the
-    /// method returns `false` (the host loop uses this to keep a
-    /// closed-loop saturation backlog primed). Refused requests never
-    /// touch the hit/miss accounting or the monitor's window counters —
-    /// the monitor plans capacity for admitted work only.
-    pub fn enqueue(&mut self, now: SimTime, routed: RoutedRequest, mut obs: Obs<'_, '_>) -> bool {
-        if !self.admission.try_admit(now, routed.tenant) {
+    /// request is refused instead: [`SimEvent::Rejected`] is emitted
+    /// (carrying the bucket's retry-after hint), the tenant's `rejected`
+    /// counter advances, nothing is queued, and the method returns
+    /// [`EnqueueOutcome::Rejected`] (the host loop uses the hint to
+    /// re-prime a closed-loop saturation backlog with back-off). Refused
+    /// requests never touch the hit/miss accounting or the monitor's
+    /// window counters — the monitor plans capacity for admitted work
+    /// only.
+    pub fn enqueue(
+        &mut self,
+        now: SimTime,
+        routed: RoutedRequest,
+        mut obs: Obs<'_, '_>,
+    ) -> EnqueueOutcome {
+        if let Err(retry_after_secs) = self.admission.try_admit_or_retry(now, routed.tenant) {
             self.rejected += 1;
             let slice = self
                 .tenants
@@ -224,8 +263,9 @@ impl ServingNode {
                 node: self.id,
                 request_id: routed.request_id,
                 tenant: routed.tenant,
+                retry_after_secs,
             });
-            return false;
+            return EnqueueOutcome::Rejected { retry_after_secs };
         }
         self.win_arrivals += 1;
         emit(&mut obs, now, || SimEvent::Admitted {
@@ -272,7 +312,7 @@ impl ServingNode {
                     .push_weighted(now, routed.tenant, routed.qos, cost, routed);
             }
         }
-        true
+        EnqueueOutcome::Accepted
     }
 
     /// One global-monitor tick over the window that just ended: re-plans

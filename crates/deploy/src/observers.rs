@@ -117,64 +117,98 @@ impl Observer for LatencyHistogramObserver {
 /// Captures the full event stream, timestamped, in arrival order.
 ///
 /// Useful for assertions ("a crash fired before the first scale-down")
-/// and for post-run analysis. Memory grows with the event count (as
-/// does [`TraceExportObserver`], which captures the same stream); for
-/// long saturated runs prefer [`LatencyHistogramObserver`], which stays
-/// O(buckets).
+/// and for post-run analysis. By default memory grows with the event
+/// count (as does [`TraceExportObserver`], which captures the same
+/// stream); for long saturated runs either bound the log with
+/// [`EventLogObserver::with_capacity`] — a ring buffer keeping only the
+/// most recent events — or prefer [`LatencyHistogramObserver`], which
+/// stays O(buckets).
 #[derive(Debug, Clone, Default)]
 pub struct EventLogObserver {
     events: Vec<(SimTime, SimEvent)>,
+    /// When set, only the most recent `capacity` events are retained.
+    capacity: Option<usize>,
 }
 
 impl EventLogObserver {
-    /// An empty log.
+    /// An empty, unbounded log.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Events captured so far, in virtual-time order.
-    pub fn events(&self) -> &[(SimTime, SimEvent)] {
-        &self.events
+    /// An empty log that retains only the most recent `capacity`
+    /// events — a ring buffer for long saturated runs where the tail of
+    /// the stream is what matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs a positive capacity");
+        EventLogObserver {
+            events: Vec::new(),
+            capacity: Some(capacity),
+        }
     }
 
-    /// Number of events captured.
+    /// Events captured so far, in virtual-time order (the most recent
+    /// `capacity` when bounded).
+    pub fn events(&self) -> &[(SimTime, SimEvent)] {
+        // The ring trims lazily (amortised O(1) pushes), so the backing
+        // vec may briefly hold up to `2 * capacity - 1` events; expose
+        // exactly the retained window.
+        match self.capacity {
+            Some(cap) if self.events.len() > cap => &self.events[self.events.len() - cap..],
+            _ => &self.events,
+        }
+    }
+
+    /// Number of events retained.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events().len()
     }
 
     /// True when nothing was captured.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events().is_empty()
     }
 
-    /// Number of captured events matching `pred`.
+    /// Number of retained events matching `pred`.
     pub fn count(&self, mut pred: impl FnMut(&SimEvent) -> bool) -> usize {
-        self.events.iter().filter(|(_, e)| pred(e)).count()
+        self.events().iter().filter(|(_, e)| pred(e)).count()
     }
 
-    /// The first captured event matching `pred`, with its timestamp.
+    /// The first retained event matching `pred`, with its timestamp.
     pub fn find(&self, mut pred: impl FnMut(&SimEvent) -> bool) -> Option<&(SimTime, SimEvent)> {
-        self.events.iter().find(|(_, e)| pred(e))
+        self.events().iter().find(|(_, e)| pred(e))
     }
 }
 
 impl Observer for EventLogObserver {
     fn on_event(&mut self, at: SimTime, event: &SimEvent) {
         self.events.push((at, *event));
+        // Amortised O(1): let the buffer run to twice the cap, then
+        // slide the newest `capacity` events to the front in one move.
+        if let Some(cap) = self.capacity {
+            if self.events.len() >= cap * 2 {
+                self.events.drain(..self.events.len() - cap);
+            }
+        }
     }
 }
 
 /// Renders a captured event stream as CSV with a header row. Columns:
-/// `at_secs,event,node,request,tenant,worker,model,k,latency_secs,hit,count,lost`
+/// `at_secs,event,node,request,tenant,worker,model,k,latency_secs,hit,count,lost,retry_after`
 /// (`tenant` is the request's tenant id for request-scoped events,
 /// `count` carries the kind-specific tally — prewarmed entries for
-/// activations, redelivered requests for crashes — and `lost` the cache
-/// entries a crash destroyed; a `shed_deadline` event reports its queue
+/// activations, redelivered requests for crashes — `lost` the cache
+/// entries a crash destroyed, and `retry_after` a `rejected` event's
+/// back-off hint in seconds; a `shed_deadline` event reports its queue
 /// wait in the `latency_secs` column). Fields a kind does not define
 /// render empty.
 pub fn events_to_csv(events: &[(SimTime, SimEvent)]) -> String {
     let mut out = String::from(
-        "at_secs,event,node,request,tenant,worker,model,k,latency_secs,hit,count,lost\n",
+        "at_secs,event,node,request,tenant,worker,model,k,latency_secs,hit,count,lost,retry_after\n",
     );
     for (at, event) in events {
         let at = at.as_secs_f64();
@@ -248,8 +282,14 @@ pub fn events_to_csv(events: &[(SimTime, SimEvent)]) -> String {
             ),
             _ => Default::default(),
         };
+        let retry_after = match *event {
+            SimEvent::Rejected {
+                retry_after_secs, ..
+            } => format!("{retry_after_secs}"),
+            _ => String::new(),
+        };
         out.push_str(&format!(
-            "{at},{kind},{node},{req},{tenant},{worker},{model},{k},{latency},{hit},{count},{lost}\n"
+            "{at},{kind},{node},{req},{tenant},{worker},{model},{k},{latency},{hit},{count},{lost},{retry_after}\n"
         ));
     }
     out
@@ -277,6 +317,11 @@ pub fn events_to_json(events: &[(SimTime, SimEvent)]) -> String {
                 out.push_str(&format!(", \"worker\": {worker}, \"model\": \"{model}\""));
             }
             SimEvent::CacheHit { k, .. } => out.push_str(&format!(", \"k\": {k}")),
+            SimEvent::Rejected {
+                retry_after_secs, ..
+            } => {
+                out.push_str(&format!(", \"retry_after_secs\": {retry_after_secs}"));
+            }
             SimEvent::Completed {
                 latency_secs, hit, ..
             } => {
@@ -469,7 +514,7 @@ mod tests {
         exp.on_event(SimTime::from_secs_f64(3.0), &completed(1.5));
         let csv = exp.to_csv();
         assert!(csv.starts_with("at_secs,event,node,request,tenant"));
-        assert!(csv.contains("1.5,cache_hit,2,9,7,,,20,,,,"));
+        assert!(csv.contains("1.5,cache_hit,2,9,7,,,20,,,,,"));
         let json = exp.to_json();
         assert!(json.contains("\"event\": \"cache_hit\""));
         assert!(json.contains("\"tenant\": 7"));
@@ -487,6 +532,7 @@ mod tests {
                 node: 1,
                 request_id: 3,
                 tenant: modm_workload::TenantId(2),
+                retry_after_secs: 12.5,
             },
         );
         exp.on_event(
@@ -499,10 +545,11 @@ mod tests {
             },
         );
         let csv = exp.to_csv();
-        assert!(csv.contains("4,rejected,1,3,2,,,,,,,"));
-        assert!(csv.contains("8,shed_deadline,1,5,2,,,,480.5,,,"));
+        assert!(csv.contains("4,rejected,1,3,2,,,,,,,,12.5"));
+        assert!(csv.contains("8,shed_deadline,1,5,2,,,,480.5,,,,"));
         let json = exp.to_json();
         assert!(json.contains("\"event\": \"rejected\""));
+        assert!(json.contains("\"retry_after_secs\": 12.5"));
         assert!(json.contains("\"event\": \"shed_deadline\""));
         assert!(json.contains("\"waited_secs\": 480.5"));
     }
@@ -516,7 +563,7 @@ mod tests {
         };
         let mut exp = TraceExportObserver::new();
         exp.on_event(SimTime::from_secs_f64(9.0), &crash);
-        assert!(exp.to_csv().contains("9,crash,3,,,,,,,,5,41"));
+        assert!(exp.to_csv().contains("9,crash,3,,,,,,,,5,41,"));
         assert!(exp
             .to_json()
             .contains("\"redelivered\": 5, \"lost_entries\": 41"));
@@ -525,6 +572,28 @@ mod tests {
         log.on_event(SimTime::from_secs_f64(9.0), &crash);
         assert_eq!(events_to_csv(log.events()), exp.to_csv());
         assert_eq!(events_to_json(log.events()), exp.to_json());
+    }
+
+    #[test]
+    fn bounded_log_keeps_only_the_most_recent_events() {
+        let mut log = EventLogObserver::with_capacity(3);
+        for i in 0..10 {
+            log.on_event(SimTime::from_secs_f64(i as f64), &completed(i as f64));
+        }
+        assert_eq!(log.len(), 3);
+        let times: Vec<f64> = log
+            .events()
+            .iter()
+            .map(|(at, _)| at.as_secs_f64())
+            .collect();
+        assert_eq!(times, vec![7.0, 8.0, 9.0], "tail of the stream, in order");
+        assert_eq!(log.count(|e| matches!(e, SimEvent::Completed { .. })), 3);
+        // An unbounded log over the same stream keeps everything.
+        let mut full = EventLogObserver::new();
+        for i in 0..10 {
+            full.on_event(SimTime::from_secs_f64(i as f64), &completed(i as f64));
+        }
+        assert_eq!(full.len(), 10);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod overload;
 pub mod quality_tables;
 pub mod retrieval_perf;
 pub mod slo;
+pub mod telemetry;
 pub mod tenancy;
 pub mod throughput;
 pub mod tiers;

@@ -41,6 +41,7 @@ EXPERIMENTS
   tiers       cross-tier comparison: one trace through single/fleet/elastic deployments
   tenancy     multi-tenant QoS: 3-tenant mix, FIFO vs weighted-fair admission
   overload    overload control: 2x-capacity mix, queue-only vs token-bucket + GPU-cost WFQ
+  telemetry   the queue-only overload run observed: spans, burn-rate alerts, DES profile
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -73,12 +74,13 @@ fn run_one(name: &str) -> bool {
         "tiers" => exp::tiers::run(),
         "tenancy" => exp::tenancy::run(),
         "overload" => exp::overload::run(),
+        "telemetry" => exp::telemetry::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 28] = [
+const ALL: [&str; 29] = [
     "fig2",
     "fig5",
     "fig6",
@@ -107,6 +109,7 @@ const ALL: [&str; 28] = [
     "tiers",
     "tenancy",
     "overload",
+    "telemetry",
 ];
 
 fn main() {

@@ -114,7 +114,8 @@ pub fn overload_policy() -> TenancyPolicy {
 }
 
 /// Builds the study fleet under `tenancy` (everything else identical).
-fn fleet(tenancy: TenancyPolicy) -> Deployment {
+/// Public so the `telemetry` study can observe exactly this deployment.
+pub fn study_fleet(tenancy: TenancyPolicy) -> Deployment {
     let node = MoDMConfig::builder()
         .gpus(GpuKind::Mi210, GPUS_PER_NODE)
         .cache_capacity(CACHE_PER_NODE)
@@ -125,7 +126,9 @@ fn fleet(tenancy: TenancyPolicy) -> Deployment {
 
 /// Runs the study trace through the fleet under `tenancy`.
 pub fn run_discipline(tenancy: TenancyPolicy) -> Summary {
-    fleet(tenancy).run(&study_trace()).summary(SLO_MULTIPLE)
+    study_fleet(tenancy)
+        .run(&study_trace())
+        .summary(SLO_MULTIPLE)
 }
 
 /// Runs both configurations: `(queue-only FIFO, overload control)` —

@@ -20,7 +20,7 @@ use modm_core::scheduler::{route_against_cache, RouteKind, RoutedRequest};
 use modm_diffusion::{QualityModel, Sampler};
 use modm_embedding::{SemanticSpace, TextEncoder};
 use modm_metrics::{LatencyReport, SloThresholds, ThroughputReport};
-use modm_simkit::{EventQueue, SimRng, SimTime};
+use modm_simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use modm_workload::{Request, TenantId, Trace};
 
 use crate::report::{FleetReport, NodeReport};
@@ -310,14 +310,18 @@ impl<'a> FleetRun<'a> {
             prompt_embedding: embedding,
             route,
         };
-        let accepted = self.nodes[node_idx].enqueue(now, routed, self.obs.as_deref_mut());
+        let outcome = self.nodes[node_idx].enqueue(now, routed, self.obs.as_deref_mut());
         self.arrivals_pending -= 1;
         // Closed-loop saturation: a refused admission frees its backlog
-        // slot immediately (it will never complete).
-        if !accepted && self.saturate && self.next_admission < self.requests.len() {
-            self.events
-                .schedule(now, Event::Arrival(self.next_admission));
-            self.next_admission += 1;
+        // slot (it will never complete); the replacement arrives after
+        // the refusal's retry-after hint, like a backing-off client.
+        if let Some(retry_after_secs) = outcome.retry_after_secs() {
+            if self.saturate && self.next_admission < self.requests.len() {
+                let retry = now + SimDuration::from_secs_f64(retry_after_secs);
+                self.events
+                    .schedule(retry, Event::Arrival(self.next_admission));
+                self.next_admission += 1;
+            }
         }
         node_idx
     }

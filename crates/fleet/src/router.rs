@@ -324,6 +324,12 @@ impl Router {
             self.active.last().is_none_or(|&max| max < loads.len()),
             "loads must cover every active node id"
         );
+        modm_simkit::profile::timed(modm_simkit::profile::Subsystem::Routing, || {
+            self.route_inner(embedding, loads)
+        })
+    }
+
+    fn route_inner(&mut self, embedding: &Embedding, loads: &[f64]) -> usize {
         let node = match self.policy {
             RoutingPolicy::RoundRobin => {
                 let n = self.active[self.rr_next % self.active.len()];

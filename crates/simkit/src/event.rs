@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::profile;
 use crate::time::SimTime;
 
 struct Entry<E> {
@@ -79,20 +80,24 @@ impl<E> EventQueue<E> {
     /// the event fires "now" from the consumer's perspective; the simulation
     /// clock never runs backwards.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        profile::timed(profile::Subsystem::EventHeap, || {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { at, seq, event });
+        })
     }
 
     /// Removes and returns the earliest event, with the (monotonic) time at
     /// which it fires.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        // Clamp so consumers observe a monotone clock even if someone
-        // scheduled into the past.
-        let at = entry.at.max(self.last_popped);
-        self.last_popped = at;
-        Some((at, entry.event))
+        profile::timed(profile::Subsystem::EventHeap, || {
+            let entry = self.heap.pop()?;
+            // Clamp so consumers observe a monotone clock even if someone
+            // scheduled into the past.
+            let at = entry.at.max(self.last_popped);
+            self.last_popped = at;
+            Some((at, entry.event))
+        })
     }
 
     /// The firing time of the next event, if any.

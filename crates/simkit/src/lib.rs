@@ -21,6 +21,7 @@
 //! ```
 
 pub mod event;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod series;
@@ -28,6 +29,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use profile::{timed, ProfileReport, Profiler, Subsystem};
 pub use queue::FifoQueue;
 pub use rng::{mix64, SimRng};
 pub use series::TimeSeries;

@@ -1,0 +1,252 @@
+//! Exposition formats: Prometheus text and a JSON snapshot.
+//!
+//! Both renderers iterate the registry's ordered maps, so output is
+//! byte-deterministic for a fixed run — the `telemetry` experiment's
+//! snapshots diff cleanly. Histograms render summary-style (count, sum,
+//! p50/p90/p99 quantiles) rather than as cumulative buckets: the
+//! quantiles are what every consumer of this repo actually plots. JSON
+//! is hand-rolled like the rest of the workspace (`Summary::to_json`),
+//! with stable field order and no external dependencies.
+
+use std::fmt::Write as _;
+
+use modm_simkit::profile::ProfileReport;
+
+use crate::observer::TelemetryObserver;
+use crate::registry::LogLinearHistogram;
+
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+/// Renders `value` the way the workspace's JSON renderers do: shortest
+/// representation that round-trips the displayed precision.
+fn fmt_f64(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
+}
+
+impl TelemetryObserver {
+    /// The registry in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_metric = "";
+        for (key, value) in self.registry().counters() {
+            if key.metric != last_metric {
+                let _ = writeln!(out, "# TYPE {} counter", key.metric);
+                last_metric = key.metric;
+            }
+            let _ = writeln!(out, "{} {}", key.prometheus(), value);
+        }
+        last_metric = "";
+        for (key, value) in self.registry().gauges() {
+            if key.metric != last_metric {
+                let _ = writeln!(out, "# TYPE {} gauge", key.metric);
+                last_metric = key.metric;
+            }
+            let _ = writeln!(out, "{} {}", key.prometheus(), fmt_f64(value));
+        }
+        last_metric = "";
+        for (key, hist) in self.registry().histograms() {
+            if key.metric != last_metric {
+                let _ = writeln!(out, "# TYPE {} summary", key.metric);
+                last_metric = key.metric;
+            }
+            let mut labels = Vec::new();
+            if let Some(t) = key.tenant {
+                labels.push(format!("tenant=\"{}\"", t.0));
+            }
+            if let Some(n) = key.node {
+                labels.push(format!("node=\"{n}\""));
+            }
+            for (q, qs) in QUANTILES {
+                let mut qlabels = labels.clone();
+                qlabels.push(format!("quantile=\"{qs}\""));
+                let _ = writeln!(
+                    out,
+                    "{}{{{}}} {}",
+                    key.metric,
+                    qlabels.join(","),
+                    fmt_f64(hist.quantile(q))
+                );
+            }
+            let suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", labels.join(","))
+            };
+            let _ = writeln!(out, "{}_sum{} {}", key.metric, suffix, fmt_f64(hist.sum()));
+            let _ = writeln!(out, "{}_count{} {}", key.metric, suffix, hist.count());
+        }
+        out
+    }
+
+    /// A JSON snapshot of every pillar: counters, histogram summaries,
+    /// windowed series, the per-tenant span breakdown and fired alerts.
+    pub fn json_snapshot(&self) -> String {
+        self.json_snapshot_inner(None)
+    }
+
+    /// Like [`TelemetryObserver::json_snapshot`], with the DES
+    /// self-profiling table appended.
+    pub fn json_snapshot_with_profile(&self, profile: &ProfileReport) -> String {
+        self.json_snapshot_inner(Some(profile))
+    }
+
+    fn json_snapshot_inner(&self, profile: Option<&ProfileReport>) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters: Vec<String> = self
+            .registry()
+            .counters()
+            .map(|(k, v)| format!("\"{}\": {}", k.prometheus().replace('"', "'"), v))
+            .collect();
+        out.push_str(&counters.join(", "));
+        out.push_str("},\n  \"histograms\": {");
+        let hists: Vec<String> = self
+            .registry()
+            .histograms()
+            .map(|(k, h)| format!("\"{}\": {}", k.prometheus().replace('"', "'"), hist_json(h)))
+            .collect();
+        out.push_str(&hists.join(", "));
+        out.push_str("},\n  \"series\": {");
+        let series: Vec<String> = self
+            .series()
+            .keys()
+            .map(|key| {
+                let sums = self.series().window_sums(key.metric, key.tenant);
+                let label = match key.tenant {
+                    Some(t) => format!("{}{{tenant='{}'}}", key.metric, t.0),
+                    None => key.metric.to_string(),
+                };
+                let values: Vec<String> = sums.iter().map(|&v| fmt_f64(v)).collect();
+                format!("\"{label}\": [{}]", values.join(", "))
+            })
+            .collect();
+        out.push_str(&series.join(", "));
+        out.push_str("},\n  \"spans\": {");
+        let spans: Vec<String> = self
+            .spans()
+            .by_tenant()
+            .iter()
+            .map(|(tenant, b)| {
+                format!(
+                    "\"{}\": {{\"completed\": {}, \"rejected\": {}, \"shed\": {}, \
+                     \"queue_secs\": {}, \"service_secs\": {}, \"hits\": {}}}",
+                    tenant.0,
+                    b.completed,
+                    b.rejected,
+                    b.shed,
+                    fmt_f64(b.queue_secs),
+                    fmt_f64(b.service_secs),
+                    b.hits
+                )
+            })
+            .collect();
+        out.push_str(&spans.join(", "));
+        out.push_str("},\n  \"alerts\": [");
+        let alerts: Vec<String> = self
+            .alerts()
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"at_secs\": {}, \"rule\": \"{}\", \"fast_burn\": {}, \"slow_burn\": {}}}",
+                    fmt_f64(a.at.as_secs_f64()),
+                    a.rule.replace('"', "'"),
+                    fmt_f64(a.fast_burn),
+                    fmt_f64(a.slow_burn)
+                )
+            })
+            .collect();
+        out.push_str(&alerts.join(", "));
+        out.push(']');
+        if let Some(report) = profile {
+            out.push_str(",\n  \"profile\": {");
+            let rows: Vec<String> = report
+                .rows()
+                .iter()
+                .map(|(sub, calls, nanos)| {
+                    format!(
+                        "\"{}\": {{\"calls\": {calls}, \"total_ns\": {nanos}}}",
+                        sub.label()
+                    )
+                })
+                .collect();
+            out.push_str(&rows.join(", "));
+            out.push('}');
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn hist_json(h: &LogLinearHistogram) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count(),
+        fmt_f64(h.sum()),
+        fmt_f64(h.quantile(0.5)),
+        fmt_f64(h.quantile(0.99)),
+        fmt_f64(h.max())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use modm_core::events::{Observer as _, SimEvent};
+    use modm_simkit::SimTime;
+    use modm_workload::TenantId;
+
+    use crate::observer::{metric, TelemetryConfig, TelemetryObserver};
+
+    fn observed() -> TelemetryObserver {
+        let mut obs = TelemetryObserver::new(TelemetryConfig::new(100.0));
+        obs.on_event(
+            SimTime::from_secs_f64(1.0),
+            &SimEvent::Admitted {
+                node: 0,
+                request_id: 1,
+                tenant: TenantId(1),
+            },
+        );
+        obs.on_event(
+            SimTime::from_secs_f64(9.0),
+            &SimEvent::Completed {
+                node: 0,
+                request_id: 1,
+                tenant: TenantId(1),
+                latency_secs: 8.0,
+                hit: false,
+            },
+        );
+        obs
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_summaries() {
+        let text = observed().prometheus_text();
+        assert!(text.contains("# TYPE modm_requests_completed_total counter"));
+        assert!(text.contains("modm_requests_completed_total{tenant=\"1\",node=\"0\"} 1"));
+        assert!(text.contains("# TYPE modm_request_latency_seconds summary"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("modm_request_latency_seconds_count{tenant=\"1\",node=\"0\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_is_stable_and_complete() {
+        let obs = observed();
+        let a = obs.json_snapshot();
+        let b = obs.json_snapshot();
+        assert_eq!(a, b, "deterministic rendering");
+        assert!(a.contains("\"counters\""));
+        assert!(a.contains("\"series\""));
+        assert!(a.contains("\"spans\""));
+        assert!(a.contains("\"alerts\""));
+        assert!(a.contains(metric::COMPLETED));
+        // With a profile appended.
+        let profiler = modm_simkit::Profiler::start();
+        let with = obs.json_snapshot_with_profile(&profiler.report());
+        assert!(with.contains("\"profile\""));
+        assert!(with.contains("\"event_heap\""));
+    }
+}

@@ -1,0 +1,192 @@
+//! Sim-time windowed series: every key metric as a plottable series.
+//!
+//! The registry's counters answer "how much, in total"; the series bank
+//! answers "when". Each series accumulates into fixed-width windows of
+//! virtual time (configurable, 60 s by default) on top of
+//! [`modm_simkit::TimeSeries`], keyed by `(metric, tenant)` — so queue
+//! depth, goodput, hit rate and rejection rate become per-tenant
+//! time series instead of single end-of-run numbers. Latency gets the
+//! full treatment: one [`LogLinearHistogram`] per `(QoS class, window)`
+//! so per-class P99 is itself a series.
+
+use std::collections::BTreeMap;
+
+use modm_simkit::{SimDuration, SimTime, TimeSeries};
+use modm_workload::{QosClass, TenantId};
+
+use crate::registry::LogLinearHistogram;
+
+/// A series instance: metric name plus optional tenant slice.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric name.
+    pub metric: &'static str,
+    /// Tenant slice (`None` is the all-tenants series).
+    pub tenant: Option<TenantId>,
+}
+
+/// Windowed series for every recorded metric.
+#[derive(Debug, Clone)]
+pub struct SeriesBank {
+    window: SimDuration,
+    series: BTreeMap<SeriesKey, TimeSeries>,
+    /// Per-class windowed latency histograms: `latency[class][window]`.
+    latency: BTreeMap<QosClass, Vec<LogLinearHistogram>>,
+}
+
+impl SeriesBank {
+    /// An empty bank with the given window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        SeriesBank {
+            window,
+            series: BTreeMap::new(),
+            latency: BTreeMap::new(),
+        }
+    }
+
+    /// The configured window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    fn window_index(&self, at: SimTime) -> usize {
+        (at.as_micros() / self.window.as_micros()) as usize
+    }
+
+    /// Records `value` into `(metric, tenant)` at `at`, and into the
+    /// metric's all-tenants series when `tenant` is `Some`.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        metric: &'static str,
+        tenant: Option<TenantId>,
+        value: f64,
+    ) {
+        let window = self.window;
+        self.series
+            .entry(SeriesKey { metric, tenant })
+            .or_insert_with(|| TimeSeries::new(window))
+            .record(at, value);
+        if tenant.is_some() {
+            self.series
+                .entry(SeriesKey {
+                    metric,
+                    tenant: None,
+                })
+                .or_insert_with(|| TimeSeries::new(window))
+                .record(at, value);
+        }
+    }
+
+    /// Records a completion latency into `class`'s windowed histograms.
+    pub fn record_latency(&mut self, at: SimTime, class: QosClass, latency_secs: f64) {
+        let w = self.window_index(at);
+        let per_window = self.latency.entry(class).or_default();
+        if w >= per_window.len() {
+            per_window.resize(w + 1, LogLinearHistogram::new());
+        }
+        per_window[w].record(latency_secs);
+    }
+
+    /// The series at `(metric, tenant)`, if anything was recorded.
+    pub fn series(&self, metric: &'static str, tenant: Option<TenantId>) -> Option<&TimeSeries> {
+        self.series.get(&SeriesKey { metric, tenant })
+    }
+
+    /// Per-window sums of `(metric, tenant)` (empty when never recorded).
+    pub fn window_sums(&self, metric: &'static str, tenant: Option<TenantId>) -> Vec<f64> {
+        self.series(metric, tenant)
+            .map(TimeSeries::window_sums)
+            .unwrap_or_default()
+    }
+
+    /// Total over all windows of `(metric, tenant)` — the quantity the
+    /// consistency tests compare against end-of-run summary counters.
+    pub fn total(&self, metric: &'static str, tenant: Option<TenantId>) -> f64 {
+        self.window_sums(metric, tenant).iter().sum()
+    }
+
+    /// Per-window quantile of `class`'s latency (0 for empty windows):
+    /// `quantile_series(class, 0.99)` is the plottable per-class P99.
+    pub fn quantile_series(&self, class: QosClass, q: f64) -> Vec<f64> {
+        self.latency
+            .get(&class)
+            .map(|hists| hists.iter().map(|h| h.quantile(q)).collect())
+            .unwrap_or_default()
+    }
+
+    /// `class`'s latency histograms merged across all windows.
+    pub fn latency_merged(&self, class: QosClass) -> LogLinearHistogram {
+        let mut merged = LogLinearHistogram::new();
+        if let Some(hists) = self.latency.get(&class) {
+            for h in hists {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Every series key recorded so far, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &SeriesKey> {
+        self.series.keys()
+    }
+
+    /// The QoS classes with recorded latency.
+    pub fn latency_classes(&self) -> impl Iterator<Item = QosClass> + '_ {
+        self.latency.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn bank() -> SeriesBank {
+        SeriesBank::new(SimDuration::from_secs_f64(60.0))
+    }
+
+    #[test]
+    fn tenant_records_roll_up_into_the_global_series() {
+        let mut b = bank();
+        b.record(t(10.0), "completed", Some(TenantId(1)), 1.0);
+        b.record(t(70.0), "completed", Some(TenantId(2)), 1.0);
+        b.record(t(80.0), "completed", Some(TenantId(1)), 1.0);
+        assert_eq!(
+            b.window_sums("completed", Some(TenantId(1))),
+            vec![1.0, 1.0]
+        );
+        assert_eq!(b.window_sums("completed", None), vec![1.0, 2.0]);
+        assert_eq!(b.total("completed", None), 3.0);
+        assert_eq!(b.total("completed", Some(TenantId(2))), 1.0);
+        assert!(b.series("other", None).is_none());
+    }
+
+    #[test]
+    fn per_class_p99_is_a_series() {
+        let mut b = bank();
+        // Window 0: fast completions. Window 2: slow ones.
+        for i in 0..20 {
+            b.record_latency(t(i as f64), QosClass::Interactive, 10.0);
+        }
+        for i in 0..20 {
+            b.record_latency(t(120.0 + i as f64), QosClass::Interactive, 400.0);
+        }
+        let p99 = b.quantile_series(QosClass::Interactive, 0.99);
+        assert_eq!(p99.len(), 3);
+        assert!(p99[0] < 12.0, "fast window p99 = {}", p99[0]);
+        assert_eq!(p99[1], 0.0, "empty window");
+        assert!(p99[2] > 300.0, "slow window p99 = {}", p99[2]);
+        let merged = b.latency_merged(QosClass::Interactive);
+        assert_eq!(merged.count(), 40);
+        assert!(b.quantile_series(QosClass::BestEffort, 0.99).is_empty());
+    }
+}

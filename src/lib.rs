@@ -20,6 +20,9 @@
 //! * [`deploy`] — **the front door**: one [`deploy::Deployment`] builder
 //!   across all three tiers, the unified [`deploy::RunOutcome`] /
 //!   [`deploy::Summary`] result layer, and the [`deploy::Observer`] API.
+//! * [`telemetry`] — observability over the event stream: metrics
+//!   registry, windowed series, request spans, SLO burn-rate alerts and
+//!   DES self-profiling, exported as Prometheus text or JSON.
 //!
 //! # Quickstart
 //!
@@ -230,6 +233,58 @@
 //!     println!("{row}");
 //! }
 //! ```
+//!
+//! # Telemetry quickstart
+//!
+//! Attach one [`telemetry::TelemetryObserver`] to any tier and the run
+//! narrates itself: per-`(metric, tenant, node)` counters and latency
+//! histograms, sim-time windowed series, a per-request span breakdown
+//! (queue vs service time per tenant), and multi-window SLO burn-rate
+//! alerts that fire while an overload is developing. Everything the
+//! registry counts agrees exactly with the end-of-run [`deploy::Summary`]:
+//!
+//! ```
+//! use modm::deploy::{DeployOptions, Deployment, ServingBackend};
+//! use modm::core::MoDMConfig;
+//! use modm::cluster::GpuKind;
+//! use modm::metrics::SloThresholds;
+//! use modm::telemetry::{metric, TelemetryConfig, TelemetryObserver};
+//! use modm::workload::{QosClass, TenantId, TenantMix, TraceBuilder};
+//!
+//! let interactive = TenantId(1);
+//! let batch = TenantId(2);
+//! let trace = TraceBuilder::diffusion_db(7)
+//!     .requests(200)
+//!     .tenants(vec![
+//!         TenantMix::new(interactive, QosClass::Interactive, 2.0),
+//!         TenantMix::new(batch, QosClass::Standard, 6.0),
+//!     ])
+//!     .build();
+//! let config = MoDMConfig::builder().gpus(GpuKind::Mi210, 8).cache_capacity(800).build();
+//!
+//! // Judge the same 2x SLO the summary reports, in 60 s windows, with
+//! // the default fast/slow burn-rate rule.
+//! let slo = SloThresholds::for_deployment(config.gpu, config.large_model);
+//! let mut telemetry = TelemetryObserver::new(
+//!     TelemetryConfig::new(slo.bound_secs(2.0))
+//!         .with_class(interactive, QosClass::Interactive),
+//! );
+//! let summary = Deployment::single(config)
+//!     .run_observed(&trace, DeployOptions::default(), &mut telemetry)
+//!     .summary(2.0);
+//!
+//! // The registry, the windowed series and the span breakdown all
+//! // agree exactly with the end-of-run summary.
+//! let registry = telemetry.registry();
+//! assert_eq!(registry.counter_sum(metric::COMPLETED, None, None), summary.completed);
+//! assert_eq!(registry.counter_sum(metric::GOODPUT, None, None), summary.goodput);
+//! assert_eq!(telemetry.series().total(metric::COMPLETED, None) as u64, summary.completed);
+//! assert_eq!(telemetry.spans().totals().completed, summary.completed);
+//!
+//! // And everything exports as Prometheus text or a JSON snapshot.
+//! assert!(telemetry.prometheus_text().contains("modm_requests_completed_total"));
+//! assert!(telemetry.json_snapshot().contains("\"alerts\""));
+//! ```
 
 pub use modm_baselines as baselines;
 pub use modm_cache as cache;
@@ -243,4 +298,5 @@ pub use modm_fleet as fleet;
 pub use modm_metrics as metrics;
 pub use modm_numerics as numerics;
 pub use modm_simkit as simkit;
+pub use modm_telemetry as telemetry;
 pub use modm_workload as workload;
