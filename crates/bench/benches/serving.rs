@@ -16,6 +16,7 @@ use modm_core::{MoDMConfig, RunOptions, ServingSystem};
 use modm_diffusion::ModelId;
 use modm_simkit::SimTime;
 use modm_telemetry::{TelemetryConfig, TelemetryObserver};
+use modm_trace::{TraceConfig, TraceObserver};
 use modm_workload::TraceBuilder;
 
 /// The cheapest real observer: counts events, nothing else. Measures the
@@ -70,6 +71,13 @@ fn main() {
     });
     let telemetry_ns = bench.results().last().expect("just measured").median_ns;
 
+    // Causal tracing: span-tree assembly under default tail sampling.
+    bench.measure("system/modm-trace", || {
+        let mut tracer = TraceObserver::new(TraceConfig::new());
+        std::hint::black_box(system.run_observed(&trace, opts, &mut tracer))
+    });
+    let trace_ns = bench.results().last().expect("just measured").median_ns;
+
     bench.measure("system/vanilla", || {
         let mut v = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
         std::hint::black_box(v.run_with(&trace, opts))
@@ -86,11 +94,13 @@ fn main() {
 
     let overhead = observed_ns / plain_ns - 1.0;
     let telemetry_overhead = telemetry_ns / plain_ns - 1.0;
+    let trace_overhead = trace_ns / plain_ns - 1.0;
     println!(
-        "\nobserver overhead: {:+.2}% ({} events/run); full telemetry: {:+.2}%",
+        "\nobserver overhead: {:+.2}% ({} events/run); full telemetry: {:+.2}%; tracing: {:+.2}%",
         overhead * 100.0,
         counter.events,
-        telemetry_overhead * 100.0
+        telemetry_overhead * 100.0,
+        trace_overhead * 100.0
     );
 
     let doc = Json::Obj(vec![
@@ -105,6 +115,8 @@ fn main() {
             "telemetry_overhead_frac".into(),
             Json::Num(telemetry_overhead),
         ),
+        ("modm_trace_ns".into(), Json::Num(trace_ns)),
+        ("trace_overhead_frac".into(), Json::Num(trace_overhead)),
         ("events_per_run".into(), Json::Num(counter.events as f64)),
         (
             "sim_requests_per_wall_sec".into(),

@@ -13,6 +13,14 @@
 //! reruns are smoke runs on shared runners; override it with the
 //! `BENCH_GATE_TOLERANCE` environment variable when measuring locally.
 //!
+//! The serving bench additionally reports `telemetry_overhead_frac` —
+//! the relative slowdown of a telemetry-observed run versus the
+//! unobserved path. The gate fails when the *fresh* value exceeds an
+//! absolute budget (default 0.05, i.e. observation may cost at most 5%
+//! throughput); override with `BENCH_GATE_TELEMETRY_BUDGET`. This is an
+//! absolute ceiling rather than a baseline ratio because the whole
+//! point is that observability stays cheap, not merely no worse.
+//!
 //! Parsing is a string scan for the metric key, like every other JSON
 //! touchpoint in this workspace — no external dependencies.
 
@@ -20,7 +28,9 @@ use std::path::Path;
 use std::process::ExitCode;
 
 const METRIC: &str = "\"sim_requests_per_wall_sec\": ";
+const TELEMETRY_METRIC: &str = "\"telemetry_overhead_frac\": ";
 const DEFAULT_TOLERANCE: f64 = 0.25;
+const DEFAULT_TELEMETRY_BUDGET: f64 = 0.05;
 
 /// Every `sim_requests_per_wall_sec` value in `text`, in file order.
 fn extract_throughputs(text: &str) -> Vec<f64> {
@@ -28,9 +38,22 @@ fn extract_throughputs(text: &str) -> Vec<f64> {
     let mut rest = text;
     while let Some(pos) = rest.find(METRIC) {
         rest = &rest[pos + METRIC.len()..];
-        let end = rest
-            .find([',', '}'])
-            .unwrap_or(rest.len());
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        match rest[..end].trim().parse::<f64>() {
+            Ok(v) => values.push(v),
+            Err(_) => eprintln!("bench-gate: unparseable value near '{}'", &rest[..end]),
+        }
+    }
+    values
+}
+
+/// Every `telemetry_overhead_frac` value in `text`, in file order.
+fn extract_telemetry_overheads(text: &str) -> Vec<f64> {
+    let mut values = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(TELEMETRY_METRIC) {
+        rest = &rest[pos + TELEMETRY_METRIC.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
         match rest[..end].trim().parse::<f64>() {
             Ok(v) => values.push(v),
             Err(_) => eprintln!("bench-gate: unparseable value near '{}'", &rest[..end]),
@@ -49,6 +72,10 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(DEFAULT_TOLERANCE);
+    let telemetry_budget = std::env::var("BENCH_GATE_TELEMETRY_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TELEMETRY_BUDGET);
 
     let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
         Ok(entries) => entries
@@ -86,14 +113,32 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let fresh = match read(fresh_dir) {
-            Ok(text) => extract_throughputs(&text),
+        let fresh_text = match read(fresh_dir) {
+            Ok(text) => text,
             Err(err) => {
                 eprintln!("bench-gate: {name}: missing fresh run: {err}");
                 failed = true;
                 continue;
             }
         };
+        let fresh = extract_throughputs(&fresh_text);
+        for (i, frac) in extract_telemetry_overheads(&fresh_text).iter().enumerate() {
+            let verdict = if *frac > telemetry_budget {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<28} {:>14} {:>13.1}% {:>7}   {} (budget {:.0}%)",
+                format!("{name} telemetry[{i}]"),
+                "-",
+                frac * 100.0,
+                "-",
+                verdict,
+                telemetry_budget * 100.0
+            );
+        }
         if baseline.len() != fresh.len() {
             eprintln!(
                 "bench-gate: {name}: {} baseline samples vs {} fresh — \
@@ -124,8 +169,10 @@ fn main() -> ExitCode {
     }
     if failed {
         eprintln!(
-            "\nbench-gate: throughput regression beyond {:.0}% tolerance",
-            tolerance * 100.0
+            "\nbench-gate: throughput regression beyond {:.0}% tolerance \
+             or telemetry overhead above {:.0}% budget",
+            tolerance * 100.0,
+            telemetry_budget * 100.0
         );
         ExitCode::FAILURE
     } else {
@@ -136,7 +183,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::extract_throughputs;
+    use super::{extract_telemetry_overheads, extract_throughputs};
 
     #[test]
     fn extracts_nested_and_top_level_values() {
@@ -147,5 +194,14 @@ mod tests {
             {"policy": "b", "sim_requests_per_wall_sec": 200.5}]}"#;
         assert_eq!(extract_throughputs(nested), vec![100.0, 200.5]);
         assert!(extract_throughputs("{}").is_empty());
+    }
+
+    #[test]
+    fn extracts_telemetry_overhead_fractions() {
+        let doc = r#"{"sim_requests_per_wall_sec": 40000.0,
+            "telemetry_overhead_frac": 0.0298,
+            "trace_overhead_frac": 0.9}"#;
+        assert_eq!(extract_telemetry_overheads(doc), vec![0.0298]);
+        assert!(extract_telemetry_overheads("{}").is_empty());
     }
 }

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use modm_cluster::{ClusterEnergy, Worker};
 use modm_diffusion::{GeneratedImage, ModelId, Sampler, K_CHOICES, TOTAL_STEPS};
 use modm_metrics::{LatencyReport, QualityAggregator, SloThresholds, ThroughputReport};
-use modm_simkit::{SimDuration, SimRng, SimTime};
+use modm_simkit::{profile, SimDuration, SimRng, SimTime};
 use modm_workload::TenantId;
 
 use crate::admission::AdmissionControl;
@@ -251,7 +251,10 @@ impl ServingNode {
         routed: RoutedRequest,
         mut obs: Obs<'_, '_>,
     ) -> EnqueueOutcome {
-        if let Err(retry_after_secs) = self.admission.try_admit_or_retry(now, routed.tenant) {
+        let admit = profile::timed(profile::Subsystem::Admission, || {
+            self.admission.try_admit_or_retry(now, routed.tenant)
+        });
+        if let Err(retry_after_secs) = admit {
             self.rejected += 1;
             let slice = self
                 .tenants
@@ -424,8 +427,12 @@ impl ServingNode {
                 Lane::Miss => &mut self.miss_q,
             };
             let (routed, enqueued_at) = queue.pop_entry(now)?;
-            let waited = now.saturating_since(enqueued_at);
-            if self.queue_budget.is_some_and(|budget| waited > budget) {
+            let budget = self.queue_budget;
+            let (waited, expired) = profile::timed(profile::Subsystem::ShedSweep, || {
+                let waited = now.saturating_since(enqueued_at);
+                (waited, budget.is_some_and(|b| waited > b))
+            });
+            if expired {
                 self.shed += 1;
                 let slice = self
                     .tenants

@@ -182,6 +182,17 @@ impl EventLogObserver {
     pub fn find(&self, mut pred: impl FnMut(&SimEvent) -> bool) -> Option<&(SimTime, SimEvent)> {
         self.events().iter().find(|(_, e)| pred(e))
     }
+
+    /// Retained events tallied per [`SimEvent::kind`] — the shape
+    /// exporters (e.g. `modm-trace`'s Perfetto `otherData`) carry, so
+    /// an independent log can cross-check an export's counts.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        for (_, event) in self.events() {
+            *counts.entry(event.kind()).or_insert(0) += 1;
+        }
+        counts
+    }
 }
 
 impl Observer for EventLogObserver {

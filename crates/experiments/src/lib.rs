@@ -34,3 +34,4 @@ pub mod telemetry;
 pub mod tenancy;
 pub mod throughput;
 pub mod tiers;
+pub mod trace;

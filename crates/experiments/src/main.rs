@@ -42,6 +42,7 @@ EXPERIMENTS
   tenancy     multi-tenant QoS: 3-tenant mix, FIFO vs weighted-fair admission
   overload    overload control: 2x-capacity mix, queue-only vs token-bucket + GPU-cost WFQ
   telemetry   the queue-only overload run observed: spans, burn-rate alerts, DES profile
+  trace       causal tracing: critical-path attribution, Perfetto export, run-diff diagnosis
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -75,12 +76,13 @@ fn run_one(name: &str) -> bool {
         "tenancy" => exp::tenancy::run(),
         "overload" => exp::overload::run(),
         "telemetry" => exp::telemetry::run(),
+        "trace" => exp::trace::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 29] = [
+const ALL: [&str; 30] = [
     "fig2",
     "fig5",
     "fig6",
@@ -110,6 +112,7 @@ const ALL: [&str; 29] = [
     "tenancy",
     "overload",
     "telemetry",
+    "trace",
 ];
 
 fn main() {

@@ -3,9 +3,10 @@
 //! The ROADMAP's million-request item needs to know *where* the
 //! simulator spends its wall-clock before the inner structures are
 //! rebuilt. This module provides the measurement harness: call sites in
-//! the event heap, fair queue, image cache and router wrap their hot
-//! operations in [`timed`], and a [`Profiler`] handle turns collection
-//! on for the current thread while it is alive.
+//! the event heap, fair queue, image cache, router, admission control
+//! and queue-budget shed sweep wrap their hot operations in [`timed`],
+//! and a [`Profiler`] handle turns collection on for the current thread
+//! while it is alive.
 //!
 //! Two properties matter and are guaranteed by construction:
 //!
@@ -51,15 +52,22 @@ pub enum Subsystem {
     ImageCache,
     /// Front-end routing decisions — clustering plus ring lookups.
     Routing,
+    /// Admission control — per-tenant token-bucket checks at enqueue.
+    Admission,
+    /// Queue-budget shed sweep — the expiry evaluation on every
+    /// dispatch pop.
+    ShedSweep,
 }
 
 impl Subsystem {
     /// Every instrumented subsystem, in report order.
-    pub const ALL: [Subsystem; 4] = [
+    pub const ALL: [Subsystem; 6] = [
         Subsystem::EventHeap,
         Subsystem::FairQueue,
         Subsystem::ImageCache,
         Subsystem::Routing,
+        Subsystem::Admission,
+        Subsystem::ShedSweep,
     ];
 
     /// Stable lowercase label used in tables and exports.
@@ -69,6 +77,8 @@ impl Subsystem {
             Subsystem::FairQueue => "fair_queue",
             Subsystem::ImageCache => "image_cache",
             Subsystem::Routing => "routing",
+            Subsystem::Admission => "admission",
+            Subsystem::ShedSweep => "shed_sweep",
         }
     }
 
@@ -78,6 +88,8 @@ impl Subsystem {
             Subsystem::FairQueue => 1,
             Subsystem::ImageCache => 2,
             Subsystem::Routing => 3,
+            Subsystem::Admission => 4,
+            Subsystem::ShedSweep => 5,
         }
     }
 }

@@ -231,6 +231,13 @@ impl TelemetryObserver {
         self.alerts.first_alert()
     }
 
+    /// The first burn-rate alert's virtual time in seconds, if any
+    /// fired — the scalar form downstream snapshots (e.g.
+    /// `modm-trace`'s run-diff) fold into their reports.
+    pub fn first_alert_secs(&self) -> Option<f64> {
+        self.first_alert().map(|a| a.at.as_secs_f64())
+    }
+
     /// The first virtual time `tenant`'s *cumulative* SLO attainment
     /// fell below the configured target (after at least
     /// [`ATTAINMENT_MIN_SAMPLES`] completions), if it ever did — the

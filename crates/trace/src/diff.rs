@@ -1,0 +1,391 @@
+//! Run-diff diagnosis: localize a regression (or an improvement) to
+//! (tenant, phase, node) by comparing two trace snapshots.
+//!
+//! [`RunSnapshot::capture`] freezes a [`TraceObserver`]'s critical-path
+//! report plus per-node phase totals; [`diagnose`] compares a baseline
+//! and a candidate snapshot and emits [`Finding`]s ranked by
+//! SLO-criticality-weighted P99 impact. Each finding names the tenant,
+//! the phase whose P99 contribution moved, the delta in seconds, and
+//! the node where the per-span mean of that phase moved the most — the
+//! "where do I look first" answer a human would otherwise eyeball out
+//! of two tables.
+//!
+//! Telemetry folds in optionally: [`RunSnapshot::with_telemetry`]
+//! copies the first burn-rate alert time, so the report can also say
+//! whether each run's alerting saw the problem.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use modm_telemetry::TelemetryObserver;
+use modm_workload::{QosClass, TenantId};
+
+use crate::observer::TraceObserver;
+use crate::report::CriticalPathReport;
+use crate::span::{Phase, PHASES};
+
+/// Per-(tenant, node) completed-span phase totals.
+#[derive(Debug, Clone, Copy)]
+pub struct NodePhaseRow {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The node that served the spans' final attempts.
+    pub node: usize,
+    /// Completed spans attributed to this node.
+    pub completed: u64,
+    /// Per-phase seconds summed over those spans.
+    pub phase_sums: [f64; PHASES],
+}
+
+/// A frozen view of one run, comparable against another.
+#[derive(Debug, Clone)]
+pub struct RunSnapshot {
+    /// Human label for reports ("queue-only", "overload-control", ...).
+    pub label: String,
+    /// The run's critical-path report.
+    pub critical: CriticalPathReport,
+    /// Per-(tenant, node) phase totals.
+    pub nodes: Vec<NodePhaseRow>,
+    /// First burn-rate alert, virtual seconds (when telemetry was
+    /// attached via [`RunSnapshot::with_telemetry`]).
+    pub first_alert_secs: Option<f64>,
+}
+
+impl RunSnapshot {
+    /// Freezes `obs` under `label`.
+    pub fn capture(label: &str, obs: &TraceObserver) -> Self {
+        let nodes = obs
+            .node_aggs()
+            .iter()
+            .map(|(&(tenant, node), agg)| NodePhaseRow {
+                tenant,
+                node,
+                completed: agg.completed,
+                phase_sums: agg.phase_sums,
+            })
+            .collect();
+        RunSnapshot {
+            label: label.to_string(),
+            critical: obs.critical_path(),
+            nodes,
+            first_alert_secs: None,
+        }
+    }
+
+    /// Folds the run's telemetry into the snapshot (currently: the
+    /// first burn-rate alert time, for the diff report's context line).
+    pub fn with_telemetry(mut self, telemetry: &TelemetryObserver) -> Self {
+        self.first_alert_secs = telemetry.first_alert_secs();
+        self
+    }
+}
+
+/// How much a QoS class's regression matters relative to the others:
+/// mirrors the serving-side share weights (interactive traffic carries
+/// the SLO, best-effort carries none).
+fn qos_weight(qos: QosClass) -> f64 {
+    match qos {
+        QosClass::Interactive => 4.0,
+        QosClass::Standard => 2.0,
+        QosClass::BestEffort => 1.0,
+    }
+}
+
+/// One localized shift between baseline and candidate.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The tenant whose critical path moved.
+    pub tenant: TenantId,
+    /// The tenant's QoS class.
+    pub qos: QosClass,
+    /// The phase whose P99 contribution moved.
+    pub phase: Phase,
+    /// Baseline P99 seconds attributed to the phase.
+    pub baseline_secs: f64,
+    /// Candidate P99 seconds attributed to the phase.
+    pub candidate_secs: f64,
+    /// `candidate - baseline`, seconds (negative = improvement).
+    pub delta_secs: f64,
+    /// The node where the per-span mean of this phase moved the most,
+    /// when per-node data exists on either side.
+    pub hot_node: Option<usize>,
+    /// Ranking key: `qos_weight * |delta_secs|`.
+    pub severity: f64,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let direction = if self.delta_secs > 0.0 {
+            "regressed"
+        } else {
+            "improved"
+        };
+        write!(
+            f,
+            "tenant t{} ({:?}) {}: p99 {} {:.1} s -> {:.1} s ({:+.1} s)",
+            self.tenant.0,
+            self.qos,
+            self.phase.label(),
+            direction,
+            self.baseline_secs,
+            self.candidate_secs,
+            self.delta_secs
+        )?;
+        if let Some(node) = self.hot_node {
+            write!(f, " [largest mean shift on node {node}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The ranked outcome of comparing two snapshots.
+#[derive(Debug, Clone)]
+pub struct RunDiff {
+    /// Baseline label.
+    pub baseline: String,
+    /// Candidate label.
+    pub candidate: String,
+    /// Findings, most severe first.
+    pub findings: Vec<Finding>,
+    /// First alert times `(baseline, candidate)`, when telemetry was
+    /// attached.
+    pub first_alerts: (Option<f64>, Option<f64>),
+}
+
+impl RunDiff {
+    /// The highest-severity finding, if any phase moved at all.
+    pub fn top(&self) -> Option<&Finding> {
+        self.findings.first()
+    }
+
+    /// The human-readable ranked report.
+    pub fn report(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for RunDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run-diff: baseline \"{}\" vs candidate \"{}\"",
+            self.baseline, self.candidate
+        )?;
+        if self.findings.is_empty() {
+            writeln!(f, "  no phase of any tenant's P99 moved")?;
+        }
+        for (rank, finding) in self.findings.iter().enumerate() {
+            writeln!(f, "  #{} {}", rank + 1, finding)?;
+        }
+        match self.first_alerts {
+            (Some(b), Some(c)) => {
+                writeln!(f, "  first alert: baseline {b:.0} s, candidate {c:.0} s")?
+            }
+            (Some(b), None) => {
+                writeln!(f, "  first alert: baseline {b:.0} s, candidate never fired")?
+            }
+            (None, Some(c)) => {
+                writeln!(f, "  first alert: baseline never fired, candidate {c:.0} s")?
+            }
+            (None, None) => {}
+        }
+        Ok(())
+    }
+}
+
+/// Per-span mean of each phase on each node, for hot-node localization.
+fn node_means(snapshot: &RunSnapshot) -> BTreeMap<(TenantId, usize), [f64; PHASES]> {
+    snapshot
+        .nodes
+        .iter()
+        .filter(|row| row.completed > 0)
+        .map(|row| {
+            let mut means = row.phase_sums;
+            for m in &mut means {
+                *m /= row.completed as f64;
+            }
+            ((row.tenant, row.node), means)
+        })
+        .collect()
+}
+
+/// Compares `candidate` against `baseline` and ranks every (tenant,
+/// phase) P99 shift by SLO-weighted severity, localizing each to the
+/// node whose per-span mean moved the most.
+pub fn diagnose(baseline: &RunSnapshot, candidate: &RunSnapshot) -> RunDiff {
+    let base_nodes = node_means(baseline);
+    let cand_nodes = node_means(candidate);
+    let mut findings = Vec::new();
+
+    for base_row in &baseline.critical.rows {
+        let Some(cand_row) = candidate.critical.tenant(base_row.tenant) else {
+            continue;
+        };
+        let (Some(base_p99), Some(cand_p99)) = (&base_row.p99, &cand_row.p99) else {
+            continue;
+        };
+        for phase in Phase::ALL {
+            let baseline_secs = base_p99.phase_secs[phase.index()];
+            let candidate_secs = cand_p99.phase_secs[phase.index()];
+            let delta_secs = candidate_secs - baseline_secs;
+            if delta_secs.abs() < 1e-9 {
+                continue;
+            }
+            // Hot node: largest |mean shift| of this phase across the
+            // nodes either run touched for this tenant.
+            let mut hot_node = None;
+            let mut hot_shift = 0.0;
+            let nodes_touched = base_nodes
+                .keys()
+                .chain(cand_nodes.keys())
+                .filter(|(t, _)| *t == base_row.tenant)
+                .map(|&(_, n)| n);
+            for node in nodes_touched {
+                let b = base_nodes
+                    .get(&(base_row.tenant, node))
+                    .map_or(0.0, |m| m[phase.index()]);
+                let c = cand_nodes
+                    .get(&(base_row.tenant, node))
+                    .map_or(0.0, |m| m[phase.index()]);
+                let shift = (c - b).abs();
+                if shift > hot_shift {
+                    hot_shift = shift;
+                    hot_node = Some(node);
+                }
+            }
+            findings.push(Finding {
+                tenant: base_row.tenant,
+                qos: base_row.qos,
+                phase,
+                baseline_secs,
+                candidate_secs,
+                delta_secs,
+                hot_node,
+                severity: qos_weight(base_row.qos) * delta_secs.abs(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        b.severity
+            .partial_cmp(&a.severity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.tenant.0.cmp(&b.tenant.0))
+            .then_with(|| a.phase.index().cmp(&b.phase.index()))
+    });
+
+    RunDiff {
+        baseline: baseline.label.clone(),
+        candidate: candidate.label.clone(),
+        findings,
+        first_alerts: (baseline.first_alert_secs, candidate.first_alert_secs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{TraceConfig, TraceObserver};
+    use modm_core::events::{Observer, SimEvent};
+    use modm_diffusion::ModelId;
+    use modm_simkit::SimTime;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    /// Drives `n` requests through `obs` with the given queue and
+    /// service times, all on `node`.
+    fn drive(obs: &mut TraceObserver, tenant: TenantId, node: usize, queue: f64, service: f64) {
+        for id in 0..40u64 {
+            let rid = tenant.0 as u64 * 1_000 + id;
+            let start = id as f64 * 5.0;
+            obs.on_event(
+                t(start),
+                &SimEvent::Admitted {
+                    node,
+                    request_id: rid,
+                    tenant,
+                },
+            );
+            obs.on_event(
+                t(start),
+                &SimEvent::CacheHit {
+                    node,
+                    request_id: rid,
+                    tenant,
+                    k: 30,
+                },
+            );
+            obs.on_event(
+                t(start + queue),
+                &SimEvent::Dispatched {
+                    node,
+                    worker: 0,
+                    request_id: rid,
+                    tenant,
+                    model: ModelId::Sd35Large,
+                },
+            );
+            obs.on_event(
+                t(start + queue + service),
+                &SimEvent::Completed {
+                    node,
+                    request_id: rid,
+                    tenant,
+                    latency_secs: queue + service,
+                    hit: true,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn diagnose_ranks_the_weighted_queue_shift_first_and_names_the_node() {
+        let config = || {
+            TraceConfig::new()
+                .with_class(TenantId(1), QosClass::Interactive)
+                .with_class(TenantId(2), QosClass::Standard)
+        };
+        // Baseline: interactive queues 300 s on node 2; standard
+        // queues 200 s on node 0.
+        let mut base = TraceObserver::new(config());
+        drive(&mut base, TenantId(1), 2, 300.0, 40.0);
+        drive(&mut base, TenantId(2), 0, 200.0, 40.0);
+        // Candidate: both queues collapse to 5 s.
+        let mut cand = TraceObserver::new(config());
+        drive(&mut cand, TenantId(1), 2, 5.0, 40.0);
+        drive(&mut cand, TenantId(2), 0, 5.0, 40.0);
+
+        let diff = diagnose(
+            &RunSnapshot::capture("before", &base),
+            &RunSnapshot::capture("after", &cand),
+        );
+        let top = diff.top().expect("queues moved");
+        // Interactive's 295 s shift at weight 4 outranks standard's
+        // 195 s at weight 2.
+        assert_eq!(top.tenant, TenantId(1));
+        assert_eq!(top.phase, Phase::Queue);
+        assert!(top.delta_secs < -290.0);
+        assert_eq!(
+            top.hot_node,
+            Some(2),
+            "localized to the node that served it"
+        );
+        assert!(top.severity > diff.findings[1].severity);
+        let report = diff.report();
+        assert!(report.contains("#1 tenant t1"));
+        assert!(report.contains("improved"));
+    }
+
+    #[test]
+    fn identical_snapshots_produce_no_findings() {
+        let mut obs = TraceObserver::new(TraceConfig::new());
+        drive(&mut obs, TenantId(1), 0, 10.0, 30.0);
+        let a = RunSnapshot::capture("a", &obs);
+        let b = RunSnapshot::capture("b", &obs);
+        let diff = diagnose(&a, &b);
+        assert!(diff.findings.is_empty());
+        assert!(diff.report().contains("no phase"));
+    }
+}

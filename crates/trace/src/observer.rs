@@ -1,0 +1,824 @@
+//! The tracing observer: assembles the event stream into span trees
+//! under bounded-memory tail sampling.
+//!
+//! [`TraceObserver`] implements `modm_core::events::Observer`, so it
+//! plugs into `Deployment::run_observed` on any tier. It keeps a full
+//! [`SpanTree`] for every request *in flight* (that state is inherent —
+//! the tree cannot be finalized earlier), but once a span terminates
+//! only a bounded subset survives as a full tree:
+//!
+//! * the **slowest k per tenant** (the tail is where diagnosis lives),
+//!   maintained as a per-tenant ordered set with eviction, and
+//! * a **deterministic 1-in-N head sample** (`request_id % N == 0`, up
+//!   to a hard cap) so fast, boring requests are represented too.
+//!
+//! Everything else folds into per-tenant aggregates: terminal counters,
+//! exact phase sums, and a fixed-size log-linear latency histogram that
+//! carries per-bucket phase sums — enough to attribute any latency
+//! quantile to phases without keeping the spans themselves. The
+//! retained-tree count is therefore bounded by
+//! [`TraceConfig::tree_bound`] no matter how long the run is.
+//!
+//! Rejection is terminal *unless the same id is admitted again later*
+//! (crash redelivery refused then re-offered, or a closed-loop retry):
+//! the observer keeps rejected trees resolvable so a revival converts
+//! the rejection into a [`Phase::Backoff`] segment instead of a lost
+//! terminal, keeping conservation exact through crash + redelivery +
+//! drain.
+
+use std::collections::BTreeMap;
+
+use modm_core::events::{Observer, SimEvent};
+use modm_simkit::SimTime;
+use modm_workload::{QosClass, TenantId};
+
+use crate::span::{CacheRoute, Phase, SpanTree, Terminal, PHASES};
+
+/// Latency histogram resolution: half-log2 buckets from ~4 ms up.
+const HIST_BUCKETS: usize = 96;
+
+/// Sampling and labelling knobs for a [`TraceObserver`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    slowest_per_tenant: usize,
+    head_every: u64,
+    head_cap: usize,
+    classes: BTreeMap<TenantId, QosClass>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            slowest_per_tenant: 16,
+            head_every: 64,
+            head_cap: 256,
+            classes: BTreeMap::new(),
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The default sampling policy: slowest 16 per tenant, 1-in-64
+    /// head sample capped at 256 trees.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keep the `k` slowest completed spans per tenant as full trees.
+    pub fn with_slowest(mut self, k: usize) -> Self {
+        self.slowest_per_tenant = k;
+        self
+    }
+
+    /// Head-sample one request id in `every` (0 disables), keeping at
+    /// most `cap` head-sampled trees.
+    pub fn with_head_sample(mut self, every: u64, cap: usize) -> Self {
+        self.head_every = every;
+        self.head_cap = cap;
+        self
+    }
+
+    /// Labels `tenant`'s report rows with its QoS class (the event
+    /// stream does not carry classes; unlabelled tenants report
+    /// [`QosClass::Standard`]).
+    pub fn with_class(mut self, tenant: TenantId, qos: QosClass) -> Self {
+        self.classes.insert(tenant, qos);
+        self
+    }
+
+    /// Slowest-k retention depth.
+    pub fn slowest_per_tenant(&self) -> usize {
+        self.slowest_per_tenant
+    }
+
+    /// The hard ceiling on retained full trees after every span has
+    /// terminated, given the number of tenants the run produced:
+    /// `tenants * slowest_per_tenant + head_cap`.
+    pub fn tree_bound(&self, tenants: usize) -> usize {
+        tenants * self.slowest_per_tenant
+            + if self.head_every == 0 {
+                0
+            } else {
+                self.head_cap
+            }
+    }
+
+    fn qos_of(&self, tenant: TenantId) -> QosClass {
+        self.classes
+            .get(&tenant)
+            .copied()
+            .unwrap_or(QosClass::Standard)
+    }
+}
+
+/// Fixed-size latency histogram whose buckets carry phase sums, so any
+/// quantile outside the retained tail can still be attributed.
+#[derive(Debug, Clone)]
+pub(crate) struct PhaseHistogram {
+    count: Vec<u64>,
+    total: Vec<f64>,
+    phase: Vec<[f64; PHASES]>,
+}
+
+impl PhaseHistogram {
+    fn new() -> Self {
+        PhaseHistogram {
+            count: vec![0; HIST_BUCKETS],
+            total: vec![0.0; HIST_BUCKETS],
+            phase: vec![[0.0; PHASES]; HIST_BUCKETS],
+        }
+    }
+
+    fn bucket_of(total_secs: f64) -> usize {
+        if total_secs <= 0.00390625 {
+            return 0;
+        }
+        (((total_secs.log2() + 8.0) * 2.0).floor() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    fn add(&mut self, total_secs: f64, phases: &[f64; PHASES]) {
+        let b = Self::bucket_of(total_secs);
+        self.count[b] += 1;
+        self.total[b] += total_secs;
+        for (slot, p) in self.phase[b].iter_mut().zip(phases) {
+            *slot += p;
+        }
+    }
+
+    /// Mean latency and phase vector of the bucket holding `rank`
+    /// (1-based from the fastest).
+    fn at_rank(&self, rank: u64) -> Option<(f64, [f64; PHASES])> {
+        let mut cum = 0;
+        for b in 0..HIST_BUCKETS {
+            cum += self.count[b];
+            if cum >= rank && self.count[b] > 0 {
+                let n = self.count[b] as f64;
+                let mut phases = self.phase[b];
+                for p in &mut phases {
+                    *p /= n;
+                }
+                return Some((self.total[b] / n, phases));
+            }
+        }
+        None
+    }
+}
+
+/// Per-tenant fold of every terminated span.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantAgg {
+    pub(crate) completed: u64,
+    pub(crate) rejected: u64,
+    pub(crate) shed: u64,
+    pub(crate) redelivered_spans: u64,
+    pub(crate) phase_sums: [f64; PHASES],
+    pub(crate) total_sum: f64,
+    pub(crate) shed_wait_secs: f64,
+    hist: PhaseHistogram,
+    /// `(total_secs, request_id)` of the retained slowest spans,
+    /// ascending; every entry's tree lives in `retained`.
+    slowest: Vec<(f64, u64)>,
+}
+
+impl TenantAgg {
+    fn new() -> Self {
+        TenantAgg {
+            completed: 0,
+            rejected: 0,
+            shed: 0,
+            redelivered_spans: 0,
+            phase_sums: [0.0; PHASES],
+            total_sum: 0.0,
+            shed_wait_secs: 0.0,
+            hist: PhaseHistogram::new(),
+            slowest: Vec::new(),
+        }
+    }
+}
+
+/// Per-`(tenant, node)` phase totals of completed spans (attributed to
+/// the node that served the final attempt).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeAgg {
+    pub(crate) completed: u64,
+    pub(crate) phase_sums: [f64; PHASES],
+}
+
+/// A phase breakdown of one latency quantile.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseAttribution {
+    /// The latency at the quantile (exact span total when the quantile
+    /// falls inside the retained tail, bucket mean otherwise).
+    pub latency_secs: f64,
+    /// Seconds per phase, indexed by [`Phase::index`]; sums to
+    /// `latency_secs`.
+    pub phase_secs: [f64; PHASES],
+    /// True when the attribution comes from the exact span at the
+    /// quantile rank rather than a histogram bucket mean.
+    pub exact: bool,
+}
+
+impl PhaseAttribution {
+    /// `phase`'s share of the quantile latency, in `[0, 1]`.
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        if self.latency_secs <= 0.0 {
+            0.0
+        } else {
+            self.phase_secs[phase.index()] / self.latency_secs
+        }
+    }
+
+    /// The phase contributing the most seconds at this quantile.
+    pub fn dominant(&self) -> Phase {
+        let mut best = Phase::Queue;
+        for phase in Phase::ALL {
+            if self.phase_secs[phase.index()] > self.phase_secs[best.index()] {
+                best = phase;
+            }
+        }
+        best
+    }
+}
+
+/// Assembles span trees from the event stream under bounded-memory
+/// tail sampling. See the module docs for the retention policy.
+#[derive(Debug, Clone)]
+pub struct TraceObserver {
+    config: TraceConfig,
+    /// Trees still in flight (admitted, not yet terminated).
+    open: BTreeMap<u64, SpanTree>,
+    /// Rejected trees kept resolvable for potential re-admission.
+    rejected: BTreeMap<u64, SpanTree>,
+    /// The sampled full trees (slowest-k tails and head samples).
+    retained: BTreeMap<u64, SpanTree>,
+    head_count: usize,
+    tenants: BTreeMap<TenantId, TenantAgg>,
+    nodes: BTreeMap<(TenantId, usize), NodeAgg>,
+    counts: BTreeMap<&'static str, u64>,
+    control: Vec<(SimTime, SimEvent)>,
+}
+
+impl Default for TraceObserver {
+    fn default() -> Self {
+        Self::new(TraceConfig::default())
+    }
+}
+
+impl TraceObserver {
+    /// An empty observer with the given sampling policy.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceObserver {
+            config,
+            open: BTreeMap::new(),
+            rejected: BTreeMap::new(),
+            retained: BTreeMap::new(),
+            head_count: 0,
+            tenants: BTreeMap::new(),
+            nodes: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            control: Vec::new(),
+        }
+    }
+
+    /// The sampling policy in force.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Spans still in flight (0 after a finished run that conserved
+    /// every request).
+    pub fn open_trees(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Full trees currently retained by the tail/head sampler. Always
+    /// `<= config().tree_bound(tenants_seen())` once every span has
+    /// terminated (rejected spans pending possible re-admission are
+    /// counted separately).
+    pub fn sampled_tree_count(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Distinct tenants observed.
+    pub fn tenants_seen(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// A retained span tree by request id, if the sampler kept it.
+    pub fn tree(&self, request_id: u64) -> Option<&SpanTree> {
+        self.retained.get(&request_id)
+    }
+
+    /// Every retained span tree, in request-id order.
+    pub fn sampled_trees(&self) -> impl Iterator<Item = &SpanTree> {
+        self.retained.values()
+    }
+
+    /// Rejected spans held resolvable for a possible re-admission of
+    /// the same id (crash redelivery refused, closed-loop retry).
+    pub fn rejected_trees(&self) -> impl Iterator<Item = &SpanTree> {
+        self.rejected.values()
+    }
+
+    /// Events seen per kind (every event, including unsampled ones).
+    pub fn event_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Control-plane events (scale, crash, recovery) in arrival order.
+    pub fn control_events(&self) -> &[(SimTime, SimEvent)] {
+        &self.control
+    }
+
+    /// Per-tenant `(completed, rejected, shed)` terminal counts.
+    pub fn terminals(&self, tenant: TenantId) -> (u64, u64, u64) {
+        self.tenants
+            .get(&tenant)
+            .map(|a| (a.completed, a.rejected, a.shed))
+            .unwrap_or((0, 0, 0))
+    }
+
+    /// Sum of the per-phase folds for `tenant`, indexed by
+    /// [`Phase::index`]. Matches the sum of completed span totals
+    /// exactly.
+    pub fn phase_sums(&self, tenant: TenantId) -> [f64; PHASES] {
+        self.tenants
+            .get(&tenant)
+            .map(|a| a.phase_sums)
+            .unwrap_or([0.0; PHASES])
+    }
+
+    /// Sum of completed span totals for `tenant`, seconds.
+    pub fn total_span_secs(&self, tenant: TenantId) -> f64 {
+        self.tenants
+            .get(&tenant)
+            .map(|a| a.total_sum)
+            .unwrap_or(0.0)
+    }
+
+    /// Attribution of the latency quantile `q` (e.g. 0.5, 0.99) for
+    /// `tenant`: exact when the quantile rank falls inside the
+    /// retained slowest-k tail, histogram-bucket mean otherwise.
+    pub fn attribution(&self, tenant: TenantId, q: f64) -> Option<PhaseAttribution> {
+        let agg = self.tenants.get(&tenant)?;
+        let n = agg.completed;
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let from_top = n - rank + 1;
+        if from_top as usize <= agg.slowest.len() {
+            let (total, id) = agg.slowest[agg.slowest.len() - from_top as usize];
+            let tree = self.retained.get(&id)?;
+            return Some(PhaseAttribution {
+                latency_secs: total,
+                phase_secs: tree.phases()?,
+                exact: true,
+            });
+        }
+        let (latency_secs, phase_secs) = agg.hist.at_rank(rank)?;
+        Some(PhaseAttribution {
+            latency_secs,
+            phase_secs,
+            exact: false,
+        })
+    }
+
+    pub(crate) fn tenant_aggs(&self) -> &BTreeMap<TenantId, TenantAgg> {
+        &self.tenants
+    }
+
+    pub(crate) fn node_aggs(&self) -> &BTreeMap<(TenantId, usize), NodeAgg> {
+        &self.nodes
+    }
+
+    pub(crate) fn qos_of(&self, tenant: TenantId) -> QosClass {
+        self.config.qos_of(tenant)
+    }
+
+    /// The per-tenant/per-QoS critical-path report over everything
+    /// folded so far.
+    pub fn critical_path(&self) -> crate::report::CriticalPathReport {
+        crate::report::CriticalPathReport::capture(self)
+    }
+
+    fn head_marks(&mut self, request_id: u64) -> bool {
+        if self.config.head_every != 0
+            && request_id.is_multiple_of(self.config.head_every)
+            && self.head_count < self.config.head_cap
+        {
+            self.head_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn agg(&mut self, tenant: TenantId) -> &mut TenantAgg {
+        self.tenants.entry(tenant).or_insert_with(TenantAgg::new)
+    }
+
+    /// Folds a completed tree into the aggregates and decides whether
+    /// the sampler keeps the full tree.
+    fn finish_completed(&mut self, mut tree: SpanTree, at: SimTime) {
+        tree.ended_at = Some(at);
+        let total = tree.total_secs().unwrap_or(0.0);
+        let phases = tree.phases().unwrap_or([0.0; PHASES]);
+        let tenant = tree.tenant;
+        let node = tree.final_attempt().map(|a| a.node).unwrap_or(0);
+        let redelivered = tree.redelivered();
+        let k = self.config.slowest_per_tenant;
+
+        let agg = self.agg(tenant);
+        agg.completed += 1;
+        agg.total_sum += total;
+        for (slot, p) in agg.phase_sums.iter_mut().zip(&phases) {
+            *slot += p;
+        }
+        agg.hist.add(total, &phases);
+        if redelivered {
+            agg.redelivered_spans += 1;
+        }
+
+        // Slowest-k retention: keep the tree when it beats the current
+        // k-th slowest (or the tail is not full yet), evicting the
+        // displaced minimum unless the head sample also holds it.
+        let key = (total, tree.request_id);
+        let mut keep_tail = false;
+        let mut evict: Option<u64> = None;
+        if k > 0 {
+            if agg.slowest.len() < k {
+                let pos = agg.slowest.partition_point(|&e| e < key);
+                agg.slowest.insert(pos, key);
+                keep_tail = true;
+            } else if key > agg.slowest[0] {
+                let (_, evicted_id) = agg.slowest.remove(0);
+                let pos = agg.slowest.partition_point(|&e| e < key);
+                agg.slowest.insert(pos, key);
+                keep_tail = true;
+                evict = Some(evicted_id);
+            }
+        }
+        if let Some(id) = evict {
+            let head_kept = self.retained.get(&id).is_some_and(|t| t.head_sampled);
+            if !head_kept {
+                self.retained.remove(&id);
+            }
+        }
+
+        let node_agg = self.nodes.entry((tenant, node)).or_default();
+        node_agg.completed += 1;
+        for (slot, p) in node_agg.phase_sums.iter_mut().zip(&phases) {
+            *slot += p;
+        }
+
+        if keep_tail || tree.head_sampled {
+            self.retained.insert(tree.request_id, tree);
+        }
+    }
+
+    fn bump(&mut self, kind: &'static str) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+    }
+}
+
+impl Observer for TraceObserver {
+    fn on_event(&mut self, at: SimTime, event: &SimEvent) {
+        self.bump(event.kind());
+        let Some(request_id) = event.request_id() else {
+            // Control-plane transition: record for the Perfetto
+            // instants and diff context.
+            self.control.push((at, *event));
+            return;
+        };
+        match *event {
+            SimEvent::Admitted { node, tenant, .. } => {
+                if let Some(mut tree) = self.rejected.remove(&request_id) {
+                    // Revival: the earlier rejection was not terminal
+                    // after all — convert it into a back-off gap.
+                    if let Some(reject_at) = tree.ended_at {
+                        tree.backoff_secs += at.saturating_since(reject_at).as_secs_f64();
+                        // An attempt a crash left open really died at
+                        // the rejection, not at this re-admission.
+                        if let Some(last) = tree.attempts.last_mut() {
+                            last.ended_at.get_or_insert(reject_at);
+                        }
+                    }
+                    tree.terminal = None;
+                    tree.ended_at = None;
+                    self.agg(tenant).rejected -= 1;
+                    tree.open_attempt(node, at);
+                    self.open.insert(request_id, tree);
+                } else if let Some(tree) = self.open.get_mut(&request_id) {
+                    // Crash redelivery: same id re-admitted while the
+                    // previous attempt was still open on the dead node.
+                    tree.open_attempt(node, at);
+                } else {
+                    let head = self.head_marks(request_id);
+                    let mut tree = SpanTree::new(request_id, tenant, at, head);
+                    tree.open_attempt(node, at);
+                    self.open.insert(request_id, tree);
+                }
+            }
+            SimEvent::Rejected {
+                tenant,
+                retry_after_secs,
+                ..
+            } => {
+                let (mut tree, already_counted) = if let Some(tree) = self.open.remove(&request_id)
+                {
+                    (tree, false)
+                } else if let Some(mut tree) = self.rejected.remove(&request_id) {
+                    // Re-rejection of a re-offered id: the whole gap
+                    // between refusals is back-off, and the terminal
+                    // was already counted once.
+                    if let Some(prev) = tree.ended_at {
+                        tree.backoff_secs += at.saturating_since(prev).as_secs_f64();
+                    }
+                    (tree, true)
+                } else {
+                    let head = self.head_marks(request_id);
+                    (SpanTree::new(request_id, tenant, at, head), false)
+                };
+                tree.terminal = Some(Terminal::Rejected { retry_after_secs });
+                tree.ended_at = Some(at);
+                if !already_counted {
+                    self.agg(tenant).rejected += 1;
+                }
+                self.rejected.insert(request_id, tree);
+            }
+            SimEvent::ShedDeadline {
+                tenant,
+                waited_secs,
+                ..
+            } => {
+                let mut tree = self
+                    .open
+                    .remove(&request_id)
+                    .unwrap_or_else(|| SpanTree::new(request_id, tenant, at, false));
+                tree.terminal = Some(Terminal::Shed { waited_secs });
+                tree.ended_at = Some(at);
+                let agg = self.agg(tenant);
+                agg.shed += 1;
+                agg.shed_wait_secs += waited_secs;
+                if tree.head_sampled {
+                    self.retained.insert(request_id, tree);
+                }
+            }
+            SimEvent::CacheHit { k, .. } => {
+                if let Some(a) = self
+                    .open
+                    .get_mut(&request_id)
+                    .and_then(SpanTree::last_attempt_mut)
+                {
+                    a.route = Some(CacheRoute::Hit { k });
+                }
+            }
+            SimEvent::CacheMiss { .. } => {
+                if let Some(a) = self
+                    .open
+                    .get_mut(&request_id)
+                    .and_then(SpanTree::last_attempt_mut)
+                {
+                    a.route = Some(CacheRoute::Miss);
+                }
+            }
+            SimEvent::Dispatched { worker, model, .. } => {
+                if let Some(a) = self
+                    .open
+                    .get_mut(&request_id)
+                    .and_then(SpanTree::last_attempt_mut)
+                {
+                    a.dispatched_at = Some(at);
+                    a.worker = Some(worker);
+                    a.model = Some(model);
+                }
+            }
+            SimEvent::Completed {
+                latency_secs, hit, ..
+            } => {
+                if let Some(mut tree) = self.open.remove(&request_id) {
+                    tree.terminal = Some(Terminal::Completed { latency_secs, hit });
+                    self.finish_completed(tree, at);
+                }
+            }
+            // Control-plane events never reach here (no request id).
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modm_diffusion::ModelId;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    const T1: TenantId = TenantId(1);
+
+    fn drive_request(obs: &mut TraceObserver, id: u64, start: f64, service: f64) {
+        obs.on_event(
+            t(start),
+            &SimEvent::Admitted {
+                node: 0,
+                request_id: id,
+                tenant: T1,
+            },
+        );
+        obs.on_event(
+            t(start),
+            &SimEvent::CacheMiss {
+                node: 0,
+                request_id: id,
+                tenant: T1,
+            },
+        );
+        obs.on_event(
+            t(start + 2.0),
+            &SimEvent::Dispatched {
+                node: 0,
+                worker: 0,
+                request_id: id,
+                tenant: T1,
+                model: ModelId::Sd35Large,
+            },
+        );
+        obs.on_event(
+            t(start + 2.0 + service),
+            &SimEvent::Completed {
+                node: 0,
+                request_id: id,
+                tenant: T1,
+                latency_secs: 2.0 + service,
+                hit: false,
+            },
+        );
+    }
+
+    #[test]
+    fn folds_every_span_and_bounds_retention() {
+        let mut obs = TraceObserver::new(
+            TraceConfig::new()
+                .with_slowest(4)
+                .with_head_sample(10, 3)
+                .with_class(T1, QosClass::Interactive),
+        );
+        for id in 0..50 {
+            drive_request(&mut obs, id, id as f64 * 10.0, 30.0 + id as f64);
+        }
+        assert_eq!(obs.open_trees(), 0);
+        assert_eq!(obs.terminals(T1), (50, 0, 0));
+        assert!(obs.sampled_tree_count() <= obs.config().tree_bound(1));
+        // Slowest-4 are the last four ids (service grows with id);
+        // head sample kept ids 0, 10, 20 (cap 3).
+        for id in [46, 47, 48, 49, 0, 10, 20] {
+            assert!(obs.tree(id).is_some(), "id {id} should be retained");
+        }
+        assert!(obs.tree(30).is_none(), "id 30 is neither tail nor head");
+        let sums = obs.phase_sums(T1);
+        let total: f64 = sums.iter().sum();
+        assert!((total - obs.total_span_secs(T1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attribution_is_exact_in_the_tail_and_bucketed_below() {
+        let mut obs = TraceObserver::new(TraceConfig::new().with_slowest(5).with_head_sample(0, 0));
+        for id in 0..100 {
+            drive_request(&mut obs, id, id as f64 * 5.0, 10.0 + id as f64);
+        }
+        let p99 = obs.attribution(T1, 0.99).unwrap();
+        assert!(p99.exact, "p99 rank falls inside the slowest-5 tail");
+        // Rank 99 of 100 → second-slowest span (id 98): 2 s queue +
+        // 108 s service.
+        assert!(
+            (p99.latency_secs - 110.0).abs() < 1e-9,
+            "{}",
+            p99.latency_secs
+        );
+        assert!((p99.fraction(Phase::Queue) - 2.0 / 110.0).abs() < 1e-9);
+        let p50 = obs.attribution(T1, 0.5).unwrap();
+        assert!(!p50.exact, "p50 rank is outside the retained tail");
+        let sum: f64 = p50.phase_secs.iter().sum();
+        assert!((sum - p50.latency_secs).abs() < 1e-9);
+        assert_eq!(p99.dominant().label(), "miss_penalty");
+    }
+
+    #[test]
+    fn rejection_then_readmission_becomes_backoff_not_a_double_terminal() {
+        let mut obs = TraceObserver::new(TraceConfig::new().with_head_sample(1, 16));
+        obs.on_event(
+            t(0.0),
+            &SimEvent::Rejected {
+                node: 0,
+                request_id: 5,
+                tenant: T1,
+                retry_after_secs: 8.0,
+            },
+        );
+        assert_eq!(obs.terminals(T1), (0, 1, 0));
+        // The id comes back 8 s later and completes.
+        drive_request(&mut obs, 5, 8.0, 20.0);
+        assert_eq!(obs.terminals(T1), (1, 0, 0), "the rejection was revived");
+        let tree = obs.tree(5).expect("head-sampled");
+        assert_eq!(tree.backoff_secs, 8.0);
+        let phases = tree.phases().unwrap();
+        assert_eq!(phases[Phase::Backoff.index()], 8.0);
+        let total: f64 = phases.iter().sum();
+        assert!((total - tree.total_secs().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_redelivery_stitches_attempts_across_nodes() {
+        let mut obs = TraceObserver::new(TraceConfig::new().with_head_sample(1, 16));
+        obs.on_event(
+            t(0.0),
+            &SimEvent::Admitted {
+                node: 1,
+                request_id: 9,
+                tenant: T1,
+            },
+        );
+        obs.on_event(
+            t(0.0),
+            &SimEvent::CacheMiss {
+                node: 1,
+                request_id: 9,
+                tenant: T1,
+            },
+        );
+        obs.on_event(
+            t(5.0),
+            &SimEvent::Crash {
+                node: 1,
+                redelivered: 1,
+                lost_entries: 10,
+            },
+        );
+        obs.on_event(
+            t(5.0),
+            &SimEvent::Admitted {
+                node: 2,
+                request_id: 9,
+                tenant: T1,
+            },
+        );
+        obs.on_event(
+            t(5.0),
+            &SimEvent::CacheHit {
+                node: 2,
+                request_id: 9,
+                tenant: T1,
+                k: 30,
+            },
+        );
+        obs.on_event(
+            t(6.0),
+            &SimEvent::Dispatched {
+                node: 2,
+                worker: 1,
+                request_id: 9,
+                tenant: T1,
+                model: ModelId::Sd35Large,
+            },
+        );
+        obs.on_event(
+            t(26.0),
+            &SimEvent::Completed {
+                node: 2,
+                request_id: 9,
+                tenant: T1,
+                latency_secs: 26.0,
+                hit: true,
+            },
+        );
+        assert_eq!(obs.open_trees(), 0);
+        assert_eq!(obs.control_events().len(), 1);
+        let tree = obs.tree(9).expect("retained");
+        assert!(tree.redelivered());
+        assert_eq!(tree.attempts.len(), 2);
+        assert_eq!(tree.attempts[0].node, 1);
+        assert_eq!(tree.attempts[0].ended_at, Some(t(5.0)));
+        assert_eq!(tree.attempts[1].node, 2);
+        let phases = tree.phases().unwrap();
+        assert_eq!(phases[Phase::Redelivery.index()], 5.0);
+        assert_eq!(phases[Phase::Queue.index()], 1.0);
+        assert_eq!(phases[Phase::Service.index()], 20.0);
+    }
+
+    #[test]
+    fn event_counts_tally_every_kind() {
+        let mut obs = TraceObserver::default();
+        drive_request(&mut obs, 3, 0.0, 10.0);
+        obs.on_event(t(1.0), &SimEvent::ScaleUp { node: 4 });
+        let counts = obs.event_counts();
+        assert_eq!(counts["admitted"], 1);
+        assert_eq!(counts["cache_miss"], 1);
+        assert_eq!(counts["dispatched"], 1);
+        assert_eq!(counts["completed"], 1);
+        assert_eq!(counts["scale_up"], 1);
+        assert_eq!(obs.control_events().len(), 1);
+    }
+}

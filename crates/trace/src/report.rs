@@ -1,0 +1,228 @@
+//! Critical-path attribution: where each tenant's latency quantiles
+//! actually come from.
+//!
+//! A [`CriticalPathReport`] snapshots a [`TraceObserver`]'s aggregates
+//! into per-tenant rows: terminal counts, exact phase sums over every
+//! completed span, and the phase breakdown of the P50 and P99 latency.
+//! The rendered table is deterministic byte-for-byte (it is pinned by a
+//! golden snapshot), and approximate quantiles — those whose rank falls
+//! below the retained slowest-k tail and therefore come from a
+//! histogram bucket mean — are marked with `~`.
+
+use std::fmt;
+
+use modm_workload::{QosClass, TenantId};
+
+use crate::observer::{PhaseAttribution, TraceObserver};
+use crate::span::{Phase, PHASES};
+
+/// One tenant's critical-path row.
+#[derive(Debug, Clone)]
+pub struct TenantCriticalPath {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The tenant's QoS class (from [`crate::TraceConfig::with_class`]).
+    pub qos: QosClass,
+    /// Completed spans folded into the row.
+    pub completed: u64,
+    /// Rejected terminals.
+    pub rejected: u64,
+    /// Shed terminals.
+    pub shed: u64,
+    /// Completed spans that survived at least one crash redelivery.
+    pub redelivered_spans: u64,
+    /// Exact per-phase seconds summed over every completed span,
+    /// indexed by [`Phase::index`].
+    pub phase_sums: [f64; PHASES],
+    /// Sum of completed span totals, seconds. Equals the phase sums'
+    /// total (the decomposition is exact).
+    pub total_secs: f64,
+    /// Phase breakdown of the median latency (`None` when nothing
+    /// completed).
+    pub p50: Option<PhaseAttribution>,
+    /// Phase breakdown of the P99 latency.
+    pub p99: Option<PhaseAttribution>,
+}
+
+/// Per-tenant critical-path rows, in tenant order.
+#[derive(Debug, Clone)]
+pub struct CriticalPathReport {
+    /// One row per tenant observed.
+    pub rows: Vec<TenantCriticalPath>,
+}
+
+impl CriticalPathReport {
+    /// Snapshots `obs`'s aggregates.
+    pub fn capture(obs: &TraceObserver) -> Self {
+        let rows = obs
+            .tenant_aggs()
+            .iter()
+            .map(|(&tenant, agg)| TenantCriticalPath {
+                tenant,
+                qos: obs.qos_of(tenant),
+                completed: agg.completed,
+                rejected: agg.rejected,
+                shed: agg.shed,
+                redelivered_spans: agg.redelivered_spans,
+                phase_sums: agg.phase_sums,
+                total_secs: agg.total_sum,
+                p50: obs.attribution(tenant, 0.5),
+                p99: obs.attribution(tenant, 0.99),
+            })
+            .collect();
+        CriticalPathReport { rows }
+    }
+
+    /// The row for `tenant`, if observed.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantCriticalPath> {
+        self.rows.iter().find(|r| r.tenant == tenant)
+    }
+}
+
+fn qos_label(qos: QosClass) -> &'static str {
+    match qos {
+        QosClass::Interactive => "interactive",
+        QosClass::Standard => "standard",
+        QosClass::BestEffort => "best_effort",
+    }
+}
+
+fn quantile_cells(att: &Option<PhaseAttribution>) -> String {
+    match att {
+        None => format!("{:>9} {}", "-", "  -    -    -    -    -  "),
+        Some(a) => {
+            let mark = if a.exact { ' ' } else { '~' };
+            let mut cells = String::new();
+            for phase in Phase::ALL {
+                cells.push_str(&format!("{:>4.0}%", a.fraction(phase) * 100.0));
+            }
+            format!("{mark}{:>8.1} {cells}", a.latency_secs)
+        }
+    }
+}
+
+impl fmt::Display for CriticalPathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "critical path: phase share of latency (q=queue s=service m=miss_penalty \
+             r=redelivery b=backoff; ~ = histogram-bucket estimate)"
+        )?;
+        writeln!(
+            f,
+            "{:<7} {:<12} {:>6} {:>5} {:>5} {:>6}  {:>9} {:>4} {:>4} {:>4} {:>4} {:>4}  \
+             {:>9} {:>4} {:>4} {:>4} {:>4} {:>4}  p99_dominant",
+            "tenant",
+            "qos",
+            "compl",
+            "rej",
+            "shed",
+            "redel",
+            "p50_s",
+            "q",
+            "s",
+            "m",
+            "r",
+            "b",
+            "p99_s",
+            "q",
+            "s",
+            "m",
+            "r",
+            "b",
+        )?;
+        for row in &self.rows {
+            let dominant = row
+                .p99
+                .as_ref()
+                .map(|a| a.dominant().label())
+                .unwrap_or("-");
+            writeln!(
+                f,
+                "{:<7} {:<12} {:>6} {:>5} {:>5} {:>6} {} {} {}",
+                format!("t{}", row.tenant.0),
+                qos_label(row.qos),
+                row.completed,
+                row.rejected,
+                row.shed,
+                row.redelivered_spans,
+                quantile_cells(&row.p50),
+                quantile_cells(&row.p99),
+                dominant
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::TraceConfig;
+    use modm_core::events::{Observer, SimEvent};
+    use modm_diffusion::ModelId;
+    use modm_simkit::SimTime;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn report_rows_carry_exact_sums_and_render_deterministically() {
+        let mut obs =
+            TraceObserver::new(TraceConfig::new().with_class(TenantId(1), QosClass::Interactive));
+        for id in 0..20u64 {
+            let start = id as f64 * 3.0;
+            obs.on_event(
+                t(start),
+                &SimEvent::Admitted {
+                    node: 0,
+                    request_id: id,
+                    tenant: TenantId(1),
+                },
+            );
+            obs.on_event(
+                t(start),
+                &SimEvent::CacheHit {
+                    node: 0,
+                    request_id: id,
+                    tenant: TenantId(1),
+                    k: 25,
+                },
+            );
+            obs.on_event(
+                t(start + 4.0),
+                &SimEvent::Dispatched {
+                    node: 0,
+                    worker: 0,
+                    request_id: id,
+                    tenant: TenantId(1),
+                    model: ModelId::Sd35Large,
+                },
+            );
+            obs.on_event(
+                t(start + 24.0),
+                &SimEvent::Completed {
+                    node: 0,
+                    request_id: id,
+                    tenant: TenantId(1),
+                    latency_secs: 24.0,
+                    hit: true,
+                },
+            );
+        }
+        let report = obs.critical_path();
+        assert_eq!(report.rows.len(), 1);
+        let row = report.tenant(TenantId(1)).unwrap();
+        assert_eq!(row.completed, 20);
+        assert_eq!(row.qos, QosClass::Interactive);
+        let sum: f64 = row.phase_sums.iter().sum();
+        assert!((sum - row.total_secs).abs() < 1e-6);
+        let p99 = row.p99.as_ref().unwrap();
+        assert!((p99.latency_secs - 24.0).abs() < 1e-9);
+        let rendered = format!("{report}");
+        assert!(rendered.contains("t1"));
+        assert!(rendered.contains("interactive"));
+        assert_eq!(rendered, format!("{}", obs.critical_path()));
+    }
+}

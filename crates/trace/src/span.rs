@@ -1,0 +1,378 @@
+//! The causal span tree of one request, and its exact phase
+//! decomposition.
+//!
+//! A [`SpanTree`] stitches every event carrying one trace request id
+//! into a single causal record: admit → cache decision → queue wait →
+//! dispatch → service → terminal. Crash redelivery re-admits the same
+//! id on a surviving node, which opens a new [`Attempt`] under the same
+//! tree — the chain across nodes is the tree's branch structure. A
+//! rejection followed by a later re-admission (a closed-loop retry, or
+//! a redelivery refused and re-offered) contributes a back-off segment
+//! instead of a terminal.
+//!
+//! The decomposition in [`SpanTree::phases`] is *exact by
+//! construction*: the five phase durations always sum to the span's
+//! end-to-end latency, because each phase is a difference of adjacent
+//! event timestamps (and the cache-miss penalty is carved out of the
+//! service interval, never added to it).
+
+use modm_diffusion::{ModelId, K_CHOICES, TOTAL_STEPS};
+use modm_simkit::SimTime;
+use modm_workload::TenantId;
+
+/// Number of phases in the decomposition.
+pub const PHASES: usize = 5;
+
+/// One slice of a completed span's end-to-end latency.
+///
+/// The five phases partition the span exactly:
+/// `queue + service + miss_penalty + redelivery + backoff == total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Final attempt's wait between admission and dispatch.
+    Queue,
+    /// Service time a best-case cache hit would still have cost.
+    Service,
+    /// The regeneration penalty of the final attempt's cache decision:
+    /// the service time above the best-case hit (`k = max(K_CHOICES)`)
+    /// counterfactual, per `modm_core::node::steps_for`'s `(T - k)/T`
+    /// model. Zero for hits.
+    MissPenalty,
+    /// Time burned on earlier attempts that a crash destroyed: first
+    /// admission to final admission, minus any back-off gaps.
+    Redelivery,
+    /// Gaps where the request sat refused between a rejection and a
+    /// later re-admission of the same id.
+    Backoff,
+}
+
+impl Phase {
+    /// Every phase, in report order.
+    pub const ALL: [Phase; PHASES] = [
+        Phase::Queue,
+        Phase::Service,
+        Phase::MissPenalty,
+        Phase::Redelivery,
+        Phase::Backoff,
+    ];
+
+    /// Stable lowercase label used in tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Service => "service",
+            Phase::MissPenalty => "miss_penalty",
+            Phase::Redelivery => "redelivery",
+            Phase::Backoff => "backoff",
+        }
+    }
+
+    /// Index into a `[f64; PHASES]` phase vector.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Queue => 0,
+            Phase::Service => 1,
+            Phase::MissPenalty => 2,
+            Phase::Redelivery => 3,
+            Phase::Backoff => 4,
+        }
+    }
+}
+
+/// The cache decision an attempt's scheduler made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheRoute {
+    /// Retrieval found a usable image; refinement skips `k` steps.
+    Hit {
+        /// Denoising steps skipped.
+        k: u32,
+    },
+    /// Full generation.
+    Miss,
+}
+
+/// One admission of the request onto a node: the segment between an
+/// `Admitted` event and either a terminal or the next re-admission
+/// (crash redelivery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attempt {
+    /// Node that admitted this attempt.
+    pub node: usize,
+    /// When the attempt was admitted.
+    pub admitted_at: SimTime,
+    /// The attempt's cache decision, once made.
+    pub route: Option<CacheRoute>,
+    /// When a worker picked the attempt up, if it got that far.
+    pub dispatched_at: Option<SimTime>,
+    /// Worker index within the node, once dispatched.
+    pub worker: Option<usize>,
+    /// The model the worker hosts, once dispatched.
+    pub model: Option<ModelId>,
+    /// When the attempt ended *without* terminating the span — i.e.
+    /// the re-admission time of the next attempt after a crash. `None`
+    /// for the final attempt (the span's own end time applies).
+    pub ended_at: Option<SimTime>,
+}
+
+impl Attempt {
+    fn new(node: usize, admitted_at: SimTime) -> Self {
+        Attempt {
+            node,
+            admitted_at,
+            route: None,
+            dispatched_at: None,
+            worker: None,
+            model: None,
+            ended_at: None,
+        }
+    }
+}
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Terminal {
+    /// The request finished; `latency_secs`/`hit` echo the
+    /// `Completed` event.
+    Completed {
+        /// End-to-end latency the serving loop reported, seconds.
+        latency_secs: f64,
+        /// Whether the final attempt was served from cache.
+        hit: bool,
+    },
+    /// A token bucket refused the request at admission.
+    Rejected {
+        /// The bucket's back-off hint, seconds.
+        retry_after_secs: f64,
+    },
+    /// The request outlived its queue-time budget and was shed.
+    Shed {
+        /// Queue wait at the moment of shedding, seconds.
+        waited_secs: f64,
+    },
+}
+
+/// The assembled causal record of one request id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    /// Trace request id.
+    pub request_id: u64,
+    /// The request's tenant.
+    pub tenant: TenantId,
+    /// First time the id was seen (first admission or first rejection).
+    pub started_at: SimTime,
+    /// Every admission of the id, in virtual-time order. Empty for a
+    /// request rejected before ever being admitted.
+    pub attempts: Vec<Attempt>,
+    /// Accumulated reject → re-admit gaps, seconds.
+    pub backoff_secs: f64,
+    /// How the span ended (`None` while in flight).
+    pub terminal: Option<Terminal>,
+    /// When the terminal fired.
+    pub ended_at: Option<SimTime>,
+    /// True when the deterministic 1-in-N head sample selected this id
+    /// at first sight (retained regardless of how slow it turns out).
+    pub head_sampled: bool,
+}
+
+impl SpanTree {
+    pub(crate) fn new(request_id: u64, tenant: TenantId, at: SimTime, head: bool) -> Self {
+        SpanTree {
+            request_id,
+            tenant,
+            started_at: at,
+            attempts: Vec::new(),
+            backoff_secs: 0.0,
+            terminal: None,
+            ended_at: None,
+            head_sampled: head,
+        }
+    }
+
+    pub(crate) fn open_attempt(&mut self, node: usize, at: SimTime) {
+        if let Some(last) = self.attempts.last_mut() {
+            // A re-admission while an attempt is open is a crash
+            // redelivery: the old attempt died with its node.
+            if last.ended_at.is_none() {
+                last.ended_at = Some(at);
+            }
+        }
+        self.attempts.push(Attempt::new(node, at));
+    }
+
+    pub(crate) fn last_attempt_mut(&mut self) -> Option<&mut Attempt> {
+        self.attempts.last_mut()
+    }
+
+    /// The final attempt — the one that reached the terminal.
+    pub fn final_attempt(&self) -> Option<&Attempt> {
+        self.attempts.last()
+    }
+
+    /// True when the span saw more than one admission (crash
+    /// redelivery stitched at least two attempts together).
+    pub fn redelivered(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// End-to-end seconds from first sight to terminal (`None` while
+    /// in flight).
+    pub fn total_secs(&self) -> Option<f64> {
+        self.ended_at
+            .map(|end| end.saturating_since(self.started_at).as_secs_f64())
+    }
+
+    /// The exact phase decomposition of a *completed* span, indexed by
+    /// [`Phase::index`]. `None` for in-flight, rejected or shed spans.
+    ///
+    /// The five entries sum to [`SpanTree::total_secs`] exactly (up to
+    /// float associativity): each is a difference of adjacent
+    /// timestamps, and the miss penalty is a fraction *of* the service
+    /// interval rather than an addition to it.
+    pub fn phases(&self) -> Option<[f64; PHASES]> {
+        if !matches!(self.terminal, Some(Terminal::Completed { .. })) {
+            return None;
+        }
+        let end = self.ended_at?;
+        let last = self.attempts.last()?;
+        let dispatched = last.dispatched_at?;
+        let queue = dispatched.saturating_since(last.admitted_at).as_secs_f64();
+        let service_total = end.saturating_since(dispatched).as_secs_f64();
+        let detour = last
+            .admitted_at
+            .saturating_since(self.started_at)
+            .as_secs_f64();
+        let backoff = self.backoff_secs.min(detour);
+        let redelivery = detour - backoff;
+        let penalty = match last.route {
+            Some(CacheRoute::Miss) => {
+                service_total * miss_penalty_frac(last.model.unwrap_or(ModelId::Sd35Large))
+            }
+            _ => 0.0,
+        };
+        let mut phases = [0.0; PHASES];
+        phases[Phase::Queue.index()] = queue;
+        phases[Phase::Service.index()] = service_total - penalty;
+        phases[Phase::MissPenalty.index()] = penalty;
+        phases[Phase::Redelivery.index()] = redelivery;
+        phases[Phase::Backoff.index()] = backoff;
+        Some(phases)
+    }
+}
+
+/// Fraction of a full generation's service time that a best-case cache
+/// hit (`k = max(K_CHOICES)`) would have avoided on `model` — the
+/// per-second regeneration penalty a miss carries, mirroring
+/// `modm_core::node::steps_for`'s step arithmetic.
+pub fn miss_penalty_frac(model: ModelId) -> f64 {
+    let full = model.spec().default_steps;
+    let k = *K_CHOICES.last().expect("K_CHOICES is non-empty");
+    let frac = (TOTAL_STEPS - k) as f64 / TOTAL_STEPS as f64;
+    let best_hit = ((full as f64 * frac).round() as u32).max(1);
+    1.0 - best_hit as f64 / full as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn completed_tree() -> SpanTree {
+        let mut tree = SpanTree::new(7, TenantId(1), t(10.0), false);
+        tree.open_attempt(0, t(10.0));
+        {
+            let a = tree.last_attempt_mut().unwrap();
+            a.route = Some(CacheRoute::Miss);
+            a.dispatched_at = Some(t(25.0));
+            a.worker = Some(2);
+            a.model = Some(ModelId::Sd35Large);
+        }
+        tree.terminal = Some(Terminal::Completed {
+            latency_secs: 115.0,
+            hit: false,
+        });
+        tree.ended_at = Some(t(125.0));
+        tree
+    }
+
+    #[test]
+    fn phases_partition_the_total_exactly() {
+        let tree = completed_tree();
+        let phases = tree.phases().unwrap();
+        let total = tree.total_secs().unwrap();
+        let sum: f64 = phases.iter().sum();
+        assert!((sum - total).abs() < 1e-9, "sum {sum} vs total {total}");
+        assert_eq!(phases[Phase::Queue.index()], 15.0);
+        assert!(phases[Phase::MissPenalty.index()] > 0.0);
+        assert_eq!(phases[Phase::Redelivery.index()], 0.0);
+    }
+
+    #[test]
+    fn redelivery_and_backoff_are_carved_from_the_detour() {
+        let mut tree = SpanTree::new(9, TenantId(2), t(0.0), false);
+        tree.open_attempt(1, t(0.0));
+        // Crash: re-admitted on node 2 at t=40 after a 10 s back-off
+        // gap (rejected at 30, re-admitted at 40).
+        tree.backoff_secs = 10.0;
+        tree.open_attempt(2, t(40.0));
+        {
+            let a = tree.last_attempt_mut().unwrap();
+            a.route = Some(CacheRoute::Hit { k: 30 });
+            a.dispatched_at = Some(t(55.0));
+            a.worker = Some(0);
+            a.model = Some(ModelId::Sd35Large);
+        }
+        tree.terminal = Some(Terminal::Completed {
+            latency_secs: 95.0,
+            hit: true,
+        });
+        tree.ended_at = Some(t(95.0));
+
+        assert!(tree.redelivered());
+        assert_eq!(tree.attempts[0].ended_at, Some(t(40.0)));
+        let phases = tree.phases().unwrap();
+        assert_eq!(phases[Phase::Queue.index()], 15.0);
+        assert_eq!(phases[Phase::Service.index()], 40.0);
+        assert_eq!(phases[Phase::MissPenalty.index()], 0.0);
+        assert_eq!(phases[Phase::Redelivery.index()], 30.0);
+        assert_eq!(phases[Phase::Backoff.index()], 10.0);
+        let sum: f64 = phases.iter().sum();
+        assert!((sum - tree.total_secs().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_completed_spans_have_no_phase_decomposition() {
+        let mut tree = SpanTree::new(3, TenantId(1), t(5.0), false);
+        tree.open_attempt(0, t(5.0));
+        assert_eq!(tree.phases(), None);
+        tree.terminal = Some(Terminal::Shed { waited_secs: 480.0 });
+        tree.ended_at = Some(t(485.0));
+        assert_eq!(tree.phases(), None);
+        assert_eq!(tree.total_secs(), Some(480.0));
+    }
+
+    #[test]
+    fn miss_penalty_matches_steps_arithmetic() {
+        // Sd35Large: 50 full steps, best hit skips k=30 of 50 → 20
+        // steps remain → penalty = 1 - 20/50 = 0.6.
+        let frac = miss_penalty_frac(ModelId::Sd35Large);
+        assert!((frac - 0.6).abs() < 1e-12, "got {frac}");
+        // Every model's penalty stays a valid fraction.
+        for model in ModelId::ALL {
+            let f = miss_penalty_frac(model);
+            assert!((0.0..1.0).contains(&f), "{model}: {f}");
+        }
+    }
+
+    #[test]
+    fn phase_indices_are_a_permutation() {
+        let mut seen = [false; PHASES];
+        for phase in Phase::ALL {
+            assert!(!seen[phase.index()]);
+            seen[phase.index()] = true;
+            assert!(!phase.label().is_empty());
+        }
+    }
+}

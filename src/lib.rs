@@ -23,6 +23,9 @@
 //! * [`telemetry`] — observability over the event stream: metrics
 //!   registry, windowed series, request spans, SLO burn-rate alerts and
 //!   DES self-profiling, exported as Prometheus text or JSON.
+//! * [`trace`] — causal request tracing: span trees under bounded-memory
+//!   tail sampling, critical-path attribution of P50/P99 latency,
+//!   Chrome-trace/Perfetto export and a run-diff diagnoser.
 //!
 //! # Quickstart
 //!
@@ -285,6 +288,62 @@
 //! assert!(telemetry.prometheus_text().contains("modm_requests_completed_total"));
 //! assert!(telemetry.json_snapshot().contains("\"alerts\""));
 //! ```
+//!
+//! # Tracing & diagnosis quickstart
+//!
+//! Where telemetry counts, [`trace`] explains: a
+//! [`trace::TraceObserver`] assembles every request's events into a
+//! causal span tree (admit → cache decision → queue wait → dispatch →
+//! service → terminal) under bounded-memory tail sampling, decomposes
+//! each tenant's P50/P99 latency into phases — queue, service,
+//! cache-miss regeneration penalty, redelivery, retry back-off — and
+//! exports any run as Chrome-trace/Perfetto JSON for `ui.perfetto.dev`:
+//!
+//! ```
+//! use modm::deploy::{DeployOptions, Deployment, ServingBackend};
+//! use modm::core::MoDMConfig;
+//! use modm::cluster::GpuKind;
+//! use modm::fleet::{Router, RoutingPolicy};
+//! use modm::trace::{parse_json, perfetto_json, CriticalPathReport, TraceConfig, TraceObserver};
+//! use modm::workload::{QosClass, TenantId, TenantMix, TraceBuilder};
+//!
+//! let interactive = TenantId(1);
+//! let batch = TenantId(2);
+//! let trace = TraceBuilder::diffusion_db(7)
+//!     .requests(200)
+//!     .tenants(vec![
+//!         TenantMix::new(interactive, QosClass::Interactive, 2.0),
+//!         TenantMix::new(batch, QosClass::Standard, 6.0),
+//!     ])
+//!     .build();
+//! let node = MoDMConfig::builder().gpus(GpuKind::Mi210, 4).cache_capacity(400).build();
+//!
+//! let mut tracer = TraceObserver::new(
+//!     TraceConfig::new().with_class(interactive, QosClass::Interactive),
+//! );
+//! let summary = Deployment::fleet(node, Router::new(RoutingPolicy::CacheAffinity, 2))
+//!     .run_observed(&trace, DeployOptions::default(), &mut tracer)
+//!     .summary(2.0);
+//!
+//! // Every request's tree resolved, and the phase decomposition is
+//! // exact: per tenant, the five phase sums reproduce the span totals.
+//! assert_eq!(tracer.open_trees(), 0);
+//! for tenant in [interactive, batch] {
+//!     let sums: f64 = tracer.phase_sums(tenant).iter().sum();
+//!     assert!((sums - tracer.total_span_secs(tenant)).abs() < 1e-6);
+//! }
+//!
+//! // The critical-path table says where each tenant's tail comes from.
+//! println!("{}", CriticalPathReport::capture(&tracer));
+//!
+//! // And the whole run exports as Perfetto JSON (nodes as processes,
+//! // workers as threads) — written anywhere, loadable in the trace UI.
+//! let json = perfetto_json(&tracer);
+//! assert!(parse_json(&json).is_ok());
+//! let path = std::env::temp_dir().join("modm_quickstart.perfetto.json");
+//! std::fs::write(&path, &json).unwrap();
+//! assert_eq!(summary.completed, 200);
+//! ```
 
 pub use modm_baselines as baselines;
 pub use modm_cache as cache;
@@ -299,4 +358,5 @@ pub use modm_metrics as metrics;
 pub use modm_numerics as numerics;
 pub use modm_simkit as simkit;
 pub use modm_telemetry as telemetry;
+pub use modm_trace as trace;
 pub use modm_workload as workload;

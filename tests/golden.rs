@@ -5,9 +5,10 @@
 //! snapshots additionally pin the *exact numbers* fixed seeds produce,
 //! so a refactor that silently shifts results — a reordered float
 //! reduction, an RNG stream change, an off-by-one in the event loop —
-//! fails loudly even when every property still holds. Four studies are
-//! pinned: `tiers` (on two seeds), plus one seed each of `fleet`,
-//! `elastic` and `tenancy`.
+//! fails loudly even when every property still holds. Five studies are
+//! pinned: `tiers` (on two seeds), one seed each of `fleet`, `elastic`
+//! and `tenancy`, plus the `trace` study's critical-path table (text,
+//! not JSON — the rendered attribution itself is the artifact).
 //!
 //! When a change is *supposed* to move the numbers (new feature, fixed
 //! bug), regenerate the snapshots and review the diff like any other
@@ -19,7 +20,7 @@
 //! ```
 
 use modm::deploy::{summaries_to_json, Summary};
-use modm_experiments::{elastic, fleet_scaling, tenancy, tiers};
+use modm_experiments::{elastic, fleet_scaling, tenancy, tiers, trace};
 
 /// The `tiers` study's pinned seeds: its own seed and an independent
 /// one. Snapshot lengths are reduced from the experiments' full traces
@@ -30,12 +31,37 @@ const TIERS_REQUESTS: usize = 600;
 const FLEET_REQUESTS: usize = 500;
 const ELASTIC_REQUESTS: usize = 400;
 const TENANCY_REQUESTS: usize = 300;
+const TRACE_REQUESTS: usize = 400;
 
 fn golden_path(study: &str, seed: u64) -> String {
     format!(
         "{}/tests/golden/{study}_seed{seed}.json",
         env!("CARGO_MANIFEST_DIR")
     )
+}
+
+/// Compares free-form rendered text byte-for-byte against a checked-in
+/// `.txt` snapshot (or regenerates it under `MODM_BLESS=1`).
+fn check_text(study: &str, seed: u64, rendered: &str) {
+    let path = format!(
+        "{}/tests/golden/{study}_seed{seed}.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var("MODM_BLESS").is_ok() {
+        std::fs::write(&path, rendered).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path}: {e}; regenerate with MODM_BLESS=1")
+    });
+    assert!(
+        rendered == want,
+        "{study} output for seed {seed} diverged from {path}.\n\
+         If the change is intentional, regenerate with:\n\
+         MODM_BLESS=1 cargo test --test golden\n\
+         and commit the snapshot diff.\n\
+         --- got ---\n{rendered}\n--- want ---\n{want}"
+    );
 }
 
 /// Renders `rows` and compares them byte-for-byte against the study's
@@ -93,4 +119,13 @@ fn tenancy_summaries_match_golden_snapshot() {
     let seed = tenancy::STUDY_SEED;
     let rows = tenancy::run_rows_on(&tenancy::study_trace_for(seed, TENANCY_REQUESTS));
     check_rows("tenancy", seed, &rows);
+}
+
+#[test]
+fn trace_critical_path_table_matches_golden_snapshot() {
+    // The queue-only overload study's critical-path table: every count,
+    // percentage and quantile the attribution renders, byte for byte.
+    let seed = modm_experiments::overload::STUDY_SEED;
+    let table = trace::critical_path_table_for(seed, TRACE_REQUESTS);
+    check_text("trace", seed, &table);
 }
