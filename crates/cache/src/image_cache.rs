@@ -12,6 +12,7 @@
 //! is exactly the untenanted policy behavior.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 
 use modm_diffusion::GeneratedImage;
 use modm_embedding::{Embedding, EmbeddingIndex, IvfIndex, Neighbor};
@@ -172,6 +173,38 @@ impl CacheConfig {
     }
 }
 
+/// Why a runtime reserve revision was refused (see
+/// [`ImageCache::try_set_reserves`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReserveError {
+    /// The same tenant appeared twice in the revision.
+    DuplicateTenant(TenantId),
+    /// The reserves together exceed the cache capacity.
+    Overcommitted {
+        /// Sum of the requested reserves.
+        reserved: usize,
+        /// The cache's capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReserveError::DuplicateTenant(t) => {
+                write!(f, "duplicate reserve for tenant {t}")
+            }
+            ReserveError::Overcommitted { reserved, capacity } => write!(
+                f,
+                "tenant reserves ({reserved}) exceed cache capacity ({capacity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
 /// A cache-resident image with its bookkeeping.
 #[derive(Debug, Clone)]
 pub struct CachedImage {
@@ -329,6 +362,33 @@ impl ImageCache {
     /// The configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Replaces the per-tenant reserves mid-run — the cache half of a
+    /// tenant join/leave. Validation mirrors [`CacheConfig::with_reserves`]
+    /// but returns a typed error instead of panicking, so a control plane
+    /// can refuse a bad revision and keep serving. Cached entries are
+    /// untouched: reserves only constrain *future* evictions, so a tenant
+    /// already above its new reserve simply stops being protected down to
+    /// the old one.
+    pub fn try_set_reserves(
+        &mut self,
+        reserves: Vec<(TenantId, usize)>,
+    ) -> Result<(), ReserveError> {
+        let mut ids: Vec<TenantId> = reserves.iter().map(|(t, _)| *t).collect();
+        ids.sort_unstable();
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ReserveError::DuplicateTenant(dup[0]));
+        }
+        let total: usize = reserves.iter().map(|(_, r)| r).sum();
+        if total > self.config.capacity {
+            return Err(ReserveError::Overcommitted {
+                reserved: total,
+                capacity: self.config.capacity,
+            });
+        }
+        self.config.tenant_reserves = reserves;
+        Ok(())
     }
 
     /// Observability counters.
@@ -746,6 +806,40 @@ mod tests {
         assert!(cache.retrieve(now, &q_same, 0.25).is_some());
         assert!(cache.retrieve(now, &q_far, 0.25).is_none());
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_set_reserves_validates_and_swaps() {
+        let mut f = fixture();
+        let mut cache = ImageCache::new(
+            CacheConfig::fifo(10).with_reserves(vec![(TenantId(1), 4), (TenantId(2), 4)]),
+        );
+        cache.insert_for(
+            SimTime::ZERO,
+            TenantId(1),
+            image_for(&mut f, "amber fjord dawn"),
+        );
+
+        let dup = cache.try_set_reserves(vec![(TenantId(1), 2), (TenantId(1), 3)]);
+        assert_eq!(dup, Err(ReserveError::DuplicateTenant(TenantId(1))));
+        let over = cache.try_set_reserves(vec![(TenantId(1), 8), (TenantId(3), 4)]);
+        assert_eq!(
+            over,
+            Err(ReserveError::Overcommitted {
+                reserved: 12,
+                capacity: 10
+            })
+        );
+        // A refused revision leaves the old reserves (and entries) intact.
+        assert_eq!(cache.config().reserve_of(TenantId(2)), 4);
+        assert_eq!(cache.len(), 1);
+
+        cache
+            .try_set_reserves(vec![(TenantId(1), 3), (TenantId(3), 5)])
+            .unwrap();
+        assert_eq!(cache.config().reserve_of(TenantId(1)), 3);
+        assert_eq!(cache.config().reserve_of(TenantId(2)), 0);
+        assert_eq!(cache.config().reserve_of(TenantId(3)), 5);
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub mod latent_cache;
 pub mod stats;
 
 pub use image_cache::{
-    CacheConfig, CachedImage, ImageCache, MaintenancePolicy, RetrievedImage, IVF_THRESHOLD,
+    CacheConfig, CachedImage, ImageCache, MaintenancePolicy, ReserveError, RetrievedImage,
+    IVF_THRESHOLD,
 };
 pub use latent_cache::{CachedLatent, LatentCache, RetrievedLatent};
 pub use stats::CacheStats;

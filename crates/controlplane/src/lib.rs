@@ -49,6 +49,7 @@ pub mod autoscaler;
 pub mod elastic;
 pub mod fault;
 pub mod lifecycle;
+pub mod region;
 pub mod report;
 
 pub use autoscaler::{
@@ -58,4 +59,5 @@ pub use autoscaler::{
 pub use elastic::{ElasticConfigError, ElasticFleet, ElasticFleetConfig};
 pub use fault::FaultInjector;
 pub use lifecycle::{IllegalTransition, NodeLifecycle, NodeState};
+pub use region::{RegionLifecycle, RegionState, RegionTransitionError};
 pub use report::{ElasticReport, FleetEvent, FleetEventKind, WindowSample};

@@ -1,0 +1,147 @@
+//! The region lifecycle state machine.
+//!
+//! Two-region failover scenarios need one fact per region — alive or
+//! lost, and since when — with the same typed-`Result` discipline as
+//! [`crate::NodeLifecycle`]: a scripted `RegionLoss` firing twice, or a
+//! restore of a region that never failed, is a script bug that should
+//! surface as an error, not silently corrupt the run. Routing across the
+//! surviving regions is the geo router's job (`modm_fleet::GeoRouter`);
+//! this machine owns the authoritative state and its history.
+
+use modm_simkit::SimTime;
+
+/// Where a region is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionState {
+    /// Serving traffic.
+    Active,
+    /// Lost wholesale: every node, queue and cache shard in it is gone.
+    Lost,
+}
+
+/// An attempted region transition the state machine forbids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegionTransitionError {
+    /// The region is already lost; it cannot be lost again.
+    AlreadyLost,
+    /// The region is active; there is nothing to restore.
+    NotLost,
+}
+
+impl std::fmt::Display for RegionTransitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionTransitionError::AlreadyLost => f.write_str("region is already lost"),
+            RegionTransitionError::NotLost => f.write_str("region is not lost"),
+        }
+    }
+}
+
+impl std::error::Error for RegionTransitionError {}
+
+/// One region's lifecycle: current state plus the transition history.
+#[derive(Debug, Clone)]
+pub struct RegionLifecycle {
+    state: RegionState,
+    since: SimTime,
+    history: Vec<(SimTime, RegionState)>,
+}
+
+impl RegionLifecycle {
+    /// Starts an active region at time `at`.
+    pub fn new(at: SimTime) -> Self {
+        RegionLifecycle {
+            state: RegionState::Active,
+            since: at,
+            history: vec![(at, RegionState::Active)],
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> RegionState {
+        self.state
+    }
+
+    /// True while the region serves traffic.
+    pub fn is_alive(&self) -> bool {
+        self.state == RegionState::Active
+    }
+
+    /// When the current state was entered.
+    pub fn since(&self) -> SimTime {
+        self.since
+    }
+
+    /// When the region was lost, if it currently is.
+    pub fn lost_at(&self) -> Option<SimTime> {
+        (self.state == RegionState::Lost).then_some(self.since)
+    }
+
+    /// Every `(time, state)` entered, oldest first.
+    pub fn history(&self) -> &[(SimTime, RegionState)] {
+        &self.history
+    }
+
+    /// Marks the region lost at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegionTransitionError::AlreadyLost`] if it already is.
+    pub fn fail(&mut self, at: SimTime) -> Result<(), RegionTransitionError> {
+        if self.state == RegionState::Lost {
+            return Err(RegionTransitionError::AlreadyLost);
+        }
+        self.state = RegionState::Lost;
+        self.since = at;
+        self.history.push((at, RegionState::Lost));
+        Ok(())
+    }
+
+    /// Brings the region back at `at` (empty caches, fresh nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegionTransitionError::NotLost`] if it never failed.
+    pub fn restore(&mut self, at: SimTime) -> Result<(), RegionTransitionError> {
+        if self.state == RegionState::Active {
+            return Err(RegionTransitionError::NotLost);
+        }
+        self.state = RegionState::Active;
+        self.since = at;
+        self.history.push((at, RegionState::Active));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn loss_and_restore_round_trip() {
+        let mut r = RegionLifecycle::new(t(0.0));
+        assert!(r.is_alive());
+        assert_eq!(r.lost_at(), None);
+        r.fail(t(10.0)).expect("first loss is legal");
+        assert!(!r.is_alive());
+        assert_eq!(r.lost_at(), Some(t(10.0)));
+        r.restore(t(20.0)).expect("restore after loss");
+        assert!(r.is_alive());
+        assert_eq!(r.history().len(), 3);
+    }
+
+    #[test]
+    fn illegal_edges_are_typed_and_leave_state_alone() {
+        let mut r = RegionLifecycle::new(t(0.0));
+        assert_eq!(r.restore(t(1.0)), Err(RegionTransitionError::NotLost));
+        r.fail(t(2.0)).unwrap();
+        assert_eq!(r.fail(t(3.0)), Err(RegionTransitionError::AlreadyLost));
+        assert_eq!(r.lost_at(), Some(t(2.0)), "rejected edge must not move");
+        assert_eq!(r.history().len(), 2);
+    }
+}

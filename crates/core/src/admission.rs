@@ -156,6 +156,28 @@ impl AdmissionControl {
         self.buckets.is_empty()
     }
 
+    /// Rebuilds the controller for a new policy *mid-run*, preserving
+    /// token state wherever it can: a tenant whose [`RateLimit`] is
+    /// unchanged keeps its bucket (spent tokens stay spent — a policy
+    /// refresh is not an amnesty), a tenant whose limit changed or who
+    /// just joined gets a fresh full bucket, and tenants dropped from the
+    /// policy lose theirs.
+    pub fn update_policy(&mut self, policy: &TenancyPolicy) {
+        let mut next: Vec<(TenantId, TokenBucket)> = Vec::with_capacity(policy.rate_limits.len());
+        for limit in &policy.rate_limits {
+            let kept = self.buckets.iter().position(|(t, b)| {
+                *t == limit.tenant
+                    && b.rate_per_sec == limit.rate_per_min / 60.0
+                    && b.burst == limit.burst
+            });
+            match kept {
+                Some(i) => next.push(self.buckets.swap_remove(i)),
+                None => next.push((limit.tenant, TokenBucket::from_limit(limit))),
+            }
+        }
+        self.buckets = next;
+    }
+
     /// Admits or refuses `tenant`'s request arriving at `now`.
     pub fn try_admit(&mut self, now: SimTime, tenant: TenantId) -> bool {
         self.try_admit_or_retry(now, tenant).is_ok()
@@ -245,6 +267,31 @@ mod tests {
             "60/min refills in 1 s, got {hint}"
         );
         assert_eq!(ac.try_admit_or_retry(t, TenantId(2)), Ok(()), "unlimited");
+    }
+
+    #[test]
+    fn update_policy_preserves_unchanged_buckets() {
+        let policy = TenancyPolicy::fifo()
+            .with_rate_limit(TenantId(1), 60.0, 2.0)
+            .with_rate_limit(TenantId(2), 30.0, 1.0);
+        let mut ac = AdmissionControl::new(&policy);
+        let t = SimTime::ZERO;
+        // Spend tenant 1's whole burst.
+        assert!(ac.try_admit(t, TenantId(1)) && ac.try_admit(t, TenantId(1)));
+        assert!(!ac.try_admit(t, TenantId(1)));
+
+        // Join tenant 3, drop tenant 2, leave tenant 1 unchanged.
+        let next = TenancyPolicy::fifo()
+            .with_rate_limit(TenantId(1), 60.0, 2.0)
+            .with_rate_limit(TenantId(3), 60.0, 1.0);
+        ac.update_policy(&next);
+        assert!(!ac.try_admit(t, TenantId(1)), "spent tokens stay spent");
+        assert!(ac.try_admit(t, TenantId(2)), "dropped tenant is unlimited");
+        assert!(ac.try_admit(t, TenantId(3)) && !ac.try_admit(t, TenantId(3)));
+
+        // Changing tenant 1's limit issues a fresh full bucket.
+        ac.update_policy(&TenancyPolicy::fifo().with_rate_limit(TenantId(1), 60.0, 1.0));
+        assert!(ac.try_admit(t, TenantId(1)), "new limit, fresh bucket");
     }
 
     #[test]

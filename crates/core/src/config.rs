@@ -101,6 +101,62 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Validates a [`TenancyPolicy`] against a cache capacity, reporting the
+/// first violated invariant as a typed [`ConfigError`].
+///
+/// [`MoDMConfigBuilder::try_build`] runs this at construction; the
+/// scenario engine runs the same checks again before every *mid-run*
+/// policy mutation (tenant join/leave), so a rejected weight or an
+/// overcommitted reserve set surfaces as a declined transition instead of
+/// unwinding the DES.
+///
+/// # Errors
+///
+/// Returns an error on a non-positive or duplicate tenant share, reserves
+/// exceeding `cache_capacity`, a non-positive / sub-unit-burst / duplicate
+/// rate limit, inverted aging bounds, or a zero queue budget.
+pub fn validate_tenancy(policy: &TenancyPolicy, cache_capacity: usize) -> Result<(), ConfigError> {
+    let mut seen: Vec<TenantId> = Vec::new();
+    for share in &policy.shares {
+        if share.weight <= 0.0 {
+            return Err(ConfigError::NonPositiveTenantWeight(share.tenant));
+        }
+        if seen.contains(&share.tenant) {
+            return Err(ConfigError::DuplicateTenantShare(share.tenant));
+        }
+        seen.push(share.tenant);
+    }
+    let reserved: usize = policy.shares.iter().map(|s| s.cache_reserve).sum();
+    if reserved > cache_capacity {
+        return Err(ConfigError::OvercommittedCacheReserves {
+            reserved,
+            capacity: cache_capacity,
+        });
+    }
+    let mut limited: Vec<TenantId> = Vec::new();
+    for limit in &policy.rate_limits {
+        if limit.rate_per_min <= 0.0 {
+            return Err(ConfigError::NonPositiveRateLimit(limit.tenant));
+        }
+        if limit.burst < 1.0 {
+            return Err(ConfigError::SubUnitBurst(limit.tenant));
+        }
+        if limited.contains(&limit.tenant) {
+            return Err(ConfigError::DuplicateRateLimit(limit.tenant));
+        }
+        limited.push(limit.tenant);
+    }
+    if let Some(bounds) = policy.aging_bounds {
+        if bounds.min.is_zero() || bounds.min > bounds.max {
+            return Err(ConfigError::BadAgingBounds);
+        }
+    }
+    if policy.queue_budget.is_some_and(|b| b.is_zero()) {
+        return Err(ConfigError::ZeroQueueBudget);
+    }
+    Ok(())
+}
+
 /// Which images enter the cache (paper §5.4 / Fig 9's two configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AdmissionPolicy {
@@ -300,44 +356,7 @@ impl MoDMConfigBuilder {
         if c.monitor_period.is_zero() {
             return Err(ConfigError::ZeroMonitorPeriod);
         }
-        let mut seen: Vec<TenantId> = Vec::new();
-        for share in &c.tenancy.shares {
-            if share.weight <= 0.0 {
-                return Err(ConfigError::NonPositiveTenantWeight(share.tenant));
-            }
-            if seen.contains(&share.tenant) {
-                return Err(ConfigError::DuplicateTenantShare(share.tenant));
-            }
-            seen.push(share.tenant);
-        }
-        let reserved: usize = c.tenancy.shares.iter().map(|s| s.cache_reserve).sum();
-        if reserved > c.cache_capacity {
-            return Err(ConfigError::OvercommittedCacheReserves {
-                reserved,
-                capacity: c.cache_capacity,
-            });
-        }
-        let mut limited: Vec<TenantId> = Vec::new();
-        for limit in &c.tenancy.rate_limits {
-            if limit.rate_per_min <= 0.0 {
-                return Err(ConfigError::NonPositiveRateLimit(limit.tenant));
-            }
-            if limit.burst < 1.0 {
-                return Err(ConfigError::SubUnitBurst(limit.tenant));
-            }
-            if limited.contains(&limit.tenant) {
-                return Err(ConfigError::DuplicateRateLimit(limit.tenant));
-            }
-            limited.push(limit.tenant);
-        }
-        if let Some(bounds) = c.tenancy.aging_bounds {
-            if bounds.min.is_zero() || bounds.min > bounds.max {
-                return Err(ConfigError::BadAgingBounds);
-            }
-        }
-        if c.tenancy.queue_budget.is_some_and(|b| b.is_zero()) {
-            return Err(ConfigError::ZeroQueueBudget);
-        }
+        validate_tenancy(&c.tenancy, c.cache_capacity)?;
         Ok(self.config)
     }
 

@@ -407,6 +407,47 @@ impl<T> FairQueue<T> {
         self.discipline
     }
 
+    /// Re-points the queue at a new policy *mid-run*: weights, the aging
+    /// threshold and the adaptive bounds are replaced in place; items
+    /// already queued keep their virtual-time tags (they were charged
+    /// under the old shares — rewriting history would break the virtual
+    /// clock's monotonicity) and new pushes are charged under the new
+    /// weights. The discipline itself is fixed at construction: a tenant
+    /// join/leave changes shares, not the queueing model.
+    ///
+    /// The caller is expected to have validated `policy` first (see
+    /// [`validate_tenancy`](crate::config::validate_tenancy)); like
+    /// [`FairQueue::new`], this guards direct misuse with the same
+    /// panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a share has a non-positive weight, if the adaptive aging
+    /// bounds are inverted or zero, or if `policy` switches the
+    /// discipline.
+    pub fn update_policy(&mut self, policy: &TenancyPolicy) {
+        assert_eq!(
+            policy.discipline, self.discipline,
+            "cannot switch queue discipline mid-run"
+        );
+        for s in &policy.shares {
+            assert!(
+                s.weight > 0.0,
+                "tenant {} weight must be positive",
+                s.tenant
+            );
+        }
+        if let Some(bounds) = policy.aging_bounds {
+            assert!(
+                !bounds.min.is_zero() && bounds.min <= bounds.max,
+                "adaptive aging needs 0 < min <= max"
+            );
+        }
+        self.weights = policy.shares.iter().map(|s| (s.tenant, s.weight)).collect();
+        self.aging = policy.aging_threshold;
+        self.aging_bounds = policy.aging_bounds;
+    }
+
     /// Items queued.
     pub fn len(&self) -> usize {
         self.len
@@ -754,6 +795,65 @@ mod tests {
     #[should_panic(expected = "weight must be positive")]
     fn non_positive_weights_rejected() {
         let _ = wfq(vec![TenantShare::new(TenantId(1), 0.0)]);
+    }
+
+    #[test]
+    fn update_policy_recharges_new_pushes_only() {
+        let mut q = wfq(vec![
+            TenantShare::new(TenantId(1), 1.0),
+            TenantShare::new(TenantId(2), 1.0),
+        ]);
+        let now = SimTime::ZERO;
+        for i in 0..4 {
+            q.push(now, TenantId(1), QosClass::Standard, i);
+            q.push(now, TenantId(2), QosClass::Standard, 100 + i);
+        }
+        // Mid-run, tenant 2's weight jumps to 4x.
+        q.update_policy(&TenancyPolicy::weighted_fair(vec![
+            TenantShare::new(TenantId(1), 1.0),
+            TenantShare::new(TenantId(2), 4.0),
+        ]));
+        // Queued items keep their old tags (equal weights alternate)...
+        let mut heavy = 0;
+        for _ in 0..4 {
+            if q.pop(now).expect("queued") >= 100 {
+                heavy += 1;
+            }
+        }
+        assert_eq!(heavy, 2, "pre-update items drain under old tags");
+        // ...and new pushes are charged at the new 4:1 weights.
+        for _ in 0..4 {
+            q.pop(now);
+        }
+        assert!(q.is_empty());
+        for i in 0..10 {
+            q.push(now, TenantId(1), QosClass::Standard, i);
+            q.push(now, TenantId(2), QosClass::Standard, 100 + i);
+        }
+        let mut heavy = 0;
+        for _ in 0..10 {
+            if q.pop(now).expect("queued") >= 100 {
+                heavy += 1;
+            }
+        }
+        assert_eq!(heavy, 8, "4:1 split over the first 10 pops");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot switch queue discipline")]
+    fn update_policy_rejects_discipline_switch() {
+        let mut q = wfq(vec![]);
+        q.update_policy(&TenancyPolicy::fifo());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn update_policy_rejects_non_positive_weight() {
+        let mut q = wfq(vec![TenantShare::new(TenantId(1), 1.0)]);
+        q.update_policy(&TenancyPolicy::weighted_fair(vec![TenantShare::new(
+            TenantId(1),
+            -2.0,
+        )]));
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod scheduler;
 pub mod system;
 
 pub use admission::{AdmissionControl, TokenBucket};
-pub use config::{AdmissionPolicy, ConfigError, MoDMConfig, MoDMConfigBuilder, ServingMode};
+pub use config::{
+    validate_tenancy, AdmissionPolicy, ConfigError, MoDMConfig, MoDMConfigBuilder, ServingMode,
+};
 pub use events::{NullObserver, Obs, Observer, SimEvent};
 pub use fairqueue::{
     AgingBounds, FairQueue, FairnessCharge, QueueDiscipline, RateLimit, TenancyPolicy, TenantShare,

@@ -20,9 +20,9 @@ use modm_simkit::{profile, SimDuration, SimRng, SimTime};
 use modm_workload::TenantId;
 
 use crate::admission::AdmissionControl;
-use crate::config::MoDMConfig;
+use crate::config::{validate_tenancy, ConfigError, MoDMConfig};
 use crate::events::{emit, Obs, SimEvent};
-use crate::fairqueue::{FairQueue, FairnessCharge};
+use crate::fairqueue::{FairQueue, FairnessCharge, TenancyPolicy};
 use crate::monitor::{GlobalMonitor, WindowStats};
 use crate::report::{AllocationSample, ServingReport, TenantSlice};
 use crate::scheduler::{RouteKind, RoutedRequest};
@@ -229,6 +229,28 @@ impl ServingNode {
         !self.hit_q.is_empty()
             || !self.miss_q.is_empty()
             || self.in_flight.iter().any(Option::is_some)
+    }
+
+    /// Applies a revised [`TenancyPolicy`] mid-run — the primitive behind
+    /// tenant join/leave scenarios. The policy is validated first (against
+    /// `cache_capacity`, the node's shard capacity), so an overcommitted or
+    /// malformed policy returns `Err` and leaves the node untouched rather
+    /// than panicking the event loop. Queued work keeps the virtual-time
+    /// tags it was charged under; only *future* pushes, admissions, and
+    /// queue-budget sheds see the new shares, rate limits, and budget. The
+    /// queue discipline itself must not change mid-run.
+    pub fn try_update_tenancy(
+        &mut self,
+        policy: &TenancyPolicy,
+        cache_capacity: usize,
+    ) -> Result<(), ConfigError> {
+        validate_tenancy(policy, cache_capacity)?;
+        self.hit_q.update_policy(policy);
+        self.miss_q.update_policy(policy);
+        self.admission.update_policy(policy);
+        self.charge = policy.charge;
+        self.queue_budget = policy.queue_budget;
+        Ok(())
     }
 
     /// Accepts a routed request into the node's queues, updating hit/miss
@@ -660,6 +682,43 @@ mod tests {
         );
         node.dispatch(SimTime::ZERO, |_, _| {}, Some(&mut obs));
         assert_eq!(obs.0, vec!["admitted", "cache_miss", "dispatched"]);
+    }
+
+    #[test]
+    fn try_update_tenancy_validates_then_swaps_admission() {
+        use crate::fairqueue::TenantShare;
+
+        let mut node = ServingNode::new(&config(1), 0);
+        // Unlimited at birth: both offers are accepted.
+        for i in 0..2 {
+            let out = node.enqueue(SimTime::ZERO, miss_request(i, "jade harbor rain"), None);
+            assert!(out.is_accepted());
+        }
+
+        // An overcommitted reserve is refused and leaves the node as-is.
+        let bad = TenancyPolicy::weighted_fair(vec![
+            TenantShare::new(TenantId::DEFAULT, 1.0).with_cache_reserve(101)
+        ]);
+        let err = node.try_update_tenancy(&bad, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OvercommittedCacheReserves {
+                reserved: 101,
+                capacity: 100
+            }
+        ));
+        assert!(node
+            .enqueue(SimTime::ZERO, miss_request(2, "jade harbor rain"), None)
+            .is_accepted());
+
+        // A valid revision installs the new rate limit immediately.
+        let strict = TenancyPolicy::fifo().with_rate_limit(TenantId::DEFAULT, 60.0, 1.0);
+        node.try_update_tenancy(&strict, 100).unwrap();
+        assert!(node
+            .enqueue(SimTime::ZERO, miss_request(3, "jade harbor rain"), None)
+            .is_accepted());
+        let out = node.enqueue(SimTime::ZERO, miss_request(4, "jade harbor rain"), None);
+        assert!(matches!(out, EnqueueOutcome::Rejected { .. }));
     }
 
     #[test]

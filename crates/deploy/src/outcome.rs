@@ -17,6 +17,8 @@ use modm_metrics::SloThresholds;
 use modm_simkit::SimTime;
 use modm_workload::{QosClass, TenantId};
 
+use crate::scenario_report::{RegionSlice, ScenarioReport};
+
 /// Which serving tier produced an outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TierKind {
@@ -27,6 +29,8 @@ pub enum TierKind {
     /// An autoscaled fleet under a control plane
     /// (`modm_controlplane::ElasticFleet`).
     Elastic,
+    /// A multi-region closed-loop scenario run (`modm-scenario`).
+    Scenario,
 }
 
 impl TierKind {
@@ -36,6 +40,7 @@ impl TierKind {
             TierKind::Single => "single",
             TierKind::Fleet => "fleet",
             TierKind::Elastic => "elastic",
+            TierKind::Scenario => "scenario",
         }
     }
 }
@@ -69,6 +74,8 @@ pub enum TierReport {
     Fleet(Box<FleetReport>),
     /// An elastic-fleet report.
     Elastic(Box<ElasticReport>),
+    /// A closed-loop scenario report.
+    Scenario(Box<ScenarioReport>),
 }
 
 /// What a deployment run produced: the tier's own report behind one
@@ -120,12 +127,23 @@ impl RunOutcome {
         }
     }
 
+    /// Wraps a [`ScenarioReport`]. `nodes` is the total node count
+    /// across regions; `total_gpus` the GPUs across those nodes.
+    pub fn from_scenario(report: ScenarioReport, nodes: usize, total_gpus: usize) -> Self {
+        RunOutcome {
+            report: TierReport::Scenario(Box::new(report)),
+            nodes,
+            total_gpus,
+        }
+    }
+
     /// Which tier produced this outcome.
     pub fn tier(&self) -> TierKind {
         match &self.report {
             TierReport::Single(_) => TierKind::Single,
             TierReport::Fleet(_) => TierKind::Fleet,
             TierReport::Elastic(_) => TierKind::Elastic,
+            TierReport::Scenario(_) => TierKind::Scenario,
         }
     }
 
@@ -145,6 +163,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.completed(),
             TierReport::Fleet(r) => r.completed(),
             TierReport::Elastic(r) => r.completed,
+            TierReport::Scenario(r) => r.completed(),
         }
     }
 
@@ -154,6 +173,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.hits,
             TierReport::Fleet(r) => r.hits(),
             TierReport::Elastic(r) => r.hits,
+            TierReport::Scenario(r) => r.hits,
         }
     }
 
@@ -163,6 +183,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.misses,
             TierReport::Fleet(r) => r.misses(),
             TierReport::Elastic(r) => r.misses,
+            TierReport::Scenario(r) => r.misses,
         }
     }
 
@@ -173,6 +194,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.rejected,
             TierReport::Fleet(r) => r.rejected(),
             TierReport::Elastic(r) => r.rejected,
+            TierReport::Scenario(r) => r.rejected,
         }
     }
 
@@ -183,6 +205,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.shed,
             TierReport::Fleet(r) => r.shed(),
             TierReport::Elastic(r) => r.shed,
+            TierReport::Scenario(r) => r.shed,
         }
     }
 
@@ -201,6 +224,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.goodput(multiple),
             TierReport::Fleet(r) => r.goodput(multiple),
             TierReport::Elastic(r) => r.goodput(multiple),
+            TierReport::Scenario(r) => r.goodput(multiple),
         }
     }
 
@@ -210,6 +234,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.hit_rate(),
             TierReport::Fleet(r) => r.hit_rate(),
             TierReport::Elastic(r) => r.hit_rate(),
+            TierReport::Scenario(r) => r.hit_rate(),
         }
     }
 
@@ -219,6 +244,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.requests_per_minute(),
             TierReport::Fleet(r) => r.requests_per_minute(),
             TierReport::Elastic(r) => r.requests_per_minute(),
+            TierReport::Scenario(r) => r.requests_per_minute(),
         }
     }
 
@@ -228,6 +254,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.p99_secs(),
             TierReport::Fleet(r) => r.p99_secs(),
             TierReport::Elastic(r) => r.latency.p99_secs(),
+            TierReport::Scenario(r) => r.p99_secs(),
         }
     }
 
@@ -238,6 +265,7 @@ impl RunOutcome {
             TierReport::Single(r) => 1.0 - r.slo_violation_rate(multiple),
             TierReport::Fleet(r) => 1.0 - r.slo_violation_rate(multiple),
             TierReport::Elastic(r) => 1.0 - r.latency.slo_violation_rate(&r.slo, multiple),
+            TierReport::Scenario(r) => 1.0 - r.slo_violation_rate(multiple),
         }
     }
 
@@ -249,6 +277,7 @@ impl RunOutcome {
             TierReport::Single(r) => self.total_gpus as f64 * r.finished_at.as_secs_f64() / 3600.0,
             TierReport::Fleet(r) => self.total_gpus as f64 * r.finished_at.as_secs_f64() / 3600.0,
             TierReport::Elastic(r) => r.gpu_hours,
+            TierReport::Scenario(r) => r.gpu_hours,
         }
     }
 
@@ -258,6 +287,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.finished_at,
             TierReport::Fleet(r) => r.finished_at,
             TierReport::Elastic(r) => r.finished_at,
+            TierReport::Scenario(r) => r.finished_at,
         }
     }
 
@@ -269,6 +299,7 @@ impl RunOutcome {
             TierReport::Single(r) => &r.tenant_slices,
             TierReport::Fleet(r) => &r.tenant_slices,
             TierReport::Elastic(r) => &r.tenant_slices,
+            TierReport::Scenario(r) => &r.tenant_slices,
         }
     }
 
@@ -279,6 +310,7 @@ impl RunOutcome {
             TierReport::Single(r) => r.slo,
             TierReport::Fleet(r) => r.nodes.first().expect("fleet has nodes").report.slo,
             TierReport::Elastic(r) => r.slo,
+            TierReport::Scenario(r) => r.slo,
         }
     }
 
@@ -289,6 +321,7 @@ impl RunOutcome {
             TierReport::Single(_) => None,
             TierReport::Fleet(r) => Some(r.load_imbalance()),
             TierReport::Elastic(_) => None,
+            TierReport::Scenario(_) => None,
         }
     }
 
@@ -324,6 +357,26 @@ impl RunOutcome {
                     hit_rate: None,
                 })
                 .collect(),
+            TierReport::Scenario(r) => r
+                .routed_per_node
+                .iter()
+                .enumerate()
+                .map(|(node, &routed)| NodeSlice {
+                    node,
+                    routed,
+                    completed: None,
+                    hit_rate: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-region slices, where the deployment spans regions (`None` for
+    /// the single-region tiers).
+    pub fn region_slices(&self) -> Option<&[RegionSlice]> {
+        match &self.report {
+            TierReport::Scenario(r) => Some(&r.regions),
+            _ => None,
         }
     }
 
@@ -351,6 +404,14 @@ impl RunOutcome {
         }
     }
 
+    /// The scenario report, if this is a scenario-tier outcome.
+    pub fn as_scenario(&self) -> Option<&ScenarioReport> {
+        match &self.report {
+            TierReport::Scenario(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Consumes the outcome into its single-node report, if applicable.
     pub fn into_single(self) -> Option<ServingReport> {
         match self.report {
@@ -371,6 +432,14 @@ impl RunOutcome {
     pub fn into_elastic(self) -> Option<ElasticReport> {
         match self.report {
             TierReport::Elastic(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its scenario report, if applicable.
+    pub fn into_scenario(self) -> Option<ScenarioReport> {
+        match self.report {
+            TierReport::Scenario(r) => Some(*r),
             _ => None,
         }
     }

@@ -29,6 +29,7 @@ pub mod fleet_scaling;
 pub mod overload;
 pub mod quality_tables;
 pub mod retrieval_perf;
+pub mod scenarios;
 pub mod slo;
 pub mod telemetry;
 pub mod tenancy;

@@ -43,6 +43,7 @@ EXPERIMENTS
   overload    overload control: 2x-capacity mix, queue-only vs token-bucket + GPU-cost WFQ
   telemetry   the queue-only overload run observed: spans, burn-rate alerts, DES profile
   trace       causal tracing: critical-path attribution, Perfetto export, run-diff diagnosis
+  scenarios   adversarial closed loop: retry storm (honoring vs naive) + region failover
   all         everything above";
 
 fn run_one(name: &str) -> bool {
@@ -77,12 +78,13 @@ fn run_one(name: &str) -> bool {
         "overload" => exp::overload::run(),
         "telemetry" => exp::telemetry::run(),
         "trace" => exp::trace::run(),
+        "scenarios" => exp::scenarios::run(),
         _ => return false,
     }
     true
 }
 
-const ALL: [&str; 30] = [
+const ALL: [&str; 31] = [
     "fig2",
     "fig5",
     "fig6",
@@ -113,6 +115,7 @@ const ALL: [&str; 30] = [
     "overload",
     "telemetry",
     "trace",
+    "scenarios",
 ];
 
 fn main() {

@@ -15,6 +15,9 @@
 //! * [`ShardedCache`] — the image cache partitioned one shard per node,
 //!   with per-shard statistics and a [`ShardedCache::rebalance`] hook for
 //!   node-count changes.
+//! * [`GeoRouter`] — one level above the per-region router: latency-
+//!   biased region selection with typed-`Result` region loss/restore,
+//!   the primitive under the two-region failover scenarios.
 //! * [`Fleet`] — N miniature MoDM deployments (workers, monitor, queues,
 //!   shard) interleaved on one virtual clock.
 //! * [`FleetReport`] — per-node [`modm_core::ServingReport`]s plus the
@@ -38,6 +41,7 @@
 
 pub mod affinity;
 pub mod fleet;
+pub mod geo;
 pub mod report;
 pub mod ring;
 pub mod router;
@@ -45,7 +49,8 @@ pub mod shard;
 
 pub use affinity::SemanticClusterer;
 pub use fleet::{Fleet, FleetRunOptions};
+pub use geo::{GeoError, GeoRouter};
 pub use report::{FleetReport, NodeReport};
-pub use ring::HashRing;
+pub use ring::{HashRing, RingMembershipError};
 pub use router::{Router, RouterConfigError, RoutingPolicy};
 pub use shard::{HandoffReport, RebalanceReport, ShardSummary, ShardedCache};

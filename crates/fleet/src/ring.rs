@@ -9,7 +9,38 @@
 //! node's points depend only on its id, so `HashRing::new(9, v)` and
 //! `HashRing::new(8, v)` + [`HashRing::add_node`]`(8)` are the same ring.
 
+use std::fmt;
+
 use modm_simkit::mix64;
+
+/// Why a [`HashRing`] membership change was rejected.
+///
+/// Returned by the `try_*` membership methods; the panicking variants
+/// format the same messages. Mid-run membership churn (tenant scripts,
+/// region loss, elastic scale events) must surface these as values — a
+/// control plane can decline a bad transition, a DES must never unwind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RingMembershipError {
+    /// The node is already a ring member.
+    AlreadyMember(usize),
+    /// The node is not a ring member.
+    NotAMember(usize),
+    /// Removing the node would empty the ring.
+    LastMember,
+}
+
+impl fmt::Display for RingMembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingMembershipError::AlreadyMember(n) => write!(f, "node {n} already on the ring"),
+            RingMembershipError::NotAMember(n) => write!(f, "node {n} is not a ring member"),
+            RingMembershipError::LastMember => write!(f, "cannot empty the ring"),
+        }
+    }
+}
+
+impl std::error::Error for RingMembershipError {}
 
 /// A consistent-hash ring over a dynamic set of serving nodes.
 ///
@@ -93,14 +124,27 @@ impl HashRing {
     ///
     /// Panics if `node` is already a member.
     pub fn add_node(&mut self, node: usize) {
-        let pos = self
-            .members
-            .binary_search(&node)
-            .expect_err("node already on the ring");
+        if let Err(e) = self.try_add_node(node) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`HashRing::add_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingMembershipError::AlreadyMember`] if `node` is already
+    /// on the ring; the ring is unchanged on error.
+    pub fn try_add_node(&mut self, node: usize) -> Result<(), RingMembershipError> {
+        let pos = match self.members.binary_search(&node) {
+            Ok(_) => return Err(RingMembershipError::AlreadyMember(node)),
+            Err(pos) => pos,
+        };
         self.members.insert(pos, node);
         self.points
             .extend((0..self.vnodes).map(|r| (Self::point(node, r), node)));
         self.points.sort_unstable();
+        Ok(())
     }
 
     /// Removes `node` from the ring; its keyspace slice falls to the ring
@@ -110,13 +154,29 @@ impl HashRing {
     ///
     /// Panics if `node` is not a member, or if it is the last one.
     pub fn remove_node(&mut self, node: usize) {
-        assert!(self.members.len() > 1, "cannot empty the ring");
+        if let Err(e) = self.try_remove_node(node) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`HashRing::remove_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingMembershipError::LastMember`] if `node` is the only
+    /// member, [`RingMembershipError::NotAMember`] if it is not one; the
+    /// ring is unchanged on error.
+    pub fn try_remove_node(&mut self, node: usize) -> Result<(), RingMembershipError> {
+        if self.members.len() <= 1 {
+            return Err(RingMembershipError::LastMember);
+        }
         let pos = self
             .members
             .binary_search(&node)
-            .expect("node is a ring member");
+            .map_err(|_| RingMembershipError::NotAMember(node))?;
         self.members.remove(pos);
         self.points.retain(|&(_, n)| n != node);
+        Ok(())
     }
 
     /// The node owning `key`.
@@ -265,5 +325,34 @@ mod tests {
     fn double_add_rejected() {
         let mut ring = HashRing::new(2, 4);
         ring.add_node(1);
+    }
+
+    #[test]
+    fn try_membership_reports_typed_errors_and_leaves_ring_intact() {
+        let mut ring = HashRing::new(2, 4);
+        let before = ring.clone();
+        assert_eq!(
+            ring.try_add_node(1).unwrap_err(),
+            RingMembershipError::AlreadyMember(1)
+        );
+        assert_eq!(
+            ring.try_remove_node(7).unwrap_err(),
+            RingMembershipError::NotAMember(7)
+        );
+        assert_eq!(
+            ring.node_ids(),
+            before.node_ids(),
+            "rejected ops are no-ops"
+        );
+        assert!((0..500u64).all(|k| ring.node_for(k) == before.node_for(k)));
+
+        let mut single = HashRing::new(1, 4);
+        assert_eq!(
+            single.try_remove_node(0).unwrap_err(),
+            RingMembershipError::LastMember
+        );
+        assert!(ring.try_add_node(2).is_ok());
+        assert!(ring.try_remove_node(2).is_ok());
+        assert_eq!(ring.nodes(), 2);
     }
 }

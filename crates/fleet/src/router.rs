@@ -46,6 +46,12 @@ pub enum RouterConfigError {
     /// The hybrid-affinity spill threshold was below 1.0 (spilling below
     /// the mean would invert the policy).
     SpillThresholdBelowMean(f64),
+    /// A membership change tried to admit a node that is already active.
+    NodeAlreadyActive(usize),
+    /// A membership change named a node that is not active.
+    NodeNotActive(usize),
+    /// A membership change would have emptied the active set.
+    LastActiveNode,
 }
 
 impl fmt::Display for RouterConfigError {
@@ -55,6 +61,11 @@ impl fmt::Display for RouterConfigError {
             RouterConfigError::NoVnodes => write!(f, "ring needs at least one virtual node"),
             RouterConfigError::SpillThresholdBelowMean(t) => {
                 write!(f, "spill threshold below the mean: {t}")
+            }
+            RouterConfigError::NodeAlreadyActive(n) => write!(f, "node {n} already active"),
+            RouterConfigError::NodeNotActive(n) => write!(f, "node {n} is not active"),
+            RouterConfigError::LastActiveNode => {
+                write!(f, "cannot remove the last active node")
             }
         }
     }
@@ -259,17 +270,32 @@ impl Router {
     ///
     /// Panics if `node` is already active.
     pub fn add_node(&mut self, node: usize) {
-        let pos = self
-            .active
-            .binary_search(&node)
-            .expect_err("node already active");
+        if let Err(e) = self.try_add_node(node) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`Router::add_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterConfigError::NodeAlreadyActive`] if `node` is
+    /// already in the active set; the router is unchanged on error.
+    pub fn try_add_node(&mut self, node: usize) -> Result<(), RouterConfigError> {
+        let pos = match self.active.binary_search(&node) {
+            Ok(_) => return Err(RouterConfigError::NodeAlreadyActive(node)),
+            Err(pos) => pos,
+        };
         self.active.insert(pos, node);
         if !self.ring.contains(node) {
-            self.ring.add_node(node);
+            self.ring
+                .try_add_node(node)
+                .expect("active set and ring agree on membership");
         }
         if self.routed.len() <= node {
             self.routed.resize(node + 1, 0);
         }
+        Ok(())
     }
 
     /// Removes `node` from the active set and the affinity ring: no new
@@ -280,10 +306,31 @@ impl Router {
     ///
     /// Panics if `node` is not active, or if it is the last active node.
     pub fn remove_node(&mut self, node: usize) {
-        assert!(self.active.len() > 1, "cannot remove the last active node");
-        let pos = self.active.binary_search(&node).expect("node is active");
+        if let Err(e) = self.try_remove_node(node) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`Router::remove_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterConfigError::LastActiveNode`] if `node` is the only
+    /// active node, [`RouterConfigError::NodeNotActive`] if it is not
+    /// active; the router is unchanged on error.
+    pub fn try_remove_node(&mut self, node: usize) -> Result<(), RouterConfigError> {
+        if self.active.len() <= 1 {
+            return Err(RouterConfigError::LastActiveNode);
+        }
+        let pos = self
+            .active
+            .binary_search(&node)
+            .map_err(|_| RouterConfigError::NodeNotActive(node))?;
         self.active.remove(pos);
-        self.ring.remove_node(node);
+        self.ring
+            .try_remove_node(node)
+            .expect("active set and ring agree on membership");
+        Ok(())
     }
 
     /// Requests routed to each node id so far.
@@ -533,5 +580,32 @@ mod tests {
             RouterConfigError::SpillThresholdBelowMean(0.5)
         );
         assert!(Router::try_new(RoutingPolicy::CacheAffinity, 4).is_ok());
+    }
+
+    #[test]
+    fn try_membership_reports_typed_errors_and_leaves_router_intact() {
+        let enc = encoder();
+        let e = enc.encode("membership probe prompt");
+        let mut r = Router::new(RoutingPolicy::CacheAffinity, 3);
+        let home = r.route(&e, &[0.0; 3]);
+        assert_eq!(
+            r.try_add_node(1).unwrap_err(),
+            RouterConfigError::NodeAlreadyActive(1)
+        );
+        assert_eq!(
+            r.try_remove_node(9).unwrap_err(),
+            RouterConfigError::NodeNotActive(9)
+        );
+        assert_eq!(r.active_nodes(), &[0, 1, 2], "rejected ops are no-ops");
+        assert_eq!(r.route(&e, &[0.0; 3]), home, "routing is undisturbed");
+
+        let mut single = Router::new(RoutingPolicy::RoundRobin, 1);
+        assert_eq!(
+            single.try_remove_node(0).unwrap_err(),
+            RouterConfigError::LastActiveNode
+        );
+        assert!(r.try_add_node(3).is_ok());
+        assert!(r.try_remove_node(3).is_ok());
+        assert_eq!(r.nodes(), 3);
     }
 }

@@ -83,6 +83,31 @@ impl RateSchedule {
         }
     }
 
+    /// A flash crowd: `base` requests/minute everywhere except a single
+    /// window `[start_mins, start_mins + duration_mins)` where the rate
+    /// jumps to `base * multiplier`, then falls back to `base` forever.
+    /// This is the per-tenant stressor behind the adversarial scenarios:
+    /// one tenant spikes 10x while the others hold steady.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0`, `multiplier >= 1`, `start_mins >= 0`, and
+    /// `duration_mins > 0`.
+    pub fn spike(base: f64, multiplier: f64, start_mins: f64, duration_mins: f64) -> RateSchedule {
+        assert!(base > 0.0, "base rate must be positive");
+        assert!(multiplier >= 1.0, "spike multiplier must be >= 1");
+        assert!(start_mins >= 0.0, "spike cannot start before t=0");
+        assert!(duration_mins > 0.0, "spike duration must be positive");
+        let mut segs = Vec::with_capacity(3);
+        if start_mins > 0.0 {
+            segs.push((start_mins, base));
+        }
+        segs.push((duration_mins, base * multiplier));
+        // Terminal segment repeats forever: back to the base rate.
+        segs.push((duration_mins.max(1.0), base));
+        RateSchedule::Piecewise(segs)
+    }
+
     /// A Markov-modulated on/off burst process: the rate alternates
     /// between `low` and `high`, with exponentially distributed sojourns
     /// (means `mean_low_mins` / `mean_high_mins`) sampled from `seed`.
@@ -184,6 +209,28 @@ impl RateSchedule {
             }
         }
         out
+    }
+
+    /// Generates every arrival in `[0, horizon)` from this schedule —
+    /// the duration-bounded counterpart of [`RateSchedule::sample_arrivals`]
+    /// (same thinning sampler, stop condition on time instead of count).
+    /// Scenario scripts use this so each tenant's stream covers exactly
+    /// the scripted horizon regardless of its rate.
+    pub fn sample_arrivals_until(&self, horizon: SimDuration, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        loop {
+            let rate_per_sec = self.rate_at(t) / 60.0;
+            let gap = rng.exponential(rate_per_sec).min(60.0);
+            t += SimDuration::from_secs_f64(gap);
+            if t >= end {
+                return out;
+            }
+            if gap < 60.0 {
+                out.push(t);
+            }
+        }
     }
 }
 
@@ -304,6 +351,31 @@ mod tests {
                 "seed {seed}: mean rate {mean} drifted from base"
             );
         }
+    }
+
+    #[test]
+    fn spike_rate_rises_then_falls_back() {
+        let s = RateSchedule::spike(6.0, 10.0, 30.0, 10.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(10.0 * 60.0)), 6.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(35.0 * 60.0)), 60.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(45.0 * 60.0)), 6.0);
+        // The base rate holds forever past the horizon.
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(500.0 * 60.0)), 6.0);
+        // A spike at t=0 needs no leading segment.
+        let now = RateSchedule::spike(6.0, 10.0, 0.0, 5.0);
+        assert_eq!(now.rate_at(SimTime::ZERO), 60.0);
+    }
+
+    #[test]
+    fn sample_arrivals_until_bounds_time_not_count() {
+        let s = RateSchedule::Constant(12.0);
+        let mut rng = SimRng::seed_from(21);
+        let horizon = SimDuration::from_mins_f64(120.0);
+        let arr = s.sample_arrivals_until(horizon, &mut rng);
+        assert!(arr.iter().all(|t| *t < SimTime::ZERO + horizon));
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let rate = arr.len() as f64 / 120.0;
+        assert!((rate - 12.0).abs() < 1.5, "empirical rate = {rate}");
     }
 
     #[test]

@@ -85,7 +85,16 @@ pub struct TenantMix {
     /// The QoS class stamped on every request of the slice.
     pub qos: QosClass,
     /// The slice's own constant Poisson rate, requests per minute.
+    /// Ignored when [`TenantMix::schedule`] is set.
     pub rate_per_min: f64,
+    /// A time-varying rate overriding `rate_per_min` — how a scenario
+    /// gives one tenant a flash crowd while the others stay constant.
+    pub schedule: Option<crate::RateSchedule>,
+    /// The slice's active window `(start, end)` in minutes: arrivals are
+    /// generated inside it only. `None` spans the whole trace. This is
+    /// how tenant join (late start) and leave (early end) are expressed
+    /// at the workload layer.
+    pub window_mins: Option<(f64, f64)>,
 }
 
 impl TenantMix {
@@ -95,7 +104,40 @@ impl TenantMix {
             tenant,
             qos,
             rate_per_min,
+            schedule: None,
+            window_mins: None,
         }
+    }
+
+    /// Drives the slice from a time-varying [`crate::RateSchedule`]
+    /// instead of a constant rate (builder style).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: crate::RateSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Restricts arrivals to `[start_mins, end_mins)` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= start_mins < end_mins`.
+    #[must_use]
+    pub fn with_window(mut self, start_mins: f64, end_mins: f64) -> Self {
+        assert!(
+            start_mins >= 0.0 && start_mins < end_mins,
+            "need 0 <= start < end, got [{start_mins}, {end_mins})"
+        );
+        self.window_mins = Some((start_mins, end_mins));
+        self
+    }
+
+    /// The slice's arrival schedule: the explicit one if set, else the
+    /// constant `rate_per_min`.
+    pub fn effective_schedule(&self) -> crate::RateSchedule {
+        self.schedule
+            .clone()
+            .unwrap_or(crate::RateSchedule::Constant(self.rate_per_min))
     }
 }
 

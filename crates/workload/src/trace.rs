@@ -268,6 +268,80 @@ impl TraceBuilder {
         counts
     }
 
+    /// Generates a multi-tenant trace spanning exactly `horizon_mins`
+    /// virtual minutes — the duration-driven counterpart of
+    /// [`TraceBuilder::build`], for scenario scripts whose actions fire at
+    /// wall-clock offsets. Each [`TenantMix`] contributes every arrival its
+    /// [`TenantMix::effective_schedule`] produces inside the horizon
+    /// (clipped to its [`TenantMix::with_window`], if any); `requests(n)`
+    /// is ignored. The streams merge by arrival time exactly as in
+    /// [`TraceBuilder::tenants`], with the same per-tenant RNG forks: a
+    /// tenant's prompts and Poisson clock do not depend on the other
+    /// tenants in the mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty, the horizon is non-positive, a tenant
+    /// repeats, a rate is non-positive, or the horizon produces zero
+    /// arrivals.
+    pub fn build_over(self, horizon_mins: f64) -> Trace {
+        assert!(horizon_mins > 0.0, "horizon must be positive");
+        assert!(
+            !self.tenants.is_empty(),
+            "build_over needs a tenant mix (use tenants(..))"
+        );
+        self.validate_mix();
+        let horizon = modm_simkit::SimDuration::from_mins_f64(horizon_mins);
+        let mut root = SimRng::seed_from(self.seed);
+        let mut prompt_rng = root.fork(1);
+        let mut arrival_rng = root.fork(2);
+
+        let mut merged: Vec<(modm_simkit::SimTime, usize, usize, String)> = Vec::new();
+        for (i, mix) in self.tenants.iter().enumerate() {
+            let mut factory =
+                PromptFactory::new(self.prompt_config.clone(), prompt_rng.fork(i as u64));
+            let mut tenant_arrivals = arrival_rng.fork(i as u64);
+            let arrivals = mix
+                .effective_schedule()
+                .sample_arrivals_until(horizon, &mut tenant_arrivals);
+            let (start, end) = mix.window_mins.unwrap_or((0.0, f64::INFINITY));
+            for (k, at) in arrivals.into_iter().enumerate() {
+                let mins = at.as_mins_f64();
+                if mins >= start && mins < end {
+                    merged.push((at, i, k, factory.next_prompt()));
+                }
+            }
+        }
+        assert!(!merged.is_empty(), "horizon produced zero arrivals");
+        merged.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let requests = merged
+            .into_iter()
+            .enumerate()
+            .map(|(id, (at, i, _, prompt))| {
+                let mix = &self.tenants[i];
+                Request::for_tenant(id as u64, prompt, at, mix.tenant, mix.qos)
+            })
+            .collect();
+        Trace {
+            dataset: self.dataset,
+            requests,
+        }
+    }
+
+    fn validate_mix(&self) {
+        for m in &self.tenants {
+            assert!(
+                m.schedule.is_some() || m.rate_per_min > 0.0,
+                "tenant {} rate must be positive",
+                m.tenant
+            );
+        }
+        let mut seen: Vec<TenantId> = self.tenants.iter().map(|m| m.tenant).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), self.tenants.len(), "duplicate tenant in mix");
+    }
+
     fn build_multi_tenant(self) -> Trace {
         for m in &self.tenants {
             assert!(
@@ -436,6 +510,56 @@ mod tests {
         for tenant in [TenantId(1), TenantId(2), TenantId(3)] {
             assert_eq!(t.tenant_len(tenant), 1);
         }
+    }
+
+    #[test]
+    fn build_over_spans_horizon_and_honors_windows() {
+        use crate::tenancy::QosClass;
+        use crate::RateSchedule;
+        let t = TraceBuilder::diffusion_db(11)
+            .tenants(vec![
+                TenantMix::new(TenantId(1), QosClass::Interactive, 6.0),
+                TenantMix::new(TenantId(2), QosClass::Standard, 6.0).with_window(30.0, 60.0),
+                TenantMix::new(TenantId(3), QosClass::BestEffort, 1.0)
+                    .with_schedule(RateSchedule::spike(6.0, 8.0, 20.0, 10.0)),
+            ])
+            .build_over(90.0);
+        assert!(t
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t.iter().all(|r| r.arrival.as_mins_f64() < 90.0));
+        // Tenant 2 only exists inside its window.
+        let t2: Vec<f64> = t
+            .iter()
+            .filter(|r| r.tenant == TenantId(2))
+            .map(|r| r.arrival.as_mins_f64())
+            .collect();
+        assert!(!t2.is_empty());
+        assert!(t2.iter().all(|m| (30.0..60.0).contains(m)));
+        // Tenant 3's spike window is ~8x busier than its steady state.
+        let t3_in = t
+            .iter()
+            .filter(|r| r.tenant == TenantId(3) && (20.0..30.0).contains(&r.arrival.as_mins_f64()))
+            .count();
+        let t3_out = t
+            .iter()
+            .filter(|r| r.tenant == TenantId(3) && (40.0..50.0).contains(&r.arrival.as_mins_f64()))
+            .count();
+        assert!(
+            t3_in > 3 * t3_out.max(1),
+            "spike {t3_in} vs steady {t3_out}"
+        );
+        // Deterministic per seed.
+        let again = TraceBuilder::diffusion_db(11)
+            .tenants(vec![
+                TenantMix::new(TenantId(1), QosClass::Interactive, 6.0),
+                TenantMix::new(TenantId(2), QosClass::Standard, 6.0).with_window(30.0, 60.0),
+                TenantMix::new(TenantId(3), QosClass::BestEffort, 1.0)
+                    .with_schedule(RateSchedule::spike(6.0, 8.0, 20.0, 10.0)),
+            ])
+            .build_over(90.0);
+        assert_eq!(t.requests(), again.requests());
     }
 
     #[test]

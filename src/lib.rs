@@ -344,6 +344,66 @@
 //! std::fs::write(&path, &json).unwrap();
 //! assert_eq!(summary.completed, 200);
 //! ```
+//!
+//! # Adversarial scenarios quickstart
+//!
+//! Every tier above replays its trace *open-loop*: a rejected request
+//! is gone. [`scenario`] closes the loop — rejected clients come back
+//! under a [`scenario::RetryPolicy`], a [`scenario::ScenarioScript`]
+//! injects timed adversities (flash crowds, tenant join/leave, region
+//! loss), and a [`scenario::TwoRegion`] topology runs two fleets behind
+//! a latency-biased geo router with cache handoff on failover. Here one
+//! tenant goes viral against a token-bucket cap while a well-behaved
+//! client population honors the server's `retry_after` hints:
+//!
+//! ```
+//! use modm::cluster::GpuKind;
+//! use modm::core::{MoDMConfig, TenancyPolicy, TenantShare};
+//! use modm::scenario::{RetryPolicy, Scenario, ScenarioAction, ScenarioScript, TwoRegion};
+//! use modm::workload::{QosClass, TenantId, TenantMix};
+//!
+//! let steady = TenantId(1);
+//! let crowd = TenantId(2);
+//! let node = MoDMConfig::builder()
+//!     .gpus(GpuKind::Mi210, 4)
+//!     .cache_capacity(400)
+//!     .tenancy(
+//!         TenancyPolicy::weighted_fair(vec![
+//!             TenantShare::new(steady, 2.0).with_cache_reserve(80),
+//!             TenantShare::new(crowd, 1.0).with_cache_reserve(80),
+//!         ])
+//!         // Per-node bucket: the crowd is capped near its base rate.
+//!         .with_rate_limit(crowd, 3.0, 6.0),
+//!     )
+//!     .build();
+//! // The crowd's rate spikes 10x at minute 10, for five minutes.
+//! let script = ScenarioScript::new(
+//!     25.0,
+//!     vec![
+//!         TenantMix::new(steady, QosClass::Interactive, 4.0),
+//!         TenantMix::new(crowd, QosClass::Standard, 3.0),
+//!     ],
+//! )
+//! .with_action(ScenarioAction::FlashCrowd {
+//!     tenant: crowd,
+//!     at_mins: 10.0,
+//!     duration_mins: 5.0,
+//!     multiplier: 10.0,
+//! });
+//! let scenario = Scenario::new(node, script, TwoRegion::new(2))
+//!     .expect("script validates against the policy")
+//!     .with_retry(RetryPolicy::honoring());
+//!
+//! let report = scenario.run();
+//! // The closed loop conserves requests: every arrival ends exactly one
+//! // of completed / abandoned-after-retries / shed.
+//! assert_eq!(
+//!     report.completed() + report.rejected + report.shed,
+//!     scenario.trace().len() as u64,
+//! );
+//! // The surge trips the bucket and the clients re-offer.
+//! assert!(report.retry.reoffers > 0, "the flash crowd forces retries");
+//! ```
 
 pub use modm_baselines as baselines;
 pub use modm_cache as cache;
@@ -356,6 +416,7 @@ pub use modm_embedding as embedding;
 pub use modm_fleet as fleet;
 pub use modm_metrics as metrics;
 pub use modm_numerics as numerics;
+pub use modm_scenario as scenario;
 pub use modm_simkit as simkit;
 pub use modm_telemetry as telemetry;
 pub use modm_trace as trace;

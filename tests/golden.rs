@@ -20,7 +20,7 @@
 //! ```
 
 use modm::deploy::{summaries_to_json, Summary};
-use modm_experiments::{elastic, fleet_scaling, tenancy, tiers, trace};
+use modm_experiments::{elastic, fleet_scaling, scenarios, tenancy, tiers, trace};
 
 /// The `tiers` study's pinned seeds: its own seed and an independent
 /// one. Snapshot lengths are reduced from the experiments' full traces
@@ -128,4 +128,25 @@ fn trace_critical_path_table_matches_golden_snapshot() {
     let seed = modm_experiments::overload::STUDY_SEED;
     let table = trace::critical_path_table_for(seed, TRACE_REQUESTS);
     check_text("trace", seed, &table);
+}
+
+#[test]
+fn scenarios_retry_storm_table_matches_golden_snapshot() {
+    // The closed-loop retry-storm convergence table: honoring vs naive
+    // client populations on the identical flash-crowd trace — offers,
+    // re-offers, abandonment, crowd outcomes, bystander SLO, goodput.
+    let seed = scenarios::STUDY_SEED;
+    check_text("scenarios_retry", seed, &scenarios::retry_table_for(seed));
+}
+
+#[test]
+fn scenarios_failover_table_matches_golden_snapshot() {
+    // The two-region failover table: steady vs region-loss runs —
+    // redeliveries, per-region completions and hit rates, GPU-hours.
+    let seed = scenarios::STUDY_SEED;
+    check_text(
+        "scenarios_failover",
+        seed,
+        &scenarios::failover_table_for(seed),
+    );
 }
