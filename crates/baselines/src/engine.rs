@@ -157,7 +157,7 @@ impl<P: BaselinePolicy> BaselineEngine<P> {
             .collect();
         let mut in_flight: Vec<Option<BaselineJob>> = (0..self.num_gpus).map(|_| None).collect();
         let mut queue: FifoQueue<BaselineJob> = FifoQueue::new();
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_capacity(requests.len() + 64);
         // Under saturation, admit closed-loop (deep constant backlog) so
         // routing sees the cache as it fills; otherwise replay timestamps.
         let mut next_admission = if options.saturate {

@@ -6,10 +6,12 @@
 //! stream and the "<5% when fully observed" telemetry budget stay
 //! measured, not assumed.
 //!
-//! Pass `--smoke` for a down-scaled run that still writes the JSON.
+//! `--smoke` is accepted for CLI uniformity but runs the full sizing:
+//! the overhead fractions need the full run length to clear timer and
+//! scheduler noise, and the whole bench takes only a few seconds.
 
 use modm_baselines::VanillaSystem;
-use modm_bench::{write_json, Bench, Json};
+use modm_bench::{median_frac, write_json, Bench, Json};
 use modm_cluster::GpuKind;
 use modm_core::events::{Observer, SimEvent};
 use modm_core::{MoDMConfig, RunOptions, ServingSystem};
@@ -34,7 +36,15 @@ impl Observer for CountingObserver {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "smoke");
-    let (requests, sample_secs) = if smoke { (200, 0.05) } else { (600, 0.5) };
+    // Overhead fractions are single-digit percent against gate limits
+    // (−2% floor, 5% telemetry budget) only a couple of points away, so
+    // the sizing is chosen for estimator precision: runs long enough
+    // that a ~1 ms scheduler preemption stays small relative to them
+    // (at 200 requests a run lasts ~2 ms and the fractions are pure
+    // noise), blocks short enough that a host regime change rarely
+    // lands inside one, and enough rounds that the median's error is
+    // well under a point. ~30 s total — cheap next to a flaky gate.
+    let (requests, rounds) = (600, 321);
 
     let trace = TraceBuilder::diffusion_db(5)
         .requests(requests)
@@ -46,42 +56,58 @@ fn main() {
     };
     let served = (requests - requests / 6) as f64;
 
-    let mut bench = Bench::new("end_to_end").with_sample_secs(sample_secs);
+    let mut bench = Bench::new("end_to_end");
     let system = ServingSystem::new(
         MoDMConfig::builder()
             .gpus(GpuKind::Mi210, 16)
             .cache_capacity(2_000)
             .build(),
     );
-    bench.measure("system/modm", || {
-        std::hint::black_box(system.run_with(&trace, opts))
-    });
-    let plain_ns = bench.results().last().expect("just measured").median_ns;
 
-    bench.measure("system/modm-observed", || {
+    // The observed configurations are measured against the bare system
+    // with ABBA pairing (base, arm, arm, base per round): a sequential
+    // per-arm layout let late-session warm-up make the observed arms
+    // look *faster* than the bare system (negative overhead), and even
+    // round-robin interleaving left base and arm far enough apart in
+    // the round to land in different frequency/steal regimes on a noisy
+    // host. The symmetric block cancels drift and position bias inside
+    // ~4 run-lengths, and the per-round medians discard the rest.
+    let mut arm_plain = || {
+        std::hint::black_box(system.run_with(&trace, opts));
+    };
+    let mut arm_observed = || {
         let mut counter = CountingObserver::default();
-        std::hint::black_box(system.run_observed(&trace, opts, &mut counter))
-    });
-    let observed_ns = bench.results().last().expect("just measured").median_ns;
-
+        std::hint::black_box(system.run_observed(&trace, opts, &mut counter));
+    };
     // The full telemetry pipeline: registry + series + spans + alerts.
-    bench.measure("system/modm-telemetry", || {
+    let mut arm_telemetry = || {
         let mut telemetry = TelemetryObserver::new(TelemetryConfig::new(192.0));
-        std::hint::black_box(system.run_observed(&trace, opts, &mut telemetry))
-    });
-    let telemetry_ns = bench.results().last().expect("just measured").median_ns;
-
+        std::hint::black_box(system.run_observed(&trace, opts, &mut telemetry));
+    };
     // Causal tracing: span-tree assembly under default tail sampling.
-    bench.measure("system/modm-trace", || {
+    let mut arm_trace = || {
         let mut tracer = TraceObserver::new(TraceConfig::new());
-        std::hint::black_box(system.run_observed(&trace, opts, &mut tracer))
-    });
-    let trace_ns = bench.results().last().expect("just measured").median_ns;
-
-    bench.measure("system/vanilla", || {
+        std::hint::black_box(system.run_observed(&trace, opts, &mut tracer));
+    };
+    let arm_vanilla = || {
         let mut v = VanillaSystem::new(ModelId::Sd35Large, GpuKind::Mi210, 16);
-        std::hint::black_box(v.run_with(&trace, opts))
-    });
+        std::hint::black_box(v.run_with(&trace, opts));
+    };
+    let fracs = bench.measure_paired(
+        "system/modm",
+        &mut arm_plain,
+        &mut [
+            ("system/modm-observed", &mut arm_observed),
+            ("system/modm-telemetry", &mut arm_telemetry),
+            ("system/modm-trace", &mut arm_trace),
+        ],
+        rounds,
+    );
+    bench.measure("system/vanilla", arm_vanilla);
+    let plain_ns = bench.results()[0].median_ns;
+    let observed_ns = bench.results()[1].median_ns;
+    let telemetry_ns = bench.results()[2].median_ns;
+    let trace_ns = bench.results()[3].median_ns;
 
     // One verification run for the event tally and the report cross-check.
     let mut counter = CountingObserver::default();
@@ -92,9 +118,9 @@ fn main() {
         "observer changes nothing"
     );
 
-    let overhead = observed_ns / plain_ns - 1.0;
-    let telemetry_overhead = telemetry_ns / plain_ns - 1.0;
-    let trace_overhead = trace_ns / plain_ns - 1.0;
+    let overhead = median_frac(&fracs[0]);
+    let telemetry_overhead = median_frac(&fracs[1]);
+    let trace_overhead = median_frac(&fracs[2]);
     println!(
         "\nobserver overhead: {:+.2}% ({} events/run); full telemetry: {:+.2}%; tracing: {:+.2}%",
         overhead * 100.0,

@@ -21,6 +21,13 @@
 //! absolute ceiling rather than a baseline ratio because the whole
 //! point is that observability stays cheap, not merely no worse.
 //!
+//! Every `*_overhead_frac` sample is also checked against a *floor* of
+//! −2%: an overhead is a paired slowdown measurement, so a value
+//! meaningfully below zero means the measurement methodology is broken
+//! (unpaired arms drifting apart), not that observation sped the run
+//! up. The floor admits small negative readings, which are ordinary
+//! paired-measurement noise.
+//!
 //! Parsing is a string scan for the metric key, like every other JSON
 //! touchpoint in this workspace — no external dependencies.
 
@@ -29,8 +36,12 @@ use std::process::ExitCode;
 
 const METRIC: &str = "\"sim_requests_per_wall_sec\": ";
 const TELEMETRY_METRIC: &str = "\"telemetry_overhead_frac\": ";
+const OVERHEAD_SUFFIX: &str = "_overhead_frac\": ";
 const DEFAULT_TOLERANCE: f64 = 0.25;
 const DEFAULT_TELEMETRY_BUDGET: f64 = 0.05;
+/// Floor for every `*_overhead_frac` sample: below this the paired
+/// measurement itself is suspect.
+const OVERHEAD_FLOOR: f64 = -0.02;
 
 /// Every `sim_requests_per_wall_sec` value in `text`, in file order.
 fn extract_throughputs(text: &str) -> Vec<f64> {
@@ -60,6 +71,24 @@ fn extract_telemetry_overheads(text: &str) -> Vec<f64> {
         }
     }
     values
+}
+
+/// Every `*_overhead_frac` key/value pair in `text`, in file order.
+fn extract_overhead_fracs(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut offset = 0;
+    while let Some(pos) = text[offset..].find(OVERHEAD_SUFFIX) {
+        let key_end = offset + pos + OVERHEAD_SUFFIX.len() - "\": ".len();
+        let key_start = text[..key_end].rfind('"').map(|q| q + 1).unwrap_or(key_end);
+        let rest = &text[offset + pos + OVERHEAD_SUFFIX.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        match rest[..end].trim().parse::<f64>() {
+            Ok(v) => pairs.push((text[key_start..key_end].to_string(), v)),
+            Err(_) => eprintln!("bench-gate: unparseable value near '{}'", &rest[..end]),
+        }
+        offset += pos + OVERHEAD_SUFFIX.len();
+    }
+    pairs
 }
 
 fn main() -> ExitCode {
@@ -139,6 +168,19 @@ fn main() -> ExitCode {
                 telemetry_budget * 100.0
             );
         }
+        for (key, frac) in extract_overhead_fracs(&fresh_text) {
+            if frac < OVERHEAD_FLOOR {
+                failed = true;
+                println!(
+                    "{:<28} {:>14} {:>13.1}% {:>7}   FAIL (floor {:.0}%: paired measurement broken)",
+                    format!("{name} {key}"),
+                    "-",
+                    frac * 100.0,
+                    "-",
+                    OVERHEAD_FLOOR * 100.0
+                );
+            }
+        }
         if baseline.len() != fresh.len() {
             eprintln!(
                 "bench-gate: {name}: {} baseline samples vs {} fresh — \
@@ -169,10 +211,12 @@ fn main() -> ExitCode {
     }
     if failed {
         eprintln!(
-            "\nbench-gate: throughput regression beyond {:.0}% tolerance \
-             or telemetry overhead above {:.0}% budget",
+            "\nbench-gate: throughput regression beyond {:.0}% tolerance, \
+             telemetry overhead above {:.0}% budget, or an overhead \
+             fraction below the {:.0}% floor",
             tolerance * 100.0,
-            telemetry_budget * 100.0
+            telemetry_budget * 100.0,
+            OVERHEAD_FLOOR * 100.0
         );
         ExitCode::FAILURE
     } else {
@@ -203,5 +247,21 @@ mod tests {
             "trace_overhead_frac": 0.9}"#;
         assert_eq!(extract_telemetry_overheads(doc), vec![0.0298]);
         assert!(extract_telemetry_overheads("{}").is_empty());
+    }
+
+    #[test]
+    fn extracts_every_overhead_frac_with_its_key() {
+        let doc = r#"{"observer_overhead_frac": 0.01,
+            "telemetry_overhead_frac": 0.0298,
+            "trace_overhead_frac": -0.125}"#;
+        assert_eq!(
+            super::extract_overhead_fracs(doc),
+            vec![
+                ("observer_overhead_frac".to_string(), 0.01),
+                ("telemetry_overhead_frac".to_string(), 0.0298),
+                ("trace_overhead_frac".to_string(), -0.125),
+            ]
+        );
+        assert!(super::extract_overhead_fracs("{}").is_empty());
     }
 }

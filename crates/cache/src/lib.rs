@@ -30,7 +30,10 @@
 
 pub mod image_cache;
 pub mod latent_cache;
+pub mod slot_list;
 pub mod stats;
+
+pub use slot_list::IndexedList;
 
 pub use image_cache::{
     CacheConfig, CachedImage, ImageCache, MaintenancePolicy, ReserveError, RetrievedImage,

@@ -377,7 +377,7 @@ impl<'a> ElasticRun<'a> {
             }
         }
 
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_capacity(requests.len() + 64);
         for (i, r) in requests.iter().enumerate() {
             events.schedule(r.arrival, Event::Arrival(i));
         }

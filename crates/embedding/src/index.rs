@@ -49,7 +49,13 @@ pub struct Neighbor<K> {
 #[derive(Debug, Clone)]
 pub struct EmbeddingIndex<K> {
     keys: Vec<Option<K>>,
-    vectors: Vec<Vec<f64>>,
+    /// Slot-indexed `dim`-strided rows in one contiguous allocation, so the
+    /// scan in [`EmbeddingIndex::nearest`] streams cache lines instead of
+    /// chasing a heap pointer per entry. Rows of removed slots keep their
+    /// stale values (skipped via `keys`) until recycled.
+    vectors: Vec<f64>,
+    /// Row stride; learned from the first inserted embedding.
+    dim: usize,
     free_slots: Vec<usize>,
     by_key: HashMap<K, usize>,
     live: usize,
@@ -67,10 +73,17 @@ impl<K: Copy + Eq + std::hash::Hash> EmbeddingIndex<K> {
         EmbeddingIndex {
             keys: Vec::new(),
             vectors: Vec::new(),
+            dim: 0,
             free_slots: Vec::new(),
             by_key: HashMap::new(),
             live: 0,
         }
+    }
+
+    /// The `dim`-length row stored at `slot`.
+    #[inline]
+    fn row(&self, slot: usize) -> &[f64] {
+        &self.vectors[slot * self.dim..(slot + 1) * self.dim]
     }
 
     /// Number of live entries.
@@ -84,18 +97,27 @@ impl<K: Copy + Eq + std::hash::Hash> EmbeddingIndex<K> {
     }
 
     /// Inserts (or replaces) the embedding for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embedding`'s dimension differs from earlier inserts.
     pub fn insert(&mut self, key: K, embedding: Embedding) {
+        let values = embedding.as_slice();
+        if self.dim == 0 {
+            self.dim = values.len();
+        }
+        assert_eq!(values.len(), self.dim, "embedding dimension mismatch");
         if let Some(&slot) = self.by_key.get(&key) {
-            self.vectors[slot] = embedding.as_slice().to_vec();
+            self.vectors[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(values);
             return;
         }
         let slot = if let Some(s) = self.free_slots.pop() {
             self.keys[s] = Some(key);
-            self.vectors[s] = embedding.as_slice().to_vec();
+            self.vectors[s * self.dim..(s + 1) * self.dim].copy_from_slice(values);
             s
         } else {
             self.keys.push(Some(key));
-            self.vectors.push(embedding.as_slice().to_vec());
+            self.vectors.extend_from_slice(values);
             self.keys.len() - 1
         };
         self.by_key.insert(key, slot);
@@ -106,7 +128,6 @@ impl<K: Copy + Eq + std::hash::Hash> EmbeddingIndex<K> {
     pub fn remove(&mut self, key: &K) -> bool {
         if let Some(slot) = self.by_key.remove(key) {
             self.keys[slot] = None;
-            self.vectors[slot].clear();
             self.free_slots.push(slot);
             self.live -= 1;
             true
@@ -126,7 +147,7 @@ impl<K: Copy + Eq + std::hash::Hash> EmbeddingIndex<K> {
         let mut best: Option<Neighbor<K>> = None;
         for (slot, key) in self.keys.iter().enumerate() {
             let Some(k) = key else { continue };
-            let sim = unit_dot(q, &self.vectors[slot]);
+            let sim = unit_dot(q, self.row(slot));
             if best.is_none_or(|b| sim > b.similarity) {
                 best = Some(Neighbor {
                     key: *k,
@@ -153,7 +174,7 @@ impl<K: Copy + Eq + std::hash::Hash> EmbeddingIndex<K> {
             .filter_map(|(slot, key)| {
                 key.map(|k| Neighbor {
                     key: k,
-                    similarity: unit_dot(q, &self.vectors[slot]),
+                    similarity: unit_dot(q, self.row(slot)),
                 })
             })
             .collect();
@@ -165,12 +186,7 @@ impl<K: Copy + Eq + std::hash::Hash> EmbeddingIndex<K> {
     /// Total bytes of embedding storage currently live (f32 accounting, as
     /// the paper's 0.29 GB figure uses GPU f32 tensors).
     pub fn storage_bytes(&self) -> usize {
-        self.keys
-            .iter()
-            .enumerate()
-            .filter(|(_, k)| k.is_some())
-            .map(|(slot, _)| self.vectors[slot].len() * 4 + 16)
-            .sum()
+        self.live * (self.dim * 4 + 16)
     }
 }
 

@@ -14,9 +14,8 @@
 //! fresh leaders. The leader table is bounded; when full, the oldest
 //! leader retires (matching the workload's trending-recency structure).
 
-use std::collections::VecDeque;
-
 use modm_embedding::Embedding;
+use modm_numerics::vector;
 
 /// Maps embeddings to coarse semantic clusters by online leader
 /// clustering.
@@ -39,8 +38,24 @@ use modm_embedding::Embedding;
 pub struct SemanticClusterer {
     threshold: f64,
     max_leaders: usize,
-    /// Leaders in admission order: `(cluster id, leader embedding)`.
-    leaders: VecDeque<(u64, Embedding)>,
+    /// Leader vectors as a contiguous slot-indexed ring buffer of
+    /// `dim`-strided rows, so the per-request scan walks cache lines
+    /// instead of chasing one heap allocation per leader. Slot
+    /// `(head + k) % max_leaders` holds the `k`-th leader in admission
+    /// order; when the table is full the oldest slot is overwritten in
+    /// place (identical retirement order to the old push-then-pop deque).
+    mat: Vec<f64>,
+    /// Cluster id per slot, parallel to `mat` rows.
+    ids: Vec<u64>,
+    /// Cached `l2_norm` per slot — a pure function of the stored row, so
+    /// scoring with it is bit-identical to recomputing per probe.
+    norms: Vec<f64>,
+    /// Row stride; learned from the first admitted leader.
+    dim: usize,
+    /// Slot of the oldest leader.
+    head: usize,
+    /// Live leader count (`<= max_leaders`).
+    len: usize,
     next_id: u64,
 }
 
@@ -69,7 +84,12 @@ impl SemanticClusterer {
         SemanticClusterer {
             threshold,
             max_leaders,
-            leaders: VecDeque::new(),
+            mat: Vec::new(),
+            ids: Vec::new(),
+            norms: Vec::new(),
+            dim: 0,
+            head: 0,
+            len: 0,
             next_id: 0,
         }
     }
@@ -86,17 +106,28 @@ impl SemanticClusterer {
 
     /// Number of live leaders.
     pub fn num_leaders(&self) -> usize {
-        self.leaders.len()
+        self.len
     }
 
     /// The coarse cluster of an embedding: the id of the nearest leader
     /// within the threshold, or a freshly minted cluster otherwise.
+    ///
+    /// The scan must stay bit-identical to probing each leader with
+    /// [`Embedding::cosine`] in admission order (first strict maximum
+    /// wins), so it walks slots oldest-first and scores with
+    /// [`vector::cosine_with_norms`] — the query norm hoisted out of the
+    /// loop and leader norms cached at admission, both pure functions of
+    /// the same values the naive probe reads.
     pub fn cluster_of(&mut self, embedding: &Embedding) -> u64 {
+        let q = embedding.as_slice();
+        let qn = vector::l2_norm(q);
         let mut best: Option<(u64, f64)> = None;
-        for (id, leader) in &self.leaders {
-            let sim = embedding.cosine(leader);
+        for k in 0..self.len {
+            let slot = self.slot_at(k);
+            let row = &self.mat[slot * self.dim..(slot + 1) * self.dim];
+            let sim = vector::cosine_with_norms(q, qn, row, self.norms[slot]);
             if best.is_none_or(|(_, b)| sim > b) {
-                best = Some((*id, sim));
+                best = Some((self.ids[slot], sim));
             }
         }
         if let Some((id, sim)) = best {
@@ -106,11 +137,46 @@ impl SemanticClusterer {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.leaders.push_back((id, embedding.clone()));
-        if self.leaders.len() > self.max_leaders {
-            self.leaders.pop_front();
-        }
+        self.admit(id, q, qn);
         id
+    }
+
+    /// Slot index of the `k`-th leader in admission order.
+    fn slot_at(&self, k: usize) -> usize {
+        let s = self.head + k;
+        if s >= self.max_leaders {
+            s - self.max_leaders
+        } else {
+            s
+        }
+    }
+
+    /// Appends a new leader, retiring the oldest when the table is full.
+    fn admit(&mut self, id: u64, values: &[f64], norm: f64) {
+        if self.dim == 0 {
+            self.dim = values.len();
+        }
+        assert_eq!(values.len(), self.dim, "leader dimension mismatch");
+        if self.len < self.max_leaders {
+            let slot = self.slot_at(self.len);
+            if slot == self.ids.len() {
+                self.mat.extend_from_slice(values);
+                self.ids.push(id);
+                self.norms.push(norm);
+            } else {
+                self.mat[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(values);
+                self.ids[slot] = id;
+                self.norms[slot] = norm;
+            }
+            self.len += 1;
+        } else {
+            // Full: the new leader replaces the oldest in place.
+            let slot = self.head;
+            self.mat[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(values);
+            self.ids[slot] = id;
+            self.norms[slot] = norm;
+            self.head = self.slot_at(1);
+        }
     }
 }
 

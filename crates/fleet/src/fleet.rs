@@ -224,7 +224,7 @@ impl<'a> FleetRun<'a> {
             .collect();
         let total_workers = n_nodes * config.num_gpus;
 
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_capacity(requests.len() + 64);
         let admitted = if options.saturate {
             let initial = (total_workers * SATURATION_BACKLOG_PER_WORKER).min(requests.len());
             for i in 0..initial {

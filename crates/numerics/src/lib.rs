@@ -32,4 +32,4 @@ pub mod vector;
 pub use frechet::frechet_distance;
 pub use gaussian::GaussianStats;
 pub use matrix::Matrix;
-pub use vector::{cosine_similarity, dot, l2_norm, normalize};
+pub use vector::{cosine_similarity, cosine_with_norms, dot, l2_norm, normalize};

@@ -60,6 +60,25 @@ pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
     (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
 }
 
+/// Cosine similarity for callers that already hold `l2_norm(a)` and
+/// `l2_norm(b)`.
+///
+/// Bit-identical to [`cosine_similarity`]: the norms are pure functions of
+/// the vector values, so hoisting them out of the call changes no f64
+/// operation — hot paths that scan one query against many stored vectors
+/// (leader clustering, retrieval) use this to skip recomputing `n` norms
+/// per probe.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_with_norms(a: &[f64], na: f64, b: &[f64], nb: f64) -> f64 {
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
 /// `out += scale * v`, element-wise.
 ///
 /// # Panics

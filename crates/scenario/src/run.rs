@@ -388,7 +388,7 @@ impl<'a> ScenarioRun<'a> {
             .map(|(i, r)| (r.id, i))
             .collect();
 
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_capacity(requests.len() + 64);
         for (i, r) in requests.iter().enumerate() {
             events.schedule(
                 r.arrival,

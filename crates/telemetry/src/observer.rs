@@ -174,8 +174,11 @@ pub struct TelemetryObserver {
     spans: SpanTracker,
     alerts: AlertEngine,
     /// Per-node queued-not-dispatched depth (reset on crash: the
-    /// backlog is re-delivered and re-admitted elsewhere).
-    depth: BTreeMap<usize, u64>,
+    /// backlog is re-delivered and re-admitted elsewhere), dense by
+    /// node id, with the fleet-wide total maintained incrementally so
+    /// the per-event depth sample is O(1).
+    depth: Vec<u64>,
+    depth_total: u64,
     attainment: BTreeMap<TenantId, Attainment>,
 }
 
@@ -196,7 +199,8 @@ impl TelemetryObserver {
             series,
             spans: SpanTracker::new(),
             alerts,
-            depth: BTreeMap::new(),
+            depth: Vec::new(),
+            depth_total: 0,
             attainment: BTreeMap::new(),
         }
     }
@@ -275,7 +279,14 @@ impl TelemetryObserver {
     }
 
     fn total_depth(&self) -> u64 {
-        self.depth.values().sum()
+        self.depth_total
+    }
+
+    fn depth_slot(&mut self, node: usize) -> &mut u64 {
+        if node >= self.depth.len() {
+            self.depth.resize(node + 1, 0);
+        }
+        &mut self.depth[node]
     }
 
     fn record_depth(&mut self, at: SimTime) {
@@ -299,7 +310,8 @@ impl Observer for TelemetryObserver {
                 self.registry
                     .inc(Key::new(metric::ADMITTED, Some(tenant), Some(node)), 1);
                 self.series.record(at, metric::ADMITTED, Some(tenant), 1.0);
-                *self.depth.entry(node).or_insert(0) += 1;
+                *self.depth_slot(node) += 1;
+                self.depth_total += 1;
                 self.record_depth(at);
                 self.spans.admitted(at, request_id, tenant);
             }
@@ -328,8 +340,11 @@ impl Observer for TelemetryObserver {
                 self.registry
                     .inc(Key::new(metric::SHED, Some(tenant), Some(node)), 1);
                 self.series.record(at, metric::SHED, Some(tenant), 1.0);
-                let d = self.depth.entry(node).or_insert(0);
-                *d = d.saturating_sub(1);
+                let d = self.depth_slot(node);
+                if *d > 0 {
+                    *d -= 1;
+                    self.depth_total -= 1;
+                }
                 self.record_depth(at);
                 self.spans.shed(request_id, tenant, waited_secs);
                 self.record_terminal_sample(at, true);
@@ -366,8 +381,11 @@ impl Observer for TelemetryObserver {
             } => {
                 self.registry
                     .inc(Key::new(metric::DISPATCHED, Some(tenant), Some(node)), 1);
-                let d = self.depth.entry(node).or_insert(0);
-                *d = d.saturating_sub(1);
+                let d = self.depth_slot(node);
+                if *d > 0 {
+                    *d -= 1;
+                    self.depth_total -= 1;
+                }
                 self.record_depth(at);
                 self.spans.dispatched(at, request_id);
             }
@@ -435,7 +453,10 @@ impl Observer for TelemetryObserver {
                     .inc(Key::new(metric::CRASHES, None, Some(node)), 1);
                 // The crashed node's backlog is re-delivered and will be
                 // re-admitted (and re-counted) on survivors.
-                self.depth.insert(node, 0);
+                let d = self.depth_slot(node);
+                let was = *d;
+                *d = 0;
+                self.depth_total -= was;
                 self.record_depth(at);
             }
             SimEvent::RecoveryStarted { node } => {

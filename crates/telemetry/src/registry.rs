@@ -177,12 +177,89 @@ impl LogLinearHistogram {
     }
 }
 
+/// One metric's instances of a kind, keyed by `(tenant, node)`.
+///
+/// Metric names are `&'static str` constants, so the registry finds a
+/// metric's bucket by pointer comparison first (contents only on a
+/// pointer miss) over a handful of buckets — cheaper on the per-event
+/// hot path than descending a string-keyed map — while every read that
+/// exposes keys sorts, preserving the old deterministic key order.
+/// Label slots live in a key-sorted `Vec` probed by binary search:
+/// the handful of `(tenant, node)` pairs per metric fit one cache line
+/// where a `BTreeMap` would chase node pointers per event.
+type Label = (Option<TenantId>, Option<usize>);
+
+#[derive(Debug, Clone)]
+struct MetricBucket<V> {
+    metric: &'static str,
+    by_label: Vec<(Label, V)>,
+}
+
+impl<V: Default> MetricBucket<V> {
+    fn slot(&self, label: Label) -> Option<&V> {
+        self.by_label
+            .binary_search_by(|(k, _)| k.cmp(&label))
+            .ok()
+            .map(|i| &self.by_label[i].1)
+    }
+
+    fn slot_mut(&mut self, label: Label) -> &mut V {
+        let i = match self.by_label.binary_search_by(|(k, _)| k.cmp(&label)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.by_label.insert(i, (label, V::default()));
+                i
+            }
+        };
+        &mut self.by_label[i].1
+    }
+}
+
+fn bucket_of<'a, V>(buckets: &'a [MetricBucket<V>], metric: &str) -> Option<&'a MetricBucket<V>> {
+    buckets
+        .iter()
+        .find(|b| std::ptr::eq(b.metric, metric) || b.metric == metric)
+}
+
+fn bucket_of_mut<'a, V>(
+    buckets: &'a mut Vec<MetricBucket<V>>,
+    metric: &'static str,
+) -> &'a mut MetricBucket<V> {
+    let at = buckets
+        .iter()
+        .position(|b| std::ptr::eq(b.metric, metric) || b.metric == metric);
+    match at {
+        Some(i) => &mut buckets[i],
+        None => {
+            buckets.push(MetricBucket {
+                metric,
+                by_label: Vec::new(),
+            });
+            buckets.last_mut().expect("just pushed")
+        }
+    }
+}
+
+/// Flattens buckets into `(Key, &V)` pairs in full `Key` order. The
+/// inner slot vectors are `(tenant, node)`-sorted already, so sorting
+/// bucket references by metric name yields exactly the old map
+/// iteration.
+fn sorted_entries<V>(buckets: &[MetricBucket<V>]) -> impl Iterator<Item = (Key, &V)> {
+    let mut refs: Vec<&MetricBucket<V>> = buckets.iter().collect();
+    refs.sort_by_key(|b| b.metric);
+    refs.into_iter().flat_map(|b| {
+        b.by_label
+            .iter()
+            .map(|&((tenant, node), ref v)| (Key::new(b.metric, tenant, node), v))
+    })
+}
+
 /// The registry: one ordered map per metric kind.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
-    counters: BTreeMap<Key, u64>,
+    counters: Vec<MetricBucket<u64>>,
     gauges: BTreeMap<Key, f64>,
-    histograms: BTreeMap<Key, LogLinearHistogram>,
+    histograms: Vec<MetricBucket<LogLinearHistogram>>,
 }
 
 impl Registry {
@@ -193,7 +270,7 @@ impl Registry {
 
     /// Adds `delta` to the counter at `key`.
     pub fn inc(&mut self, key: Key, delta: u64) {
-        *self.counters.entry(key).or_insert(0) += delta;
+        *bucket_of_mut(&mut self.counters, key.metric).slot_mut((key.tenant, key.node)) += delta;
     }
 
     /// Sets the gauge at `key`.
@@ -203,26 +280,33 @@ impl Registry {
 
     /// Records `value` into the histogram at `key`.
     pub fn observe(&mut self, key: Key, value: f64) {
-        self.histograms.entry(key).or_default().record(value);
+        bucket_of_mut(&mut self.histograms, key.metric)
+            .slot_mut((key.tenant, key.node))
+            .record(value);
     }
 
     /// The counter at `key` (0 when never incremented).
     pub fn counter(&self, key: &Key) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        bucket_of(&self.counters, key.metric)
+            .and_then(|b| b.slot((key.tenant, key.node)))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Sums every counter instance of `metric` whose labels match the
     /// given filters (`None` matches any value of that label).
     pub fn counter_sum(&self, metric: &str, tenant: Option<TenantId>, node: Option<usize>) -> u64 {
-        self.counters
-            .iter()
-            .filter(|(k, _)| {
-                k.metric == metric
-                    && tenant.is_none_or(|t| k.tenant == Some(t))
-                    && node.is_none_or(|n| k.node == Some(n))
+        bucket_of(&self.counters, metric)
+            .map(|b| {
+                b.by_label
+                    .iter()
+                    .filter(|&&((kt, kn), _)| {
+                        tenant.is_none_or(|t| kt == Some(t)) && node.is_none_or(|n| kn == Some(n))
+                    })
+                    .map(|&(_, v)| v)
+                    .sum()
             })
-            .map(|(_, &v)| v)
-            .sum()
+            .unwrap_or(0)
     }
 
     /// The gauge at `key`, if set.
@@ -232,7 +316,7 @@ impl Registry {
 
     /// The histogram at `key`, if any value was observed.
     pub fn histogram(&self, key: &Key) -> Option<&LogLinearHistogram> {
-        self.histograms.get(key)
+        bucket_of(&self.histograms, key.metric).and_then(|b| b.slot((key.tenant, key.node)))
     }
 
     /// Merges every histogram instance of `metric` matching the label
@@ -244,20 +328,19 @@ impl Registry {
         node: Option<usize>,
     ) -> LogLinearHistogram {
         let mut merged = LogLinearHistogram::new();
-        for (k, h) in &self.histograms {
-            if k.metric == metric
-                && tenant.is_none_or(|t| k.tenant == Some(t))
-                && node.is_none_or(|n| k.node == Some(n))
-            {
-                merged.merge(h);
+        if let Some(b) = bucket_of(&self.histograms, metric) {
+            for &((kt, kn), ref h) in &b.by_label {
+                if tenant.is_none_or(|t| kt == Some(t)) && node.is_none_or(|n| kn == Some(n)) {
+                    merged.merge(h);
+                }
             }
         }
         merged
     }
 
     /// All counters, in key order.
-    pub fn counters(&self) -> impl Iterator<Item = (&Key, u64)> {
-        self.counters.iter().map(|(k, &v)| (k, v))
+    pub fn counters(&self) -> impl Iterator<Item = (Key, u64)> + '_ {
+        sorted_entries(&self.counters).map(|(k, &v)| (k, v))
     }
 
     /// All gauges, in key order.
@@ -266,8 +349,8 @@ impl Registry {
     }
 
     /// All histograms, in key order.
-    pub fn histograms(&self) -> impl Iterator<Item = (&Key, &LogLinearHistogram)> {
-        self.histograms.iter()
+    pub fn histograms(&self) -> impl Iterator<Item = (Key, &LogLinearHistogram)> {
+        sorted_entries(&self.histograms)
     }
 }
 

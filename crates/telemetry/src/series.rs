@@ -17,7 +17,7 @@ use modm_workload::{QosClass, TenantId};
 use crate::registry::LogLinearHistogram;
 
 /// A series instance: metric name plus optional tenant slice.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SeriesKey {
     /// Metric name.
     pub metric: &'static str,
@@ -25,11 +25,28 @@ pub struct SeriesKey {
     pub tenant: Option<TenantId>,
 }
 
+/// One metric's series: the all-tenants series plus per-tenant slices.
+///
+/// Metric names are `&'static str` constants, so the bank finds a
+/// bucket by pointer comparison first (contents only on a pointer
+/// miss) over a handful of entries — cheaper on the per-event hot path
+/// than a string-keyed map descent, while reads still present the old
+/// sorted `(metric, tenant)` key order. Tenant slices live in a
+/// tenant-sorted `Vec` probed by binary search for the same reason.
+#[derive(Debug, Clone)]
+struct MetricSeries {
+    metric: &'static str,
+    global: Option<TimeSeries>,
+    by_tenant: Vec<(TenantId, TimeSeries)>,
+}
+
 /// Windowed series for every recorded metric.
 #[derive(Debug, Clone)]
 pub struct SeriesBank {
     window: SimDuration,
-    series: BTreeMap<SeriesKey, TimeSeries>,
+    /// Per-metric buckets in first-recorded order; every read that
+    /// exposes keys sorts, so iteration order is unchanged.
+    metrics: Vec<MetricSeries>,
     /// Per-class windowed latency histograms: `latency[class][window]`.
     latency: BTreeMap<QosClass, Vec<LogLinearHistogram>>,
 }
@@ -44,7 +61,7 @@ impl SeriesBank {
         assert!(!window.is_zero(), "window must be positive");
         SeriesBank {
             window,
-            series: BTreeMap::new(),
+            metrics: Vec::new(),
             latency: BTreeMap::new(),
         }
     }
@@ -58,6 +75,30 @@ impl SeriesBank {
         (at.as_micros() / self.window.as_micros()) as usize
     }
 
+    fn bucket(&self, metric: &str) -> Option<&MetricSeries> {
+        self.metrics
+            .iter()
+            .find(|m| std::ptr::eq(m.metric, metric) || m.metric == metric)
+    }
+
+    fn bucket_mut(&mut self, metric: &'static str) -> &mut MetricSeries {
+        let at = self
+            .metrics
+            .iter()
+            .position(|m| std::ptr::eq(m.metric, metric) || m.metric == metric);
+        match at {
+            Some(i) => &mut self.metrics[i],
+            None => {
+                self.metrics.push(MetricSeries {
+                    metric,
+                    global: None,
+                    by_tenant: Vec::new(),
+                });
+                self.metrics.last_mut().expect("just pushed")
+            }
+        }
+    }
+
     /// Records `value` into `(metric, tenant)` at `at`, and into the
     /// metric's all-tenants series when `tenant` is `Some`.
     pub fn record(
@@ -68,19 +109,21 @@ impl SeriesBank {
         value: f64,
     ) {
         let window = self.window;
-        self.series
-            .entry(SeriesKey { metric, tenant })
-            .or_insert_with(|| TimeSeries::new(window))
-            .record(at, value);
-        if tenant.is_some() {
-            self.series
-                .entry(SeriesKey {
-                    metric,
-                    tenant: None,
-                })
-                .or_insert_with(|| TimeSeries::new(window))
-                .record(at, value);
+        let bucket = self.bucket_mut(metric);
+        if let Some(t) = tenant {
+            let i = match bucket.by_tenant.binary_search_by_key(&t, |&(k, _)| k) {
+                Ok(i) => i,
+                Err(i) => {
+                    bucket.by_tenant.insert(i, (t, TimeSeries::new(window)));
+                    i
+                }
+            };
+            bucket.by_tenant[i].1.record(at, value);
         }
+        bucket
+            .global
+            .get_or_insert_with(|| TimeSeries::new(window))
+            .record(at, value);
     }
 
     /// Records a completion latency into `class`'s windowed histograms.
@@ -95,7 +138,15 @@ impl SeriesBank {
 
     /// The series at `(metric, tenant)`, if anything was recorded.
     pub fn series(&self, metric: &'static str, tenant: Option<TenantId>) -> Option<&TimeSeries> {
-        self.series.get(&SeriesKey { metric, tenant })
+        let bucket = self.bucket(metric)?;
+        match tenant {
+            Some(t) => bucket
+                .by_tenant
+                .binary_search_by_key(&t, |&(k, _)| k)
+                .ok()
+                .map(|i| &bucket.by_tenant[i].1),
+            None => bucket.global.as_ref(),
+        }
     }
 
     /// Per-window sums of `(metric, tenant)` (empty when never recorded).
@@ -131,9 +182,28 @@ impl SeriesBank {
         merged
     }
 
-    /// Every series key recorded so far, in order.
-    pub fn keys(&self) -> impl Iterator<Item = &SeriesKey> {
-        self.series.keys()
+    /// Every series key recorded so far, in sorted `(metric, tenant)`
+    /// order (the all-tenants `None` slice sorts before tenant slices,
+    /// exactly as the old map-keyed layout iterated).
+    pub fn keys(&self) -> impl Iterator<Item = SeriesKey> {
+        let mut keys: Vec<SeriesKey> = self
+            .metrics
+            .iter()
+            .flat_map(|m| {
+                m.global
+                    .iter()
+                    .map(|_| SeriesKey {
+                        metric: m.metric,
+                        tenant: None,
+                    })
+                    .chain(m.by_tenant.iter().map(|&(t, _)| SeriesKey {
+                        metric: m.metric,
+                        tenant: Some(t),
+                    }))
+            })
+            .collect();
+        keys.sort();
+        keys.into_iter()
     }
 
     /// The QoS classes with recorded latency.

@@ -1,0 +1,318 @@
+//! Seed-matrix equivalence suite for the O(1) DES rebuild.
+//!
+//! PR 9 swapped the simulator's inner structures — positional deque
+//! scans in the cache became arena-backed intrusive lists, the event
+//! queue grew a front-slot fast path, and the affinity clusterer moved
+//! to a flat matrix with cached norms — under a strict contract: every
+//! run stays bit-identical. These tests pin that contract from both
+//! ends, swept across the CI seed matrix:
+//!
+//! * **reference models** — the rebuilt structures replayed op-for-op
+//!   against naive models with the documented semantics (a stably
+//!   sorted vector for the event queue, a `VecDeque` for the intrusive
+//!   list, an admission-ordered linear scan for the clusterer);
+//! * **run-to-run determinism** — every serving tier (single node,
+//!   fleet, elastic, scenario) executed twice per seed and compared on
+//!   its full debug rendering, so any hidden iteration-order or
+//!   float-reassociation drift fails loudly.
+
+use std::collections::VecDeque;
+
+use modm::cache::IndexedList;
+use modm::cluster::GpuKind;
+use modm::core::MoDMConfig;
+use modm::deploy::{Deployment, ServingBackend};
+use modm::embedding::Embedding;
+use modm::fleet::{Fleet, Router, RoutingPolicy, SemanticClusterer};
+use modm::scenario::RetryPolicy;
+use modm::simkit::{EventQueue, SimRng, SimTime};
+use modm::workload::TraceBuilder;
+use modm_experiments::elastic::{diurnal_trace, elastic_fleet, predictive};
+use modm_experiments::scenarios::storm_scenario_for;
+
+/// Seeds the equivalence sweeps run under. Defaults to `[1]`; CI's
+/// seed-matrix job widens the sweep with e.g. `MODM_TEST_SEEDS="1 7 42"`.
+fn sweep_seeds() -> Vec<u64> {
+    match std::env::var("MODM_TEST_SEEDS") {
+        Ok(s) => {
+            let seeds: Vec<u64> = s
+                .split_whitespace()
+                .map(|tok| tok.parse().expect("MODM_TEST_SEEDS: u64 seeds"))
+                .collect();
+            assert!(!seeds.is_empty(), "MODM_TEST_SEEDS set but empty");
+            seeds
+        }
+        Err(_) => vec![1],
+    }
+}
+
+/// Reference model for [`EventQueue`]: a vector stably ordered by
+/// `(time, insertion sequence)`, with the same monotonic-clock clamp on
+/// pop.
+#[derive(Default)]
+struct NaiveQueue {
+    entries: Vec<(SimTime, u64, u32)>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl NaiveQueue {
+    fn schedule(&mut self, at: SimTime, payload: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((at, seq, payload));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))
+            .map(|(i, _)| i)?;
+        let (at, _, payload) = self.entries.remove(best);
+        let at = at.max(self.last_popped);
+        self.last_popped = at;
+        Some((at, payload))
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
+}
+
+#[test]
+fn event_queue_matches_stably_sorted_reference() {
+    for seed in sweep_seeds() {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9) ^ 0xE7E7);
+        let mut queue = EventQueue::new();
+        let mut model = NaiveQueue::default();
+        let mut payload = 0u32;
+        for step in 0..4_000 {
+            // A small time palette forces frequent exact ties, the case
+            // where only the insertion sequence keeps order defined.
+            let action = rng.index(5);
+            if action < 3 {
+                let at = SimTime::from_secs_f64(rng.index(8) as f64 * 0.5);
+                queue.schedule(at, payload);
+                model.schedule(at, payload);
+                payload += 1;
+            } else if action < 4 {
+                assert_eq!(
+                    queue.pop(),
+                    model.pop(),
+                    "seed {seed}: pop diverged at step {step}"
+                );
+            } else if rng.chance(0.02) {
+                queue.clear();
+                model.clear();
+            }
+            assert_eq!(queue.len(), model.entries.len(), "seed {seed}, step {step}");
+            assert_eq!(queue.is_empty(), model.entries.is_empty());
+        }
+        // Drain: the full remaining order must match, ties and all.
+        while let Some(expected) = model.pop() {
+            assert_eq!(queue.pop(), Some(expected), "seed {seed}: drain diverged");
+        }
+        assert!(queue.pop().is_none());
+    }
+}
+
+#[test]
+fn indexed_list_matches_deque_reference_under_arbitrary_ops() {
+    for seed in sweep_seeds() {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0x51_7C_C1) ^ 0xBEEF);
+        let mut list = IndexedList::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next_key = 0u64;
+        for step in 0..6_000 {
+            match rng.index(8) {
+                0..=2 => {
+                    list.push_back(next_key);
+                    model.push_back(next_key);
+                    next_key += 1;
+                }
+                3 => {
+                    assert_eq!(
+                        list.pop_front(),
+                        model.pop_front(),
+                        "seed {seed}, step {step}"
+                    );
+                }
+                4..=5 => {
+                    // Remove a random *resident* key half the time, a
+                    // random absent key otherwise.
+                    let key = if !model.is_empty() && rng.chance(0.5) {
+                        model[rng.index(model.len())]
+                    } else {
+                        next_key + 1 + rng.index(16) as u64
+                    };
+                    let in_model = model.iter().position(|&k| k == key);
+                    if let Some(i) = in_model {
+                        model.remove(i);
+                    }
+                    assert_eq!(
+                        list.remove(key),
+                        in_model.is_some(),
+                        "seed {seed}, step {step}"
+                    );
+                }
+                6 => {
+                    let key = if !model.is_empty() && rng.chance(0.5) {
+                        model[rng.index(model.len())]
+                    } else {
+                        next_key + 1
+                    };
+                    assert_eq!(list.contains(key), model.contains(&key));
+                }
+                _ => {
+                    if rng.chance(0.05) {
+                        list.clear();
+                        model.clear();
+                    }
+                }
+            }
+            assert_eq!(list.len(), model.len(), "seed {seed}, step {step}");
+            assert_eq!(list.front(), model.front().copied());
+            if step % 64 == 0 {
+                // Full link-integrity walk: forward pointers, backward
+                // pointers and the key index must all agree.
+                let walked = list.check_links();
+                assert!(
+                    walked.iter().copied().eq(model.iter().copied()),
+                    "seed {seed}, step {step}: links {walked:?} vs model {model:?}"
+                );
+            }
+        }
+        assert!(
+            list.iter().eq(model.iter().copied()),
+            "seed {seed}: final order"
+        );
+    }
+}
+
+/// Reference model for [`SemanticClusterer`]: leaders in admission
+/// order, probed with [`Embedding::cosine`], first strict maximum wins,
+/// oldest leader retired when the table is full.
+struct NaiveClusterer {
+    threshold: f64,
+    max_leaders: usize,
+    leaders: VecDeque<(u64, Embedding)>,
+    next_id: u64,
+}
+
+impl NaiveClusterer {
+    fn cluster_of(&mut self, query: &Embedding) -> u64 {
+        let mut best: Option<(u64, f64)> = None;
+        for (id, leader) in &self.leaders {
+            let sim = query.cosine(leader);
+            if best.is_none_or(|(_, b)| sim > b) {
+                best = Some((*id, sim));
+            }
+        }
+        if let Some((id, sim)) = best {
+            if sim >= self.threshold {
+                return id;
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.leaders.push_back((id, query.clone()));
+        if self.leaders.len() > self.max_leaders {
+            self.leaders.pop_front();
+        }
+        id
+    }
+}
+
+#[test]
+fn clusterer_matches_naive_admission_order_scan() {
+    for seed in sweep_seeds() {
+        let mut rng = SimRng::seed_from(seed.wrapping_mul(0xA5A5) ^ 0xC10C);
+        let max_leaders = 12;
+        let threshold = 0.7;
+        let mut fast = SemanticClusterer::new(threshold, max_leaders);
+        let mut naive = NaiveClusterer {
+            threshold,
+            max_leaders,
+            leaders: VecDeque::new(),
+            next_id: 0,
+        };
+        // A handful of base directions plus jitter: enough reuse to
+        // exercise joins, enough novelty to exercise ring retirement.
+        let dim = 16;
+        let bases: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..dim).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
+            .collect();
+        for step in 0..2_000 {
+            let base = &bases[rng.index(bases.len())];
+            let v: Vec<f64> = base.iter().map(|x| x + rng.uniform_in(-0.4, 0.4)).collect();
+            let e = Embedding::from_vec(v);
+            assert_eq!(
+                fast.cluster_of(&e),
+                naive.cluster_of(&e),
+                "seed {seed}: cluster assignment diverged at step {step}"
+            );
+        }
+        assert_eq!(fast.num_leaders(), naive.leaders.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn single_and_fleet_tiers_are_bit_identical_run_to_run() {
+    for seed in sweep_seeds() {
+        let trace = TraceBuilder::diffusion_db(seed)
+            .requests(300)
+            .rate_per_min(30.0)
+            .build();
+        let config = MoDMConfig::builder()
+            .gpus(GpuKind::Mi210, 4)
+            .cache_capacity(400)
+            .build();
+
+        let single = |trace| {
+            let mut outcome = Deployment::single(config.clone()).run(trace);
+            format!("{:?}", outcome.summary(2.0))
+        };
+        assert_eq!(single(&trace), single(&trace), "seed {seed}: single tier");
+
+        for policy in [RoutingPolicy::CacheAffinity, RoutingPolicy::HybridAffinity] {
+            let fleet_run = |trace| {
+                let fleet = Fleet::new(config.clone(), Router::new(policy, 4));
+                format!("{:?}", fleet.run(trace))
+            };
+            assert_eq!(
+                fleet_run(&trace),
+                fleet_run(&trace),
+                "seed {seed}: fleet tier under {}",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn elastic_and_scenario_tiers_are_bit_identical_run_to_run() {
+    for seed in sweep_seeds() {
+        let trace = diurnal_trace(seed, 400);
+        let elastic = |trace| {
+            let mut scaler = predictive();
+            format!("{:?}", elastic_fleet(6, 3, 6).run(trace, &mut scaler))
+        };
+        assert_eq!(
+            elastic(&trace),
+            elastic(&trace),
+            "seed {seed}: elastic tier"
+        );
+
+        let scenario = || {
+            format!(
+                "{:?}",
+                storm_scenario_for(seed, RetryPolicy::honoring(), true).run()
+            )
+        };
+        assert_eq!(scenario(), scenario(), "seed {seed}: scenario tier");
+    }
+}
