@@ -23,21 +23,38 @@ use std::time::Instant;
 use modm_bench::{format_ns, write_json, Json};
 use modm_cluster::GpuKind;
 use modm_core::MoDMConfig;
-use modm_fleet::{Fleet, FleetRunOptions, HashRing, Router, RoutingPolicy, SemanticClusterer};
+use modm_embedding::IndexPolicy;
+use modm_fleet::{Fleet, FleetRunOptions, RoutingConfig, RoutingPolicy, SemanticClusterer};
 use modm_simkit::profile::{Profiler, Subsystem};
 use modm_workload::TraceBuilder;
 
 const NODES: usize = 64;
 const GPUS_PER_NODE: usize = 2;
 /// Per-node shard capacity. 64 shards already split the fleet cache, so
-/// each node holds a slice small enough that the exact-cosine retrieval
-/// scan stays in the single-digit-microsecond range (the flat IVF index
-/// only engages at ≥ 20k entries per node).
+/// each node holds a slice small enough that even the exact scan stays
+/// in the single-digit-microsecond range; the approximate headline swaps
+/// it for the anchored inverted index.
 const CACHE_PER_NODE: usize = 128;
 /// Leader bound sized for a fleet-scale trace: large enough that the
 /// trending pool clusters cleanly, small enough that the per-request
 /// leader lookup stays cheap.
 const MAX_LEADERS: usize = 512;
+
+fn build_fleet(index_policy: IndexPolicy) -> Fleet {
+    let node = MoDMConfig::builder()
+        .gpus(GpuKind::Mi210, GPUS_PER_NODE)
+        .cache_capacity(CACHE_PER_NODE)
+        .index_policy(index_policy)
+        .build();
+    let clusterer = SemanticClusterer::new(SemanticClusterer::DEFAULT_THRESHOLD, MAX_LEADERS);
+    Fleet::new(
+        node,
+        RoutingConfig::new(RoutingPolicy::CacheAffinity, NODES)
+            .clusterer(clusterer)
+            .index_policy(index_policy)
+            .build(),
+    )
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "smoke");
@@ -46,23 +63,30 @@ fn main() {
         .requests(requests)
         .rate_per_min(20_000.0)
         .build();
-    let node = MoDMConfig::builder()
-        .gpus(GpuKind::Mi210, GPUS_PER_NODE)
-        .cache_capacity(CACHE_PER_NODE)
-        .build();
-    let clusterer = SemanticClusterer::new(SemanticClusterer::DEFAULT_THRESHOLD, MAX_LEADERS);
-    let fleet = Fleet::new(
-        node,
-        Router::with_affinity(
-            RoutingPolicy::CacheAffinity,
-            NODES,
-            clusterer,
-            HashRing::DEFAULT_VNODES,
-        ),
-    );
     let opts = FleetRunOptions {
         warmup: requests / 20,
         saturate: true,
+    };
+
+    // The headline runs the approximate probes (anchored inverted cache
+    // index + two-level leader probe); smoke mode also runs the exact
+    // backends so CI exercises both paths on every push.
+    let fleet = build_fleet(IndexPolicy::Approx);
+    let exact_summary = if smoke {
+        let exact_fleet = build_fleet(IndexPolicy::Exact);
+        let t0 = Instant::now();
+        let exact_report = exact_fleet.run_with(&trace, opts);
+        let exact_wall_ns = t0.elapsed().as_secs_f64() * 1e9;
+        println!(
+            "million/exact: {} requests in {} — {:.0} sim-requests/wall-sec (hit rate {:.3})",
+            exact_report.completed(),
+            format_ns(exact_wall_ns),
+            exact_report.completed() as f64 / (exact_wall_ns / 1e9),
+            exact_report.hit_rate()
+        );
+        Some((exact_report.completed(), exact_report.hit_rate()))
+    } else {
+        None
     };
 
     // Headline: one unprofiled end-to-end run. At a million requests the
@@ -78,6 +102,18 @@ fn main() {
         headline,
         report.hit_rate()
     );
+    if let Some((exact_completed, exact_hits)) = exact_summary {
+        assert_eq!(
+            report.completed(),
+            exact_completed,
+            "approx run must complete the same closed-loop request count"
+        );
+        let drift = (report.hit_rate() - exact_hits).abs();
+        assert!(
+            drift < 0.05,
+            "approx hit rate drifted {drift:.3} from exact"
+        );
+    }
 
     // Attribution: the same run under the self-profiler. Profiling adds
     // per-call `Instant::now` overhead, so the headline above is timed
@@ -118,6 +154,7 @@ fn main() {
         ("gpus_per_node".into(), Json::Num(GPUS_PER_NODE as f64)),
         ("cache_per_node".into(), Json::Num(CACHE_PER_NODE as f64)),
         ("policy".into(), Json::Str("cache-affinity".into())),
+        ("index_policy".into(), Json::Str("approx".into())),
         ("completed".into(), Json::Num(report.completed() as f64)),
         ("hit_rate".into(), Json::Num(report.hit_rate())),
         ("wall_secs".into(), Json::Num(wall_ns / 1e9)),

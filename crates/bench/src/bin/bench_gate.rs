@@ -21,6 +21,16 @@
 //! absolute ceiling rather than a baseline ratio because the whole
 //! point is that observability stays cheap, not merely no worse.
 //!
+//! `BENCH_million.json` carries one more check: when the fresh file is
+//! a **full** run (`"smoke": 0`), its headline must clear an *absolute*
+//! floor — default 40 000 sim-requests/wall-sec, the rate the pinned
+//! 1M-request run sustains on the reference machine — regardless of how
+//! the baseline ratio looks. Ratios forgive correlated slowdowns (a
+//! slow baseline excuses a slow fresh run); the absolute floor is the
+//! headline's own commitment. Smoke runs skip it (down-scaled traces
+//! on shared runners measure shape, not rate). Override with
+//! `BENCH_GATE_MILLION_FLOOR`.
+//!
 //! Every `*_overhead_frac` sample is also checked against a *floor* of
 //! −2%: an overhead is a paired slowdown measurement, so a value
 //! meaningfully below zero means the measurement methodology is broken
@@ -42,6 +52,19 @@ const DEFAULT_TELEMETRY_BUDGET: f64 = 0.05;
 /// Floor for every `*_overhead_frac` sample: below this the paired
 /// measurement itself is suspect.
 const OVERHEAD_FLOOR: f64 = -0.02;
+/// Absolute headline floor for a fresh *full* (non-smoke) million run.
+const DEFAULT_MILLION_FLOOR: f64 = 40_000.0;
+
+/// Whether `text` records a full (non-smoke) run: `"smoke": 0`.
+fn is_full_run(text: &str) -> bool {
+    const KEY: &str = "\"smoke\": ";
+    let Some(pos) = text.find(KEY) else {
+        return false;
+    };
+    let rest = &text[pos + KEY.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>() == Ok(0.0)
+}
 
 /// Every `sim_requests_per_wall_sec` value in `text`, in file order.
 fn extract_throughputs(text: &str) -> Vec<f64> {
@@ -105,6 +128,10 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(DEFAULT_TELEMETRY_BUDGET);
+    let million_floor = std::env::var("BENCH_GATE_MILLION_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_MILLION_FLOOR);
 
     let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
         Ok(entries) => entries
@@ -151,6 +178,24 @@ fn main() -> ExitCode {
             }
         };
         let fresh = extract_throughputs(&fresh_text);
+        if name == "BENCH_million.json" && is_full_run(&fresh_text) {
+            for (i, new) in fresh.iter().enumerate() {
+                let verdict = if *new < million_floor {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{:<28} {:>14.0} {:>14.0} {:>7}   {} (absolute floor)",
+                    format!("{name} floor[{i}]"),
+                    million_floor,
+                    new,
+                    "-",
+                    verdict
+                );
+            }
+        }
         for (i, frac) in extract_telemetry_overheads(&fresh_text).iter().enumerate() {
             let verdict = if *frac > telemetry_budget {
                 failed = true;
@@ -238,6 +283,14 @@ mod tests {
             {"policy": "b", "sim_requests_per_wall_sec": 200.5}]}"#;
         assert_eq!(extract_throughputs(nested), vec![100.0, 200.5]);
         assert!(extract_throughputs("{}").is_empty());
+    }
+
+    #[test]
+    fn full_runs_are_distinguished_from_smoke() {
+        assert!(super::is_full_run(r#"{"bench": "million", "smoke": 0}"#));
+        assert!(super::is_full_run(r#"{"smoke": 0, "completed": 1}"#));
+        assert!(!super::is_full_run(r#"{"bench": "million", "smoke": 1}"#));
+        assert!(!super::is_full_run("{}"));
     }
 
     #[test]

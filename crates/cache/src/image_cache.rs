@@ -15,39 +15,59 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use modm_diffusion::GeneratedImage;
-use modm_embedding::{Embedding, EmbeddingIndex, IvfIndex, Neighbor};
+use modm_embedding::{Embedding, EmbeddingIndex, IndexPolicy, InvertedIndex, IvfIndex, Neighbor};
 use modm_simkit::{profile, SimTime};
 use modm_workload::TenantId;
 
 use crate::slot_list::IndexedList;
 use crate::stats::CacheStats;
 
-/// Capacity at which caches switch from the exact flat index to the
-/// IVF approximate index (lookup cost stops growing with cache size, as the
-/// paper's GPU-batched similarity search also does).
-pub const IVF_THRESHOLD: usize = 20_000;
+/// The legacy capacity switch point between the exact flat index and the
+/// IVF index, now [`IndexPolicy::DEFAULT_IVF_THRESHOLD`]. Kept as a named
+/// constant for existing call sites; new code should select backends
+/// through [`CacheConfig::with_index_policy`].
+pub const IVF_THRESHOLD: usize = IndexPolicy::DEFAULT_IVF_THRESHOLD;
 
-/// Index backend shared by the cache variants: exact for small caches,
-/// IVF for large ones.
+/// Index backend shared by the cache variants, selected by the
+/// [`IndexPolicy`] on [`CacheConfig`]: exact flat scan, the legacy f64
+/// IVF index, or the f32 anchored inverted index.
 #[derive(Debug, Clone)]
 pub(crate) enum CacheIndex {
     Flat(EmbeddingIndex<u64>),
     Ivf(IvfIndex<u64>),
+    Inverted(InvertedIndex<u64>),
 }
 
 impl CacheIndex {
-    pub(crate) fn for_capacity(capacity: usize, dim: usize) -> Self {
-        if capacity >= IVF_THRESHOLD {
+    pub(crate) fn for_policy(policy: IndexPolicy, capacity: usize, dim: usize) -> Self {
+        if policy.selects_inverted(capacity) {
+            CacheIndex::Inverted(InvertedIndex::for_capacity(dim, capacity))
+        } else if policy.selects_ivf(capacity) {
             CacheIndex::Ivf(IvfIndex::new(dim, 256, 12))
         } else {
             CacheIndex::Flat(EmbeddingIndex::new())
         }
     }
 
-    pub(crate) fn insert(&mut self, key: u64, e: Embedding) {
+    /// Short backend name for reporting and tests.
+    pub(crate) fn backend(&self) -> &'static str {
+        match self {
+            CacheIndex::Flat(_) => "flat",
+            CacheIndex::Ivf(_) => "ivf",
+            CacheIndex::Inverted(_) => "inverted",
+        }
+    }
+
+    /// Inserts `e` under `key`. The inverted backend partitions by
+    /// `anchor` — the generating prompt's text embedding — because future
+    /// queries that can hit this entry are exactly the prompts similar to
+    /// it; the image embedding itself is noise-dominated and would
+    /// partition randomly.
+    pub(crate) fn insert(&mut self, key: u64, e: Embedding, anchor: &Embedding) {
         match self {
             CacheIndex::Flat(i) => i.insert(key, e),
             CacheIndex::Ivf(i) => i.insert(key, e),
+            CacheIndex::Inverted(i) => i.insert_anchored(key, anchor, e),
         }
     }
 
@@ -55,13 +75,18 @@ impl CacheIndex {
         match self {
             CacheIndex::Flat(i) => i.remove(key),
             CacheIndex::Ivf(i) => i.remove(key),
+            CacheIndex::Inverted(i) => i.remove(key),
         }
     }
 
-    pub(crate) fn nearest(&self, q: &Embedding) -> Option<Neighbor<u64>> {
+    /// Nearest neighbor, given the retrieval floor (cosine scale). The
+    /// inverted backend uses the floor to keep hit/miss verdicts exact: a
+    /// probed miss falls back to a full scan before being declared.
+    pub(crate) fn nearest_with_floor(&self, q: &Embedding, floor: f64) -> Option<Neighbor<u64>> {
         match self {
             CacheIndex::Flat(i) => i.nearest(q),
             CacheIndex::Ivf(i) => i.nearest(q),
+            CacheIndex::Inverted(i) => i.nearest_with_floor(q, floor),
         }
     }
 
@@ -69,6 +94,7 @@ impl CacheIndex {
         match self {
             CacheIndex::Flat(i) => i.top_k(q, k),
             CacheIndex::Ivf(i) => i.top_k(q, k),
+            CacheIndex::Inverted(i) => i.top_k(q, k),
         }
     }
 
@@ -76,6 +102,7 @@ impl CacheIndex {
         match self {
             CacheIndex::Flat(i) => i.storage_bytes(),
             CacheIndex::Ivf(i) => i.storage_bytes(),
+            CacheIndex::Inverted(i) => i.storage_bytes(),
         }
     }
 }
@@ -112,6 +139,11 @@ pub struct CacheConfig {
     /// another below its reserve. Empty (the default) disables tenant
     /// protection entirely.
     pub tenant_reserves: Vec<(TenantId, usize)>,
+    /// Similarity-index backend selection. Defaults to
+    /// [`IndexPolicy::legacy_ivf`] — the historical behavior (exact below
+    /// [`IVF_THRESHOLD`], IVF at or above) — so direct cache users are
+    /// unchanged; `MoDMConfig` overrides it with its own policy.
+    pub index_policy: IndexPolicy,
 }
 
 impl CacheConfig {
@@ -126,6 +158,7 @@ impl CacheConfig {
             capacity,
             policy: MaintenancePolicy::Fifo,
             tenant_reserves: Vec::new(),
+            index_policy: IndexPolicy::legacy_ivf(),
         }
     }
 
@@ -140,7 +173,22 @@ impl CacheConfig {
             capacity,
             policy,
             tenant_reserves: Vec::new(),
+            index_policy: IndexPolicy::legacy_ivf(),
         }
+    }
+
+    /// Selects the similarity-index backend (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid policy (`Ivf { threshold: 0 }`).
+    #[must_use]
+    pub fn with_index_policy(mut self, index_policy: IndexPolicy) -> Self {
+        if let Err(e) = index_policy.validate() {
+            panic!("{e}");
+        }
+        self.index_policy = index_policy;
+        self
     }
 
     /// Adds per-tenant reserved capacity (builder style).
@@ -350,7 +398,11 @@ pub struct ImageCache {
 impl ImageCache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
-        let index = CacheIndex::for_capacity(config.capacity, modm_embedding::space::DEFAULT_DIM);
+        let index = CacheIndex::for_policy(
+            config.index_policy,
+            config.capacity,
+            modm_embedding::space::DEFAULT_DIM,
+        );
         ImageCache {
             config,
             entries: HashMap::new(),
@@ -365,10 +417,15 @@ impl ImageCache {
     }
 
     /// True when the cache retrieves through the approximate IVF index
-    /// rather than the exact flat scan (decided by capacity against
-    /// [`IVF_THRESHOLD`]).
+    /// rather than the exact flat scan — derived from the configured
+    /// [`IndexPolicy`] and the capacity, not from a hardcoded constant.
     pub fn uses_ivf_index(&self) -> bool {
-        matches!(self.index, CacheIndex::Ivf(_))
+        self.config.index_policy.selects_ivf(self.config.capacity)
+    }
+
+    /// The active index backend: `"flat"`, `"ivf"` or `"inverted"`.
+    pub fn index_backend(&self) -> &'static str {
+        self.index.backend()
     }
 
     /// Current number of cached images.
@@ -596,7 +653,8 @@ impl ImageCache {
             self.index.remove(&victim);
             self.stats.record_eviction();
         }
-        self.index.insert(key, image.embedding.clone());
+        self.index
+            .insert(key, image.embedding.clone(), &image.text_anchor);
         match self.config.policy {
             MaintenancePolicy::S3Fifo => {
                 self.s3.freq.insert(key, 0);
@@ -681,7 +739,9 @@ impl ImageCache {
         query: &Embedding,
         threshold: f64,
     ) -> Option<RetrievedImage> {
-        let best = self.index.nearest(query);
+        let best = self
+            .index
+            .nearest_with_floor(query, threshold / modm_embedding::CLIP_COS_SCALE);
         let hit = best.and_then(|n| {
             let sim = modm_embedding::CLIP_COS_SCALE * n.similarity;
             (sim >= threshold).then_some((n.key, sim))
@@ -727,7 +787,9 @@ impl ImageCache {
     /// Like [`ImageCache::retrieve`] but without mutating statistics or
     /// recency bookkeeping; used by analysis experiments.
     pub fn peek(&self, query: &Embedding, threshold: f64) -> Option<RetrievedImage> {
-        let n = self.index.nearest(query)?;
+        let n = self
+            .index
+            .nearest_with_floor(query, threshold / modm_embedding::CLIP_COS_SCALE)?;
         let sim = modm_embedding::CLIP_COS_SCALE * n.similarity;
         if sim < threshold {
             return None;
@@ -819,8 +881,11 @@ impl ImageCache {
             .map(|(_, e)| (e.tenant, e.image))
             .collect();
         images.sort_unstable_by_key(|(_, img)| img.id.0);
-        self.index =
-            CacheIndex::for_capacity(self.config.capacity, modm_embedding::space::DEFAULT_DIM);
+        self.index = CacheIndex::for_policy(
+            self.config.index_policy,
+            self.config.capacity,
+            modm_embedding::space::DEFAULT_DIM,
+        );
         self.fifo.clear();
         self.lru_index.clear();
         self.util_index.clear();

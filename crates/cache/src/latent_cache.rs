@@ -73,7 +73,11 @@ impl LatentCache {
         LatentCache {
             capacity,
             entries: HashMap::new(),
-            index: CacheIndex::for_capacity(capacity, modm_embedding::space::DEFAULT_DIM),
+            index: CacheIndex::for_policy(
+                modm_embedding::IndexPolicy::legacy_ivf(),
+                capacity,
+                modm_embedding::space::DEFAULT_DIM,
+            ),
             fifo: VecDeque::new(),
             next_key: 0,
             stats: CacheStats::new(),
@@ -139,7 +143,10 @@ impl LatentCache {
         }
         let key = self.next_key;
         self.next_key += 1;
-        self.index.insert(key, text_embedding.clone());
+        // Latent retrieval is text-to-text, so the embedding is its own
+        // anchor.
+        self.index
+            .insert(key, text_embedding.clone(), &text_embedding);
         self.fifo.push_back(key);
         let mut latents = latents;
         latents.sort_by_key(|l| l.step);

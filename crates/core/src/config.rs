@@ -5,6 +5,7 @@ use std::fmt;
 use modm_cache::MaintenancePolicy;
 use modm_cluster::GpuKind;
 use modm_diffusion::ModelId;
+use modm_embedding::IndexPolicy;
 use modm_simkit::SimDuration;
 use modm_workload::TenantId;
 
@@ -52,6 +53,8 @@ pub enum ConfigError {
     BadAgingBounds,
     /// The queue-time shed budget was zero.
     ZeroQueueBudget,
+    /// The similarity-index policy carried an IVF threshold of zero.
+    ZeroIvfThreshold,
 }
 
 impl fmt::Display for ConfigError {
@@ -94,6 +97,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroQueueBudget => {
                 write!(f, "queue-time shed budget must be positive")
+            }
+            ConfigError::ZeroIvfThreshold => {
+                write!(f, "IVF index threshold must be positive")
             }
         }
     }
@@ -210,6 +216,13 @@ pub struct MoDMConfig {
     /// ([`TenancyPolicy::fifo`]) is the legacy single-queue behavior and
     /// is exactly tenant-neutral.
     pub tenancy: TenancyPolicy,
+    /// Similarity-index backend for the cache (and, in fleet tiers, the
+    /// affinity leader probe). The default is [`IndexPolicy::Exact`] —
+    /// bit-identical to the historical flat scan on every tier below the
+    /// legacy IVF threshold; `Approx`/`Auto` opt into the f32 probes,
+    /// and [`IndexPolicy::legacy_ivf`] restores the old capacity switch
+    /// for very large single-node caches.
+    pub index_policy: IndexPolicy,
 }
 
 impl MoDMConfig {
@@ -247,6 +260,7 @@ impl Default for MoDMConfigBuilder {
                 monitor_period: SimDuration::from_secs_f64(60.0),
                 seed: 0xD1FF,
                 tenancy: TenancyPolicy::fifo(),
+                index_policy: IndexPolicy::Exact,
             },
         }
     }
@@ -325,6 +339,12 @@ impl MoDMConfigBuilder {
         self
     }
 
+    /// Sets the similarity-index backend policy.
+    pub fn index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.config.index_policy = policy;
+        self
+    }
+
     /// Validates and produces the config, reporting the first violated
     /// invariant as a typed [`ConfigError`].
     ///
@@ -355,6 +375,9 @@ impl MoDMConfigBuilder {
         }
         if c.monitor_period.is_zero() {
             return Err(ConfigError::ZeroMonitorPeriod);
+        }
+        if c.index_policy.validate().is_err() {
+            return Err(ConfigError::ZeroIvfThreshold);
         }
         validate_tenancy(&c.tenancy, c.cache_capacity)?;
         Ok(self.config)

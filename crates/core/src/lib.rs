@@ -61,6 +61,7 @@ pub use fairqueue::{
     AgingBounds, FairQueue, FairnessCharge, QueueDiscipline, RateLimit, TenancyPolicy, TenantShare,
 };
 pub use kselect::{k_decision, KDecision, HIT_THRESHOLD};
+pub use modm_embedding::IndexPolicy;
 pub use monitor::{GlobalMonitor, WindowStats};
 pub use node::{EnqueueOutcome, NodeInFlight, ServingNode};
 pub use pid::PidController;

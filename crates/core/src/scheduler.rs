@@ -89,7 +89,8 @@ impl RequestScheduler {
             encoder,
             cache: ImageCache::new(
                 CacheConfig::with_policy(config.cache_capacity, config.cache_policy)
-                    .with_reserves(config.tenancy.cache_reserves()),
+                    .with_reserves(config.tenancy.cache_reserves())
+                    .with_index_policy(config.index_policy),
             ),
             threshold_shift: config.threshold_shift,
             hits: 0,

@@ -144,7 +144,7 @@ pub trait ServingBackend {
 
 enum Tier {
     Single(ServingSystem),
-    Fleet(Fleet),
+    Fleet(Box<Fleet>),
     Elastic {
         fleet: ElasticFleet,
         scaler: Box<dyn Autoscaler>,
@@ -165,19 +165,35 @@ enum Tier {
 ///
 /// # Example
 ///
+/// The [`IndexPolicy`](modm_core::IndexPolicy) on the node config (and,
+/// for fleets, on the [`RoutingConfig`](modm_fleet::RoutingConfig))
+/// selects the similarity-probe backend: `Exact` — the default — keeps
+/// every scan bit-identical to the historical one, while `Approx` swaps
+/// in the anchored inverted cache index and the two-level leader probe
+/// behind the same API.
+///
 /// ```
 /// use modm_deploy::{Deployment, ServingBackend};
-/// use modm_core::MoDMConfig;
+/// use modm_core::{IndexPolicy, MoDMConfig};
 /// use modm_cluster::GpuKind;
-/// use modm_fleet::{Router, RoutingPolicy};
+/// use modm_fleet::{RoutingConfig, RoutingPolicy};
 /// use modm_workload::TraceBuilder;
 ///
 /// let trace = TraceBuilder::diffusion_db(42).requests(120).rate_per_min(12.0).build();
-/// let node = MoDMConfig::builder().gpus(GpuKind::Mi210, 4).cache_capacity(500).build();
+/// let node = MoDMConfig::builder()
+///     .gpus(GpuKind::Mi210, 4)
+///     .cache_capacity(500)
+///     .index_policy(IndexPolicy::Approx)
+///     .build();
 ///
 /// // The same workload through two tiers, compared generically.
 /// let mut single = Deployment::single(node.clone());
-/// let mut fleet = Deployment::fleet(node, Router::new(RoutingPolicy::CacheAffinity, 4));
+/// let mut fleet = Deployment::fleet(
+///     node,
+///     RoutingConfig::new(RoutingPolicy::CacheAffinity, 4)
+///         .index_policy(IndexPolicy::Approx)
+///         .build(),
+/// );
 /// let single_summary = single.run(&trace).summary(2.0);
 /// let fleet_summary = fleet.run(&trace).summary(2.0);
 /// assert_eq!(single_summary.completed, 120);
@@ -201,7 +217,7 @@ impl Deployment {
     /// `node_config` with its own cache shard, behind `router`.
     pub fn fleet(node_config: MoDMConfig, router: Router) -> Self {
         Deployment {
-            tier: Tier::Fleet(Fleet::new(node_config, router)),
+            tier: Tier::Fleet(Box::new(Fleet::new(node_config, router))),
         }
     }
 

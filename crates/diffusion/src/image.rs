@@ -32,6 +32,13 @@ pub struct GeneratedImage {
     pub prompt_id: u64,
     /// The image's embedding in the joint CLIP-like space.
     pub embedding: Embedding,
+    /// Text embedding of the prompt that produced it. Retrieval *scores*
+    /// against `embedding`, but approximate cache indexes *bucket* by this
+    /// anchor: a query prompt similar to the generating prompt lands in the
+    /// anchor's partition, which is exactly when a cache hit exists —
+    /// image embeddings themselves are noise-dominated and would bucket
+    /// randomly.
+    pub text_anchor: Embedding,
     /// Fidelity features consumed by the FID / Inception Score metrics.
     pub features: Vec<f64>,
     /// Model that ran the (final) denoising steps.
@@ -65,6 +72,7 @@ mod tests {
             id: ImageId(1),
             prompt_id: 9,
             embedding: Embedding::from_vec(vec![1.0, 0.0]),
+            text_anchor: Embedding::from_vec(vec![1.0, 0.0]),
             features: vec![0.0; 4],
             model: ModelId::Sd35Large,
             steps_run: 50,

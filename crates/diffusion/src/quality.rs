@@ -252,6 +252,7 @@ impl QualityModel {
             id,
             prompt_id,
             embedding,
+            text_anchor: prompt_embedding.clone(),
             features,
             model,
             steps_run,

@@ -208,6 +208,7 @@ impl Sampler {
             id: self.fresh_id(),
             prompt_id,
             embedding: cached.embedding.clone(),
+            text_anchor: new_prompt.clone(),
             features,
             model: cached.model,
             steps_run: 0,

@@ -14,7 +14,8 @@
 //! fresh leaders. The leader table is bounded; when full, the oldest
 //! leader retires (matching the workload's trending-recency structure).
 
-use modm_embedding::Embedding;
+use modm_embedding::probe::unit_f32_into;
+use modm_embedding::{Embedding, IndexPolicy, TwoLevelProbe};
 use modm_numerics::vector;
 
 /// Maps embeddings to coarse semantic clusters by online leader
@@ -57,6 +58,16 @@ pub struct SemanticClusterer {
     /// Live leader count (`<= max_leaders`).
     len: usize,
     next_id: u64,
+    /// How the leader probe runs; `Exact` (the default) keeps the
+    /// admission-order scan above bit-identical to the historical one.
+    policy: IndexPolicy,
+    /// Slot-parallel f32 mirror driving the approximate probe. Present
+    /// exactly when `policy` approximates the leader probe and at least
+    /// one leader has been admitted (the dimension is learned then).
+    approx: Option<TwoLevelProbe>,
+    /// Reused f32 query buffer for the approximate probe, so the hot
+    /// path performs no per-request allocation.
+    q32_scratch: Vec<f32>,
 }
 
 impl SemanticClusterer {
@@ -76,6 +87,19 @@ impl SemanticClusterer {
     ///
     /// Panics if `threshold` is outside `(0, 1)` or `max_leaders` is zero.
     pub fn new(threshold: f64, max_leaders: usize) -> Self {
+        Self::with_index_policy(threshold, max_leaders, IndexPolicy::Exact)
+    }
+
+    /// Creates a clusterer with an explicit [`IndexPolicy`] for the
+    /// leader probe. `Exact` (and `Ivf`, which has no leader-table
+    /// meaning) keep the bit-identical admission-order scan; `Approx`
+    /// and (above [`IndexPolicy::AUTO_EXACT_CEILING`] leaders) `Auto`
+    /// run the two-level probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `(0, 1)` or `max_leaders` is zero.
+    pub fn with_index_policy(threshold: f64, max_leaders: usize, policy: IndexPolicy) -> Self {
         assert!(
             threshold > 0.0 && threshold < 1.0,
             "threshold must be in (0, 1): {threshold}"
@@ -91,6 +115,9 @@ impl SemanticClusterer {
             head: 0,
             len: 0,
             next_id: 0,
+            policy,
+            approx: None,
+            q32_scratch: Vec::new(),
         }
     }
 
@@ -102,6 +129,27 @@ impl SemanticClusterer {
     /// The join threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// The probe policy.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.policy
+    }
+
+    /// Switches the probe policy, rebuilding the approximate sidecar
+    /// from the live leader table if one is now required (so a warmed
+    /// clusterer can be handed to a differently-configured router).
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.policy = policy;
+        self.approx = None;
+        if policy.approximates_leader_probe(self.max_leaders) && self.dim != 0 {
+            let mut probe = TwoLevelProbe::new(self.dim, self.max_leaders);
+            for slot in 0..self.ids.len() {
+                let row = &self.mat[slot * self.dim..(slot + 1) * self.dim];
+                probe.set(slot, row, self.norms[slot]);
+            }
+            self.approx = Some(probe);
+        }
     }
 
     /// Number of live leaders.
@@ -121,6 +169,24 @@ impl SemanticClusterer {
     pub fn cluster_of(&mut self, embedding: &Embedding) -> u64 {
         let q = embedding.as_slice();
         let qn = vector::l2_norm(q);
+        if let Some(probe) = self.approx.as_ref() {
+            // Approximate path: one pruned pass over the partitions. The
+            // join floor sits a hair under the threshold so the f32/f64
+            // boundary cannot flip a should-join into a mint; partitions
+            // whose triangle-inequality bound cannot reach the floor are
+            // skipped, so a probed miss no longer pays a full-table scan.
+            unit_f32_into(q, qn, &mut self.q32_scratch);
+            let floor = (self.threshold - 1e-3) as f32;
+            if let Some((slot, sim)) = probe.resolve(&self.q32_scratch, floor) {
+                if f64::from(sim) >= self.threshold {
+                    return self.ids[slot];
+                }
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            self.admit(id, q, qn);
+            return id;
+        }
         let mut best: Option<(u64, f64)> = None;
         for k in 0..self.len {
             let slot = self.slot_at(k);
@@ -155,9 +221,12 @@ impl SemanticClusterer {
     fn admit(&mut self, id: u64, values: &[f64], norm: f64) {
         if self.dim == 0 {
             self.dim = values.len();
+            if self.policy.approximates_leader_probe(self.max_leaders) {
+                self.approx = Some(TwoLevelProbe::new(self.dim, self.max_leaders));
+            }
         }
         assert_eq!(values.len(), self.dim, "leader dimension mismatch");
-        if self.len < self.max_leaders {
+        let slot = if self.len < self.max_leaders {
             let slot = self.slot_at(self.len);
             if slot == self.ids.len() {
                 self.mat.extend_from_slice(values);
@@ -169,6 +238,7 @@ impl SemanticClusterer {
                 self.norms[slot] = norm;
             }
             self.len += 1;
+            slot
         } else {
             // Full: the new leader replaces the oldest in place.
             let slot = self.head;
@@ -176,6 +246,10 @@ impl SemanticClusterer {
             self.ids[slot] = id;
             self.norms[slot] = norm;
             self.head = self.slot_at(1);
+            slot
+        };
+        if let Some(probe) = self.approx.as_mut() {
+            probe.set(slot, values, norm);
         }
     }
 }
@@ -243,6 +317,74 @@ mod tests {
             )));
         }
         assert!(c.num_leaders() <= 32);
+    }
+
+    #[test]
+    fn approx_probe_agrees_with_exact_scan() {
+        // The two-level probe must reproduce the exact scan's decisions on
+        // the workload shape that matters: sessions (join) mixed with
+        // fresh prompts (mint). Ids are minted in lockstep, so equal ids
+        // mean equal decisions.
+        let enc = encoder();
+        let mut exact = SemanticClusterer::new(0.7, 512);
+        let mut approx = SemanticClusterer::with_index_policy(0.7, 512, IndexPolicy::Approx);
+        assert_eq!(approx.index_policy(), IndexPolicy::Approx);
+        let mut agree = 0;
+        let total = 600;
+        for i in 0..total {
+            let base = i % 150; // four visits per session
+            let prompt = format!(
+                "subject{base} modifier{base} action{base} place{base} time{base} \
+                 style{base} flavor{base} det{base} extra{base} more{base} visit{}",
+                i / 150
+            );
+            let e = enc.encode(&prompt);
+            if exact.cluster_of(&e) == approx.cluster_of(&e) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 100 / total >= 95, "agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn approx_clusterer_bounded_with_retirement() {
+        // Exercises the sidecar's overwrite path: unique prompts churn a
+        // small full table.
+        let enc = encoder();
+        let mut c = SemanticClusterer::with_index_policy(0.7, 32, IndexPolicy::Approx);
+        for i in 0..200 {
+            c.cluster_of(&enc.encode(&format!(
+                "unique{} tokens{} every{} time{}",
+                i,
+                i * 5,
+                i * 9,
+                i * 17
+            )));
+        }
+        assert!(c.num_leaders() <= 32);
+        // Repeats of a live leader still join its cluster.
+        let a = c.cluster_of(&enc.encode("repeat anchor prompt golden meadow"));
+        let b = c.cluster_of(&enc.encode("repeat anchor prompt golden meadow"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_index_policy_rebuilds_warm_sidecar() {
+        let enc = encoder();
+        let mut c = SemanticClusterer::default_config();
+        let warm: Vec<u64> = (0..50)
+            .map(|i| c.cluster_of(&enc.encode(&format!("warm{} lead{} seed{}", i, i * 3, i * 7))))
+            .collect();
+        c.set_index_policy(IndexPolicy::Approx);
+        // Every warmed leader is still found by the approximate probe.
+        for (i, &id) in warm.iter().enumerate() {
+            let again =
+                c.cluster_of(&enc.encode(&format!("warm{} lead{} seed{}", i, i * 3, i * 7)));
+            assert_eq!(again, id, "leader {i} lost in rebuild");
+        }
+        c.set_index_policy(IndexPolicy::Exact);
+        let id = c.cluster_of(&enc.encode("warm0 lead0 seed0"));
+        assert_eq!(id, warm[0], "exact path intact after switching back");
     }
 
     #[test]

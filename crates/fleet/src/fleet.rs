@@ -187,7 +187,8 @@ impl<'a> FleetRun<'a> {
         let mut cache = ShardedCache::new(
             n_nodes,
             CacheConfig::with_policy(config.cache_capacity, config.cache_policy)
-                .with_reserves(config.tenancy.cache_reserves()),
+                .with_reserves(config.tenancy.cache_reserves())
+                .with_index_policy(config.index_policy),
         );
 
         // Warm the shards off-line via the affinity placement map (not
@@ -291,7 +292,11 @@ impl<'a> FleetRun<'a> {
     fn on_arrival(&mut self, now: SimTime, idx: usize) -> usize {
         let request = self.requests[idx].clone();
         let embedding = self.encoder.encode(&request.prompt);
-        let loads: Vec<f64> = self.nodes.iter().map(ServingNode::load).collect();
+        let loads: Vec<f64> = if self.router.needs_loads() {
+            self.nodes.iter().map(ServingNode::load).collect()
+        } else {
+            Vec::new()
+        };
         let node_idx = self.router.route(&embedding, &loads);
 
         // Node-local scheduling: consult the node's shard, pick k (the

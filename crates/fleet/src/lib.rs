@@ -52,5 +52,5 @@ pub use fleet::{Fleet, FleetRunOptions};
 pub use geo::{GeoError, GeoRouter};
 pub use report::{FleetReport, NodeReport};
 pub use ring::{HashRing, RingMembershipError};
-pub use router::{Router, RouterConfigError, RoutingPolicy};
+pub use router::{Router, RouterConfigError, RoutingConfig, RoutingPolicy};
 pub use shard::{HandoffReport, RebalanceReport, ShardSummary, ShardedCache};

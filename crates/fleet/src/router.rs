@@ -27,15 +27,15 @@
 
 use std::fmt;
 
-use modm_embedding::Embedding;
+use modm_embedding::{Embedding, IndexPolicy};
 
 use crate::affinity::SemanticClusterer;
 use crate::ring::HashRing;
 
-/// Why a [`Router`] constructor rejected its configuration.
+/// Why a [`Router`] configuration was rejected.
 ///
-/// Returned by the `try_*` constructors; the panicking variants format
-/// the same messages.
+/// Returned by [`RoutingConfig::try_build`] and the `try_*` shims; the
+/// panicking variants format the same messages.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum RouterConfigError {
@@ -46,6 +46,8 @@ pub enum RouterConfigError {
     /// The hybrid-affinity spill threshold was below 1.0 (spilling below
     /// the mean would invert the policy).
     SpillThresholdBelowMean(f64),
+    /// The [`IndexPolicy`] carried an IVF threshold of zero.
+    ZeroIvfThreshold,
     /// A membership change tried to admit a node that is already active.
     NodeAlreadyActive(usize),
     /// A membership change named a node that is not active.
@@ -62,6 +64,9 @@ impl fmt::Display for RouterConfigError {
             RouterConfigError::SpillThresholdBelowMean(t) => {
                 write!(f, "spill threshold below the mean: {t}")
             }
+            RouterConfigError::ZeroIvfThreshold => {
+                write!(f, "IVF index threshold must be positive")
+            }
             RouterConfigError::NodeAlreadyActive(n) => write!(f, "node {n} already active"),
             RouterConfigError::NodeNotActive(n) => write!(f, "node {n} is not active"),
             RouterConfigError::LastActiveNode => {
@@ -72,6 +77,134 @@ impl fmt::Display for RouterConfigError {
 }
 
 impl std::error::Error for RouterConfigError {}
+
+/// One validated builder for every [`Router`] knob, replacing the old
+/// scatter of `Router::{try_new, try_with_affinity, try_spill_threshold}`
+/// constructors (which survive as thin shims over this type).
+///
+/// # Example
+///
+/// ```
+/// use modm_fleet::{RoutingConfig, RoutingPolicy};
+/// use modm_embedding::IndexPolicy;
+///
+/// let router = RoutingConfig::new(RoutingPolicy::HybridAffinity, 16)
+///     .spill_threshold(2.0)
+///     .index_policy(IndexPolicy::Approx)
+///     .try_build()
+///     .expect("valid config");
+/// assert_eq!(router.nodes(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingConfig {
+    policy: RoutingPolicy,
+    nodes: usize,
+    vnodes: usize,
+    spill_threshold: f64,
+    clusterer: Option<SemanticClusterer>,
+    index_policy: Option<IndexPolicy>,
+}
+
+impl RoutingConfig {
+    /// Starts a config for `nodes` nodes under `policy`, with default
+    /// affinity parameters ([`SemanticClusterer::DEFAULT_THRESHOLD`],
+    /// [`HashRing::DEFAULT_VNODES`],
+    /// [`Router::DEFAULT_SPILL_THRESHOLD`], exact leader probe).
+    pub fn new(policy: RoutingPolicy, nodes: usize) -> Self {
+        RoutingConfig {
+            policy,
+            nodes,
+            vnodes: HashRing::DEFAULT_VNODES,
+            spill_threshold: Router::DEFAULT_SPILL_THRESHOLD,
+            clusterer: None,
+            index_policy: None,
+        }
+    }
+
+    /// Overrides the virtual nodes per node on the affinity ring.
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Overrides the hybrid-affinity spill threshold (multiple of the
+    /// mean active backlog above which the primary spills).
+    pub fn spill_threshold(mut self, threshold: f64) -> Self {
+        self.spill_threshold = threshold;
+        self
+    }
+
+    /// Supplies a pre-built (possibly pre-warmed) clusterer instead of
+    /// the default one.
+    pub fn clusterer(mut self, clusterer: SemanticClusterer) -> Self {
+        self.clusterer = Some(clusterer);
+        self
+    }
+
+    /// Selects the leader-probe backend. Applies to the default clusterer
+    /// or to one supplied via [`RoutingConfig::clusterer`] (rebuilding its
+    /// sidecar if it was pre-warmed); when omitted, a supplied clusterer
+    /// keeps whatever policy it was built with.
+    pub fn index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.index_policy = Some(policy);
+        self
+    }
+
+    /// Validates every knob and builds the router.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterConfigError::NoNodes`] for zero nodes,
+    /// [`RouterConfigError::NoVnodes`] for zero virtual nodes,
+    /// [`RouterConfigError::SpillThresholdBelowMean`] for a spill
+    /// threshold below 1.0, and [`RouterConfigError::ZeroIvfThreshold`]
+    /// for an `Ivf { threshold: 0 }` index policy.
+    pub fn try_build(self) -> Result<Router, RouterConfigError> {
+        if self.nodes == 0 {
+            return Err(RouterConfigError::NoNodes);
+        }
+        if self.vnodes == 0 {
+            return Err(RouterConfigError::NoVnodes);
+        }
+        if self.spill_threshold < 1.0 {
+            return Err(RouterConfigError::SpillThresholdBelowMean(
+                self.spill_threshold,
+            ));
+        }
+        if let Some(policy) = self.index_policy {
+            policy
+                .validate()
+                .map_err(|_| RouterConfigError::ZeroIvfThreshold)?;
+        }
+        let mut clusterer = self
+            .clusterer
+            .unwrap_or_else(SemanticClusterer::default_config);
+        if let Some(policy) = self.index_policy {
+            clusterer.set_index_policy(policy);
+        }
+        Ok(Router {
+            policy: self.policy,
+            active: (0..self.nodes).collect(),
+            rr_next: 0,
+            clusterer,
+            ring: HashRing::new(self.nodes, self.vnodes),
+            routed: vec![0; self.nodes],
+            spill_threshold: self.spill_threshold,
+        })
+    }
+
+    /// Panicking variant of [`RoutingConfig::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any error [`RoutingConfig::try_build`] reports.
+    pub fn build(self) -> Router {
+        match self.try_build() {
+            Ok(router) => router,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
 
 /// Which routing policy the fleet front-end runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -144,33 +277,27 @@ impl Router {
     /// parameters ([`SemanticClusterer::DEFAULT_THRESHOLD`] join
     /// threshold, [`HashRing::DEFAULT_VNODES`] virtual nodes).
     ///
+    /// Equivalent to `RoutingConfig::new(policy, nodes).build()`.
+    ///
     /// # Panics
     ///
     /// Panics if `nodes` is zero.
     pub fn new(policy: RoutingPolicy, nodes: usize) -> Self {
-        Self::with_affinity(
-            policy,
-            nodes,
-            SemanticClusterer::default_config(),
-            HashRing::DEFAULT_VNODES,
-        )
+        RoutingConfig::new(policy, nodes).build()
     }
 
-    /// Fallible variant of [`Router::new`].
+    /// Deprecated shim: prefer `RoutingConfig::new(policy, nodes)
+    /// .try_build()`.
     ///
     /// # Errors
     ///
     /// Returns [`RouterConfigError::NoNodes`] if `nodes` is zero.
     pub fn try_new(policy: RoutingPolicy, nodes: usize) -> Result<Self, RouterConfigError> {
-        Self::try_with_affinity(
-            policy,
-            nodes,
-            SemanticClusterer::default_config(),
-            HashRing::DEFAULT_VNODES,
-        )
+        RoutingConfig::new(policy, nodes).try_build()
     }
 
-    /// Creates a router with an explicit clusterer and virtual-node count.
+    /// Deprecated shim: prefer [`RoutingConfig`] with
+    /// [`RoutingConfig::clusterer`] and [`RoutingConfig::vnodes`].
     ///
     /// # Panics
     ///
@@ -181,13 +308,14 @@ impl Router {
         clusterer: SemanticClusterer,
         vnodes: usize,
     ) -> Self {
-        match Self::try_with_affinity(policy, nodes, clusterer, vnodes) {
-            Ok(router) => router,
-            Err(e) => panic!("{e}"),
-        }
+        RoutingConfig::new(policy, nodes)
+            .clusterer(clusterer)
+            .vnodes(vnodes)
+            .build()
     }
 
-    /// Fallible variant of [`Router::with_affinity`].
+    /// Deprecated shim: fallible variant of [`Router::with_affinity`];
+    /// prefer [`RoutingConfig`].
     ///
     /// # Errors
     ///
@@ -198,25 +326,13 @@ impl Router {
         clusterer: SemanticClusterer,
         vnodes: usize,
     ) -> Result<Self, RouterConfigError> {
-        if nodes == 0 {
-            return Err(RouterConfigError::NoNodes);
-        }
-        if vnodes == 0 {
-            return Err(RouterConfigError::NoVnodes);
-        }
-        Ok(Router {
-            policy,
-            active: (0..nodes).collect(),
-            rr_next: 0,
-            clusterer,
-            ring: HashRing::new(nodes, vnodes),
-            routed: vec![0; nodes],
-            spill_threshold: Self::DEFAULT_SPILL_THRESHOLD,
-        })
+        RoutingConfig::new(policy, nodes)
+            .clusterer(clusterer)
+            .vnodes(vnodes)
+            .try_build()
     }
 
-    /// Overrides the hybrid-affinity spill threshold (multiple of the mean
-    /// active backlog above which the primary spills).
+    /// Deprecated shim: prefer [`RoutingConfig::spill_threshold`].
     ///
     /// # Panics
     ///
@@ -229,7 +345,9 @@ impl Router {
         }
     }
 
-    /// Fallible variant of [`Router::with_spill_threshold`].
+    /// Deprecated shim: fallible variant of
+    /// [`Router::with_spill_threshold`]; prefer
+    /// [`RoutingConfig::spill_threshold`].
     ///
     /// # Errors
     ///
@@ -359,16 +477,29 @@ impl Router {
         self.ring.node_for(self.clusterer.cluster_of(embedding))
     }
 
+    /// Whether [`Router::route`] reads its `loads` argument. Pure
+    /// affinity and round-robin never do, so callers maintaining an
+    /// expensive load snapshot can skip collecting it.
+    pub fn needs_loads(&self) -> bool {
+        matches!(
+            self.policy,
+            RoutingPolicy::LeastLoaded | RoutingPolicy::HybridAffinity
+        )
+    }
+
     /// Routes one request. `loads` is the per-node-id outstanding backlog
     /// (queued plus in-flight work, in any consistent unit); the
-    /// load-aware policies consult it.
+    /// load-aware policies consult it. Policies for which
+    /// [`Router::needs_loads`] is false ignore it (an empty slice is
+    /// fine).
     ///
     /// # Panics
     ///
-    /// Panics if `loads` does not cover every active node id.
+    /// Panics if the policy consults loads and `loads` does not cover
+    /// every active node id.
     pub fn route(&mut self, embedding: &Embedding, loads: &[f64]) -> usize {
         assert!(
-            self.active.last().is_none_or(|&max| max < loads.len()),
+            !self.needs_loads() || self.active.last().is_none_or(|&max| max < loads.len()),
             "loads must cover every active node id"
         );
         modm_simkit::profile::timed(modm_simkit::profile::Subsystem::Routing, || {
@@ -580,6 +711,86 @@ mod tests {
             RouterConfigError::SpillThresholdBelowMean(0.5)
         );
         assert!(Router::try_new(RoutingPolicy::CacheAffinity, 4).is_ok());
+    }
+
+    #[test]
+    fn routing_config_validates_every_knob() {
+        assert_eq!(
+            RoutingConfig::new(RoutingPolicy::RoundRobin, 0)
+                .try_build()
+                .unwrap_err(),
+            RouterConfigError::NoNodes
+        );
+        assert_eq!(
+            RoutingConfig::new(RoutingPolicy::CacheAffinity, 4)
+                .vnodes(0)
+                .try_build()
+                .unwrap_err(),
+            RouterConfigError::NoVnodes
+        );
+        assert_eq!(
+            RoutingConfig::new(RoutingPolicy::HybridAffinity, 4)
+                .spill_threshold(0.5)
+                .try_build()
+                .unwrap_err(),
+            RouterConfigError::SpillThresholdBelowMean(0.5)
+        );
+        assert_eq!(
+            RoutingConfig::new(RoutingPolicy::CacheAffinity, 4)
+                .index_policy(IndexPolicy::Ivf { threshold: 0 })
+                .try_build()
+                .unwrap_err(),
+            RouterConfigError::ZeroIvfThreshold
+        );
+        let r = RoutingConfig::new(RoutingPolicy::CacheAffinity, 4)
+            .index_policy(IndexPolicy::Approx)
+            .try_build()
+            .expect("valid");
+        assert_eq!(r.nodes(), 4);
+    }
+
+    #[test]
+    fn shims_match_routing_config_builds() {
+        // The deprecated constructors are thin shims: routing decisions
+        // must match a builder-made router decision for decision.
+        let enc = encoder();
+        let mut old = Router::with_affinity(
+            RoutingPolicy::CacheAffinity,
+            8,
+            SemanticClusterer::default_config(),
+            HashRing::DEFAULT_VNODES,
+        );
+        let mut new = RoutingConfig::new(RoutingPolicy::CacheAffinity, 8).build();
+        for i in 0..200 {
+            let e = enc.encode(&format!("shim parity scene {i} tokens {}", i * 29));
+            assert_eq!(old.route(&e, &[0.0; 8]), new.route(&e, &[0.0; 8]));
+        }
+    }
+
+    #[test]
+    fn routing_config_approx_agrees_with_exact_routing() {
+        // The headline property behind the approximate leader probe: on a
+        // session-heavy stream, per-request node choices agree with the
+        // exact scan on >= 95% of decisions.
+        let enc = encoder();
+        let mut exact = RoutingConfig::new(RoutingPolicy::CacheAffinity, 16).build();
+        let mut approx = RoutingConfig::new(RoutingPolicy::CacheAffinity, 16)
+            .index_policy(IndexPolicy::Approx)
+            .build();
+        let mut agree = 0;
+        let total = 800;
+        for i in 0..total {
+            let base = i % 200;
+            let e = enc.encode(&format!(
+                "world{base} biome{base} hero{base} deed{base} hour{base} medium{base} \
+                 mood{base} prop{base} tone{base} lens{base} visit{}",
+                i / 200
+            ));
+            if exact.route(&e, &[0.0; 16]) == approx.route(&e, &[0.0; 16]) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 100 / total >= 95, "agreement {agree}/{total}");
     }
 
     #[test]

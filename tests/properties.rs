@@ -10,7 +10,9 @@ use modm::core::{
     k_decision, FairQueue, KDecision, PidController, TenancyPolicy, TenantShare, TokenBucket,
 };
 use modm::diffusion::{forward_noise, ModelId, NoiseSchedule, QualityModel, Sampler, TOTAL_STEPS};
-use modm::embedding::{Embedding, EmbeddingIndex, IvfIndex, SemanticSpace, TextEncoder};
+use modm::embedding::{
+    Embedding, EmbeddingIndex, IndexPolicy, IvfIndex, SemanticSpace, TextEncoder,
+};
 use modm::numerics::{cosine_similarity, frechet_distance, GaussianStats};
 use modm::simkit::{EventQueue, Percentiles, SimDuration, SimRng, SimTime};
 use modm::workload::{QosClass, TenantId};
@@ -310,9 +312,10 @@ fn s3fifo_evicts_cold_before_protected() {
 }
 
 #[test]
-fn cache_index_selection_respects_ivf_threshold() {
-    // The third cache invariant: flat/IVF backend choice is exactly the
-    // capacity-vs-threshold comparison, for every policy.
+fn cache_index_selection_respects_policy() {
+    // The third cache invariant: the backend is exactly what the
+    // [`IndexPolicy`] dictates, for every maintenance policy. The legacy
+    // default keeps the historical capacity-vs-threshold switch.
     for policy in ALL_POLICIES {
         let below = ImageCache::new(CacheConfig::with_policy(IVF_THRESHOLD - 1, policy));
         assert!(
@@ -320,20 +323,35 @@ fn cache_index_selection_respects_ivf_threshold() {
             "{policy:?}: capacity {} must use the flat index",
             IVF_THRESHOLD - 1
         );
+        assert_eq!(below.index_backend(), "flat");
         let at = ImageCache::new(CacheConfig::with_policy(IVF_THRESHOLD, policy));
         assert!(
             at.uses_ivf_index(),
             "{policy:?}: capacity {IVF_THRESHOLD} must use the IVF index"
         );
+        assert_eq!(at.index_backend(), "ivf");
+        // Explicit policies override capacity entirely.
+        let exact = ImageCache::new(
+            CacheConfig::with_policy(IVF_THRESHOLD, policy).with_index_policy(IndexPolicy::Exact),
+        );
+        assert!(!exact.uses_ivf_index());
+        assert_eq!(exact.index_backend(), "flat");
+        let approx = ImageCache::new(
+            CacheConfig::with_policy(64, policy).with_index_policy(IndexPolicy::Approx),
+        );
+        assert_eq!(approx.index_backend(), "inverted");
     }
-    // Both backends serve the same near-duplicate retrievals.
+    // All three backends serve the same near-duplicate retrievals.
     let mut f = CacheFixture::new(77);
     let mut flat_cache = ImageCache::new(CacheConfig::fifo(IVF_THRESHOLD - 1));
     let mut ivf_cache = ImageCache::new(CacheConfig::fifo(IVF_THRESHOLD));
+    let mut inv_cache =
+        ImageCache::new(CacheConfig::fifo(256).with_index_policy(IndexPolicy::Approx));
     for i in 0..40 {
         let p = format!("indexed vista {i} basalt shoreline {}", i * 7);
         flat_cache.insert(SimTime::ZERO, f.image(&p));
         ivf_cache.insert(SimTime::ZERO, f.image(&p));
+        inv_cache.insert(SimTime::ZERO, f.image(&p));
     }
     let now = SimTime::from_secs_f64(1.0);
     for i in 0..40 {
@@ -347,6 +365,49 @@ fn cache_index_selection_respects_ivf_threshold() {
         assert!(
             ivf_cache.retrieve(now, &q, 0.2).is_some(),
             "ivf miss at {i}"
+        );
+        assert!(
+            inv_cache.retrieve(now, &q, 0.2).is_some(),
+            "inverted miss at {i}"
+        );
+    }
+}
+
+#[test]
+fn approx_cache_decisions_agree_with_exact() {
+    // Seeded-sweep property: across a session-style stream, the inverted
+    // index's hit/miss decisions agree with the exact flat scan on at
+    // least 95% of retrievals (the verify-on-miss floor makes misses
+    // exact; residual divergence is f32-vs-f64 rounding at the floor).
+    for seed in sweep_seeds() {
+        let mut f = CacheFixture::new(0x1DD0 ^ seed);
+        let mut exact = ImageCache::new(CacheConfig::fifo(512));
+        let mut approx =
+            ImageCache::new(CacheConfig::fifo(512).with_index_policy(IndexPolicy::Approx));
+        let mut case_rng = SimRng::seed_from(0xCAFE ^ seed);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..400 {
+            let session = case_rng.index(24);
+            let p = format!("tenant {session} scene {} weathered archway", i % 7);
+            let now = SimTime::from_secs_f64(i as f64);
+            let q = f.text.encode(&p);
+            let e_hit = exact.retrieve(now, &q, 0.25).is_some();
+            let a_hit = approx.retrieve(now, &q, 0.25).is_some();
+            total += 1;
+            if e_hit == a_hit {
+                agree += 1;
+            }
+            if !e_hit {
+                let img = f.image(&p);
+                exact.insert(now, img.clone());
+                approx.insert(now, img);
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(
+            frac >= 0.95,
+            "seed {seed}: approx/exact cache agreement {frac:.3} < 0.95"
         );
     }
 }

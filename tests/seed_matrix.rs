@@ -22,8 +22,8 @@ use modm::cache::IndexedList;
 use modm::cluster::GpuKind;
 use modm::core::MoDMConfig;
 use modm::deploy::{Deployment, ServingBackend};
-use modm::embedding::Embedding;
-use modm::fleet::{Fleet, Router, RoutingPolicy, SemanticClusterer};
+use modm::embedding::{Embedding, IndexPolicy};
+use modm::fleet::{Fleet, Router, RoutingConfig, RoutingPolicy, SemanticClusterer};
 use modm::scenario::RetryPolicy;
 use modm::simkit::{EventQueue, SimRng, SimTime};
 use modm::workload::TraceBuilder;
@@ -270,6 +270,7 @@ fn single_and_fleet_tiers_are_bit_identical_run_to_run() {
         let config = MoDMConfig::builder()
             .gpus(GpuKind::Mi210, 4)
             .cache_capacity(400)
+            .index_policy(IndexPolicy::Exact)
             .build();
 
         let single = |trace| {
@@ -277,6 +278,22 @@ fn single_and_fleet_tiers_are_bit_identical_run_to_run() {
             format!("{:?}", outcome.summary(2.0))
         };
         assert_eq!(single(&trace), single(&trace), "seed {seed}: single tier");
+
+        // `Exact` is the default: a builder that never mentions the index
+        // policy must produce the byte-identical run.
+        let default_config = MoDMConfig::builder()
+            .gpus(GpuKind::Mi210, 4)
+            .cache_capacity(400)
+            .build();
+        let default_run = {
+            let mut outcome = Deployment::single(default_config).run(&trace);
+            format!("{:?}", outcome.summary(2.0))
+        };
+        assert_eq!(
+            single(&trace),
+            default_run,
+            "seed {seed}: Exact must be the default index policy"
+        );
 
         for policy in [RoutingPolicy::CacheAffinity, RoutingPolicy::HybridAffinity] {
             let fleet_run = |trace| {
@@ -314,5 +331,41 @@ fn elastic_and_scenario_tiers_are_bit_identical_run_to_run() {
             )
         };
         assert_eq!(scenario(), scenario(), "seed {seed}: scenario tier");
+    }
+}
+
+#[test]
+fn approx_routing_agrees_with_exact_across_seed_matrix() {
+    // The approximate leader probe is an opt-in speed/fidelity trade; the
+    // contract pinned here is that across the CI seed matrix it lands
+    // each request on the same node as the exact scan at least 95% of the
+    // time (the verify-before-mint fallback bounds the divergence to f32
+    // rounding at the admission threshold).
+    for seed in sweep_seeds() {
+        let trace = TraceBuilder::diffusion_db(seed ^ 0xA99A)
+            .requests(600)
+            .rate_per_min(60.0)
+            .build();
+        let encoder = modm::embedding::TextEncoder::new(modm::embedding::SemanticSpace::default());
+        let nodes = 8;
+        let mut exact = RoutingConfig::new(RoutingPolicy::CacheAffinity, nodes)
+            .index_policy(IndexPolicy::Exact)
+            .build();
+        let mut approx = RoutingConfig::new(RoutingPolicy::CacheAffinity, nodes)
+            .index_policy(IndexPolicy::Approx)
+            .build();
+        let loads = vec![0.0f64; nodes];
+        let mut agree = 0usize;
+        for req in trace.iter() {
+            let e = encoder.encode(&req.prompt);
+            if exact.route(&e, &loads) == approx.route(&e, &loads) {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / trace.len() as f64;
+        assert!(
+            frac >= 0.95,
+            "seed {seed}: approx routing agreement {frac:.3} < 0.95"
+        );
     }
 }
